@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure and prints it (run
+pytest with ``-s`` to see the tables inline; they are also attached as
+``extra_info`` on the benchmark record).  Simulations are heavyweight, so
+benchmarks run a single round via ``benchmark.pedantic``.
+
+The trace length is configurable::
+
+    pytest benchmarks/ --benchmark-only --repro-blocks 60000
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-blocks", type=int, default=30_000,
+        help="trace length (dynamic basic blocks) for benchmark runs",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_blocks(request) -> int:
+    """Trace length used by every benchmark in the session."""
+    return request.config.getoption("--repro-blocks")
+
+
+@pytest.fixture
+def run_experiment(benchmark, bench_blocks):
+    """Run one experiment under pytest-benchmark and print its table."""
+
+    def runner(experiment_run, **kwargs):
+        result = benchmark.pedantic(
+            experiment_run, kwargs=dict(n_blocks=bench_blocks, **kwargs),
+            rounds=1, iterations=1,
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        benchmark.extra_info["table"] = rendered
+        return result
+
+    return runner

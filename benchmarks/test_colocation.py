@@ -1,0 +1,23 @@
+"""Benchmark: workload colocation (paper Section 2.1 discussion).
+
+Quantifies the paper's argument for metadata-free prefetching: as more
+workloads share the LLC, Confluence's virtualised history metadata eats
+a growing slice of a shrinking cache, while Shotgun — whose metadata
+lives entirely in the BTB budget — keeps its margin.
+"""
+
+from repro.experiments import colocation
+
+
+def test_colocation_study(run_experiment):
+    result = run_experiment(colocation.run)
+    conf = dict(zip((label for label, _ in result.rows),
+                    result.column("Confluence")))
+    shot = dict(zip((label for label, _ in result.rows),
+                    result.column("Shotgun")))
+    # Shape: Confluence degrades monotonically with colocation degree.
+    assert conf["degree 1"] >= conf["degree 2"] >= conf["degree 4"]
+    # Shotgun's margin over Confluence grows with the degree.
+    margin_1 = shot["degree 1"] - conf["degree 1"]
+    margin_4 = shot["degree 4"] - conf["degree 4"]
+    assert margin_4 > margin_1

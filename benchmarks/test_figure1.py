@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (prefetchers vs ideal front-end)."""
+
+from repro.experiments import figure1
+
+
+def test_figure1_competitive_analysis(run_experiment):
+    result = run_experiment(figure1.run)
+    gmean = dict(zip(result.columns, result.summary[1]))
+    # Shape: a sizeable gap between both prefetchers and Ideal remains.
+    assert gmean["Ideal"] > gmean["Confluence"]
+    assert gmean["Ideal"] > gmean["Boomerang"]
+    # Confluence ahead of Boomerang on the OLTP workloads.
+    assert result.value("Oracle", "Confluence") \
+        > result.value("Oracle", "Boomerang")
+    assert result.value("DB2", "Confluence") \
+        > result.value("DB2", "Boomerang")

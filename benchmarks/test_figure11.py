@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 (L1-D miss fill latency)."""
+
+from repro.experiments import figure11
+
+
+def test_figure11_l1d_fill_latency(run_experiment):
+    result = run_experiment(figure11.run)
+    avg = dict(zip(result.columns, result.summary[1]))
+    # Shape: over-prefetching mechanisms congest the NoC and inflate the
+    # average data-miss fill latency relative to the 8-bit vector.
+    assert avg["5-Blocks"] >= avg["8-bit vector"]
+    assert avg["Entire Region"] >= avg["8-bit vector"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 12 (C-BTB size sensitivity)."""
+
+from repro.experiments import figure12
+
+
+def test_figure12_cbtb_sensitivity(run_experiment):
+    result = run_experiment(figure12.run)
+    gmean = dict(zip(result.columns, result.summary[1]))
+    # Shape: growing the C-BTB 8x (128 -> 1K) buys almost nothing,
+    # validating the proactive fill; shrinking to 64 entries costs more.
+    gain_1k = gmean["1K Entry"] - gmean["128 Entry"]
+    loss_64 = gmean["128 Entry"] - gmean["64 Entry"]
+    assert gain_1k < 0.03
+    assert loss_64 >= -0.005
+    assert gmean["1K Entry"] >= gmean["64 Entry"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 13 (BTB storage budget sensitivity)."""
+
+from repro.experiments import figure13
+
+
+def test_figure13_budget_sensitivity(run_experiment):
+    result = run_experiment(figure13.run)
+    # Shape: at equal storage, Shotgun outperforms Boomerang at every
+    # budget on both OLTP workloads.
+    for workload in ("Oracle", "Db2"):
+        for budget in result.columns:
+            shotgun = result.value(f"{workload} Shotgun", budget)
+            boomerang = result.value(f"{workload} Boomerang", budget)
+            assert shotgun >= boomerang - 0.01, \
+                f"{workload}@{budget}: {shotgun:.3f} < {boomerang:.3f}"
+    # Shotgun at the 2K budget at least matches Boomerang at 4K (the
+    # paper's "half the storage" claim).
+    for workload in ("Oracle", "Db2"):
+        assert result.value(f"{workload} Shotgun", "2K") \
+            >= result.value(f"{workload} Boomerang", "4K") - 0.02

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (intra-region spatial locality)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_region_locality(run_experiment):
+    result = run_experiment(figure3.run)
+    # Shape: ~90%+ of region accesses within 10 blocks of the entry point
+    # on every workload (the paper's key enabling observation).
+    for label, values in result.rows:
+        within_10 = values[result.columns.index("d<=10")]
+        assert within_10 >= 0.85, f"{label}: only {within_10:.2f} within 10"

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (branch working-set coverage curves)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_branch_coverage(run_experiment):
+    result = run_experiment(figure4.run)
+    # Shape: the unconditional working set saturates far earlier than the
+    # full branch working set on both OLTP workloads.
+    for workload in ("Oracle", "Db2"):
+        all_2k = result.value(f"{workload} (all)", "2K")
+        unc_2k = result.value(f"{workload} (uncond)", "2K")
+        assert unc_2k > all_2k
+        assert unc_2k >= 0.9
+    # A 2K BTB cannot cover Oracle's full dynamic branch stream.
+    assert result.value("Oracle (all)", "2K") < 0.9

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 7 (speedup over no-prefetch baseline)."""
+
+from repro.experiments import figure7
+
+
+def test_figure7_speedups(run_experiment):
+    result = run_experiment(figure7.run)
+    gmean = dict(zip(result.columns, result.summary[1]))
+    # Shape: Shotgun is the best scheme overall and beats Boomerang, its
+    # direct (BTB-directed) rival, with prominent gaps on Oracle/DB2.
+    assert gmean["Shotgun"] > gmean["Boomerang"]
+    for oltp in ("Oracle", "DB2"):
+        assert result.value(oltp, "Shotgun") \
+            > result.value(oltp, "Boomerang") * 1.02
+    # Shotgun >= Confluence on the web front-end workloads.
+    for web in ("Nutch", "Zeus"):
+        assert result.value(web, "Shotgun") \
+            >= result.value(web, "Confluence") - 0.01

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 (coverage vs footprint mechanism)."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_footprint_coverage(run_experiment):
+    result = run_experiment(figure8.run)
+    avg = dict(zip(result.columns, result.summary[1]))
+    # Shape: the 8-bit vector clearly beats no region prefetching, and a
+    # 32-bit vector adds only a marginal amount on top.
+    assert avg["8-bit vector"] > avg["No bit vector"]
+    assert avg["32-bit vector"] >= avg["8-bit vector"] - 0.02
+    assert avg["32-bit vector"] - avg["8-bit vector"] \
+        < avg["8-bit vector"] - avg["No bit vector"]

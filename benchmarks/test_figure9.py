@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (speedup vs footprint mechanism)."""
+
+from repro.experiments import figure9
+
+
+def test_figure9_footprint_speedup(run_experiment):
+    result = run_experiment(figure9.run)
+    gmean = dict(zip(result.columns, result.summary[1]))
+    # Shape: 8-bit vector above no-bit-vector; indiscriminate region
+    # prefetching (5-Blocks) does not beat the 8-bit design.
+    assert gmean["8-bit vector"] > gmean["No bit vector"]
+    assert gmean["8-bit vector"] >= gmean["5-Blocks"] - 0.01
+    assert abs(gmean["32-bit vector"] - gmean["8-bit vector"]) < 0.05

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (BTB MPKI without prefetching)."""
+
+from repro.experiments import table1
+
+
+def test_table1_btb_mpki(run_experiment):
+    result = run_experiment(table1.run)
+    measured = dict(zip((label for label, _ in result.rows),
+                        result.column("measured MPKI")))
+    # Shape: OLTP workloads far above the web workloads; Nutch smallest.
+    assert measured["Oracle"] > measured["Apache"] > measured["Nutch"]
+    assert measured["DB2"] > measured["Zeus"]
+    assert measured["Nutch"] < 8.0

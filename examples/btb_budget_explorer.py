@@ -1,0 +1,62 @@
+"""Explore the BTB storage budget trade-off (the paper's Figure 13).
+
+Sweeps the conventional-BTB budget from 512 to 8K entries, sizing
+Shotgun's three structures to the equivalent storage at every point
+(Section 6.5), and reports where Shotgun at budget B overtakes Boomerang
+at 2B — the paper's "half the storage for the same performance" claim.
+
+Run with::
+
+    python examples/btb_budget_explorer.py [workload]
+"""
+
+import sys
+
+from repro.config.schemes import shotgun_budget_split, shotgun_storage_bits
+from repro.core.metrics import speedup
+from repro.core.sweep import run_scheme
+from repro.experiments.common import budget_configs
+from repro.experiments.reporting import format_table
+
+BUDGETS = (512, 1024, 2048, 4096, 8192)
+
+
+def main(workload: str = "db2", n_blocks: int = 25_000) -> None:
+    base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+    rows = []
+    curves = {"boomerang": {}, "shotgun": {}}
+    for budget in BUDGETS:
+        configs = budget_configs(budget)
+        sizes = configs["shotgun"].shotgun_sizes
+        row = [f"{budget} entries",
+               f"{budget * 93 / 8 / 1024:.1f} KB",
+               f"{sizes.ubtb_entries}/{sizes.cbtb_entries}"
+               f"/{sizes.rib_entries}"]
+        for scheme in ("boomerang", "shotgun"):
+            result = run_scheme(workload, scheme, n_blocks=n_blocks,
+                                config=configs[scheme])
+            value = speedup(base, result)
+            curves[scheme][budget] = value
+            row.append(f"{value:.3f}")
+        rows.append(row)
+
+    print(f"BTB budget sweep on {workload} "
+          f"(Shotgun split U-BTB/C-BTB/RIB at equal storage):\n")
+    print(format_table(
+        ["budget", "storage", "shotgun split", "boomerang", "shotgun"],
+        rows,
+    ))
+
+    # The paper's claim: Shotgun needs about half Boomerang's storage.
+    print()
+    for budget in BUDGETS[:-1]:
+        doubled = budget * 2
+        if curves["shotgun"][budget] >= curves["boomerang"][doubled]:
+            print(f"Shotgun @ {budget} entries >= "
+                  f"Boomerang @ {doubled} entries "
+                  f"({curves['shotgun'][budget]:.3f} vs "
+                  f"{curves['boomerang'][doubled]:.3f})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "db2")

@@ -1,0 +1,52 @@
+"""Quickstart: simulate Shotgun vs the no-prefetch baseline.
+
+Builds the calibrated DB2 (TPC-C) workload, runs the no-prefetch
+baseline and Shotgun through the front-end engine and reports the
+paper's headline metrics: speedup and front-end stall-cycle coverage.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MicroarchParams, build_scheme, simulate
+from repro.core.metrics import frontend_stall_coverage, speedup
+from repro.workloads.profiles import build_program, build_trace, get_profile
+
+
+def main() -> None:
+    workload = "db2"
+    profile = get_profile(workload)
+    print(f"Workload: {profile.description}")
+
+    # 1. Build the synthetic program and a reduced retire-order trace.
+    generated = build_program(workload)
+    trace = build_trace(workload, n_blocks=30_000)
+    print(f"Program: {generated.program.nfunctions} functions, "
+          f"{generated.program.footprint_bytes // 1024} KB of code")
+    print(f"Trace: {len(trace)} basic blocks, "
+          f"{trace.instruction_count} instructions")
+
+    # 2. Simulate the no-prefetch baseline and Shotgun.
+    params = MicroarchParams()
+    results = {}
+    for name in ("baseline", "shotgun"):
+        scheme = build_scheme(name, params, generated)
+        results[name] = simulate(
+            trace, scheme, params=params,
+            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+        )
+
+    # 3. Report.
+    base, shotgun = results["baseline"], results["shotgun"]
+    print(f"\nBaseline: IPC {base.ipc:.2f}, "
+          f"L1-I MPKI {base.l1i_mpki:.1f}, BTB MPKI {base.btb_mpki:.1f}")
+    print(f"Shotgun:  IPC {shotgun.ipc:.2f}, "
+          f"prefetch accuracy {shotgun.prefetch_accuracy:.0%}")
+    print(f"\nSpeedup over baseline:      {speedup(base, shotgun):.3f}x")
+    print(f"Front-end stall coverage:   "
+          f"{frontend_stall_coverage(base, shotgun):.0%}")
+
+
+if __name__ == "__main__":
+    main()

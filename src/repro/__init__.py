@@ -1,0 +1,54 @@
+"""Reproduction of *Blasting Through The Front-End Bottleneck With Shotgun*.
+
+Kumar, Grot and Nagarajan, ASPLOS 2018.
+
+The package is organised as a set of substrates plus the paper's
+contribution on top:
+
+``repro.isa``
+    Branch kinds, basic-block records and address arithmetic.
+``repro.cfg``
+    Control-flow-graph program model and the synthetic server-workload
+    program generator.
+``repro.workloads``
+    The six calibrated workload profiles (Nutch, Streaming, Apache, Zeus,
+    Oracle, DB2), retire-order trace generation and trace characterisation.
+``repro.uarch``
+    Microarchitectural structures: caches, conventional BTB, Shotgun's
+    U-BTB/C-BTB/RIB, TAGE, RAS, FTQ, predecoder and the NoC/LLC latency
+    model.
+``repro.prefetch``
+    Front-end prefetch schemes: no-prefetch, FDIP, Boomerang, Confluence,
+    Shotgun (with all spatial-footprint variants) and the ideal front-end.
+``repro.core``
+    The decoupled front-end timing engine, metrics and sweep helpers.
+``repro.experiments``
+    One runner per paper table/figure, regenerating the published results.
+"""
+
+from repro.version import __version__
+from repro.config import MicroarchParams, SchemeConfig, shotgun_budget_split
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    generate_trace,
+    get_profile,
+)
+from repro.core import FrontEnd, SimulationResult, simulate
+from repro.prefetch import SCHEME_FACTORIES, build_scheme
+
+__all__ = [
+    "__version__",
+    "MicroarchParams",
+    "SchemeConfig",
+    "shotgun_budget_split",
+    "WORKLOAD_NAMES",
+    "WorkloadProfile",
+    "generate_trace",
+    "get_profile",
+    "FrontEnd",
+    "SimulationResult",
+    "simulate",
+    "SCHEME_FACTORIES",
+    "build_scheme",
+]

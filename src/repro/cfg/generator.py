@@ -1,0 +1,370 @@
+"""Synthetic server-program generator.
+
+Server stacks (Section 1 of the paper) are deep: a request traverses a web
+server, application logic, database engine and kernel I/O paths.  We model
+this as a *layered* call graph:
+
+* layer 0 holds the request-type entry points ("roots"),
+* middle layers hold application/library functions,
+* the last layer holds kernel trap handlers (entered via TRAP, left via
+  TRAP_RET).
+
+Calls always target a strictly deeper layer, which bounds dynamic call
+depth by construction and matches the paper's observation that global
+control flow forms call/return chains through the stack.  Function hotness
+within a layer follows a Zipf distribution, and each call site prefers a
+small cluster of callees (modelling modular software).  Conditional
+branches inside functions have short forward offsets or short backward
+loop offsets, giving the high intra-region spatial locality of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cfg.model import BasicBlock, CondBehavior, Function, Program
+from repro.errors import ProgramError
+from repro.isa import BranchKind
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Knobs of the synthetic program generator.
+
+    The six workload profiles in :mod:`repro.workloads.profiles` are
+    expressed as instances of this class; see that module for the
+    calibration rationale.
+    """
+
+    #: Total number of functions, including roots and kernel handlers.
+    n_functions: int = 2000
+    #: Call-graph layers (software-stack depth).
+    n_layers: int = 8
+    #: Request-type entry points in layer 0.
+    n_roots: int = 12
+    #: Fraction of functions placed in the kernel (last) layer.
+    kernel_fraction: float = 0.12
+    #: Median basic blocks per function (lognormal).
+    median_blocks: float = 9.0
+    #: Lognormal sigma of blocks-per-function.
+    sigma_blocks: float = 0.65
+    #: Mean instructions per basic block (clipped to [2, 15]).
+    mean_block_instrs: float = 5.5
+    #: Fraction of non-terminator blocks ending in a CALL.
+    call_fraction: float = 0.14
+    #: Fraction of non-terminator blocks ending in an unconditional JUMP.
+    jump_fraction: float = 0.05
+    #: Fraction of non-terminator blocks ending in a TRAP (kernel entry).
+    trap_fraction: float = 0.015
+    #: Fraction of call sites that are indirect (several candidates).
+    indirect_fraction: float = 0.08
+    #: Candidate callees at an indirect call site.
+    indirect_fanout: int = 4
+    #: Zipf exponent for callee popularity within a layer.
+    zipf_callee: float = 0.85
+    #: Zipf exponent for request-type (root) popularity.
+    zipf_root: float = 0.7
+    #: Callee-cluster width per call site, as a fraction of the layer.
+    cluster_fraction: float = 0.25
+    #: Fraction of conditional branches that are loop back-edges.
+    loop_fraction: float = 0.20
+    #: Fraction of conditional branches that strictly alternate.
+    alternate_fraction: float = 0.03
+    #: Taken-probability of strongly biased conditionals.  Biased
+    #: outcomes are drawn i.i.d., so ``1 - hot_bias`` is an irreducible
+    #: misprediction floor; 0.96 puts TAGE around the 3-6 direction
+    #: mispredictions per kilo-instruction typical of server workloads.
+    hot_bias: float = 0.97
+    #: Fraction of biased conditionals that are strongly biased; the rest
+    #: draw a bias uniformly from [0.3, 0.7] (data-dependent branches that
+    #: no predictor can learn).
+    hot_bias_fraction: float = 0.94
+    #: Mean loop trip count for LOOP conditionals.
+    mean_loop_trips: float = 6.0
+    #: Scale applied to ``call_fraction`` inside kernel functions, which
+    #: call sideways (higher-fid kernel helpers) rather than deeper.
+    kernel_call_scale: float = 0.25
+    #: Probability a call targets the *next* layer; deeper layers follow
+    #: a geometric decay.  Calls never enter the kernel layer directly —
+    #: kernel handlers are reached via TRAP blocks only.
+    layer_skip_decay: float = 0.6
+    #: RNG seed for program construction.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 3:
+            raise ProgramError("need at least 3 layers (roots, app, kernel)")
+        if self.n_functions < self.n_layers * 2:
+            raise ProgramError("too few functions for the layer count")
+        if self.n_roots < 1:
+            raise ProgramError("need at least one root function")
+        fractions = (self.call_fraction, self.jump_fraction,
+                     self.trap_fraction, self.kernel_fraction,
+                     self.indirect_fraction, self.loop_fraction,
+                     self.alternate_fraction, self.hot_bias_fraction,
+                     self.cluster_fraction)
+        if any(not 0.0 <= f <= 1.0 for f in fractions):
+            raise ProgramError("all fractions must lie in [0, 1]")
+        if self.call_fraction + self.jump_fraction + self.trap_fraction >= 1:
+            raise ProgramError("block-kind fractions must sum below 1")
+        if not 0.5 <= self.hot_bias <= 1.0:
+            raise ProgramError("hot_bias must lie in [0.5, 1.0]")
+
+
+@dataclass
+class GeneratedProgram:
+    """A program plus the execution metadata the trace generator needs."""
+
+    program: Program
+    roots: List[int]
+    root_weights: np.ndarray
+    kernel_fids: List[int]
+    params: GeneratorParams = field(repr=False, default=None)
+
+    @property
+    def nfunctions(self) -> int:
+        return self.program.nfunctions
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf(s) weights over n ranks."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def _layer_sizes(params: GeneratorParams) -> List[int]:
+    """Split functions across layers: roots, app layers, kernel."""
+    kernel = max(2, int(round(params.n_functions * params.kernel_fraction)))
+    roots = params.n_roots
+    remaining = params.n_functions - kernel - roots
+    mid_layers = params.n_layers - 2
+    if remaining < mid_layers:
+        raise ProgramError("not enough functions for the middle layers")
+    # Middle layers grow with depth: utility/leaf code outnumbers
+    # entry-point code in real stacks.
+    raw = np.linspace(1.0, 2.0, mid_layers)
+    sizes = np.maximum(1, np.floor(raw / raw.sum() * remaining)).astype(int)
+    sizes[-1] += remaining - sizes.sum()
+    return [roots] + list(sizes) + [kernel]
+
+
+def _draw_block_count(rng: np.random.Generator,
+                      params: GeneratorParams) -> int:
+    mu = np.log(params.median_blocks)
+    count = int(round(float(rng.lognormal(mu, params.sigma_blocks))))
+    return int(np.clip(count, 2, 64))
+
+
+def _draw_ninstr(rng: np.random.Generator, params: GeneratorParams) -> int:
+    # Geometric-ish block length with the requested mean, clipped so the
+    # 5-bit BTB size field can encode it.
+    ninstr = 2 + rng.poisson(max(0.1, params.mean_block_instrs - 2))
+    return int(np.clip(ninstr, 2, 15))
+
+
+def _pick_cond(rng: np.random.Generator, params: GeneratorParams,
+               idx: int, nblocks: int,
+               built: List[BasicBlock]) -> BasicBlock:
+    """Build a conditional block at position *idx* of *nblocks*.
+
+    Loop back-edges never span a call or trap block: a loop body that
+    re-descends a call subtree on every iteration would concentrate
+    dynamic execution into a handful of leaf functions, which is neither
+    realistic nor compatible with the paper's wide instruction working
+    sets (loop bodies in server code are small; the deep call chains
+    happen per-request, not per-iteration).
+    """
+    ninstr = _draw_ninstr(rng, params)
+    roll = rng.random()
+    if roll < params.loop_fraction and idx > 0:
+        # Largest backward span ending at this block that crosses neither
+        # a call/trap (see above) nor another loop branch — nested
+        # same-function loops would multiply trip counts (6^k dynamic
+        # iterations for k nested levels) and trap the whole trace window
+        # inside one function.
+        span = 0
+        while span < 4 and idx - 1 - span >= 0:
+            previous = built[idx - 1 - span]
+            if previous.kind in (BranchKind.CALL, BranchKind.TRAP):
+                break
+            if (previous.kind == BranchKind.COND
+                    and previous.behavior == CondBehavior.LOOP):
+                break
+            span += 1
+        if span > 0:
+            target = idx - 1 - int(rng.integers(0, span))
+            trips = max(2.0, rng.exponential(params.mean_loop_trips))
+            return BasicBlock(ninstr=ninstr, kind=BranchKind.COND,
+                              taken_succ=target,
+                              behavior=CondBehavior.LOOP,
+                              behavior_param=float(trips))
+    if roll < params.loop_fraction + params.alternate_fraction:
+        target = min(nblocks - 1, idx + 1 + int(rng.integers(0, 3)))
+        return BasicBlock(ninstr=ninstr, kind=BranchKind.COND,
+                          taken_succ=target,
+                          behavior=CondBehavior.ALTERNATE,
+                          behavior_param=0.5)
+    # Forward short-offset biased branch (if/else, error checks).
+    target = min(nblocks - 1, idx + 1 + int(rng.integers(0, 4)))
+    if rng.random() < params.hot_bias_fraction:
+        bias = params.hot_bias if rng.random() < 0.5 else 1 - params.hot_bias
+    else:
+        bias = float(rng.uniform(0.3, 0.7))
+    return BasicBlock(ninstr=ninstr, kind=BranchKind.COND,
+                      taken_succ=target, behavior=CondBehavior.BIASED,
+                      behavior_param=bias)
+
+
+def _pick_callees(rng: np.random.Generator, params: GeneratorParams,
+                  target_pool: Sequence[int], cluster_base: int,
+                  indirect: bool) -> Tuple[int, ...]:
+    """Choose callee fid(s) from a deeper-layer pool with clustering."""
+    pool_size = len(target_pool)
+    cluster = max(1, int(pool_size * params.cluster_fraction))
+    weights = _zipf_weights(cluster, params.zipf_callee)
+    count = params.indirect_fanout if indirect else 1
+    picks = rng.choice(cluster, size=count, p=weights)
+    fids = tuple(
+        int(target_pool[(cluster_base + int(p)) % pool_size]) for p in picks
+    )
+    # Deduplicate while preserving order; an indirect site may legitimately
+    # collapse to fewer distinct targets.
+    seen: List[int] = []
+    for fid in fids:
+        if fid not in seen:
+            seen.append(fid)
+    return tuple(seen)
+
+
+def _pick_call_pool(rng: np.random.Generator, params: GeneratorParams,
+                    layer: int, layer_pools: List[List[int]],
+                    fid: int, is_kernel: bool) -> List[int]:
+    """Candidate-callee pool for one call site.
+
+    Application calls target the next layer with probability
+    ``layer_skip_decay``, skipping deeper with geometric decay, and never
+    enter the kernel layer directly.  Kernel calls target higher-fid
+    kernel helpers (acyclic sideways calls).
+    """
+    if is_kernel:
+        return [other for other in layer_pools[-1] if other > fid]
+    last_app_layer = len(layer_pools) - 2
+    if layer >= last_app_layer:
+        return []
+    skip = 0
+    while (rng.random() > params.layer_skip_decay
+           and layer + 1 + skip < last_app_layer):
+        skip += 1
+    return layer_pools[layer + 1 + skip]
+
+
+def _build_function(rng: np.random.Generator, params: GeneratorParams,
+                    fid: int, layer: int, layer_pools: List[List[int]],
+                    is_kernel: bool) -> Function:
+    nblocks = _draw_block_count(rng, params)
+    blocks: List[BasicBlock] = []
+    n_layers = len(layer_pools)
+    call_fraction = params.call_fraction
+    if is_kernel:
+        call_fraction *= params.kernel_call_scale
+    kind_roll_calls = call_fraction
+    kind_roll_jumps = kind_roll_calls + params.jump_fraction
+    kind_roll_traps = kind_roll_jumps + params.trap_fraction
+
+    for idx in range(nblocks - 1):
+        roll = rng.random()
+        ninstr = _draw_ninstr(rng, params)
+        can_trap = layer < n_layers - 1 and bool(layer_pools[-1])
+        if roll < kind_roll_calls:
+            pool = _pick_call_pool(rng, params, layer, layer_pools, fid,
+                                   is_kernel)
+            if pool:
+                cluster_base = int(rng.integers(0, len(pool)))
+                callees = _pick_callees(
+                    rng, params, pool, cluster_base,
+                    indirect=rng.random() < params.indirect_fraction,
+                )
+                blocks.append(BasicBlock(ninstr=ninstr,
+                                         kind=BranchKind.CALL,
+                                         callees=callees))
+                continue
+            blocks.append(_pick_cond(rng, params, idx, nblocks, blocks))
+        elif roll < kind_roll_jumps:
+            target = min(nblocks - 1, idx + 1 + int(rng.integers(0, 6)))
+            blocks.append(BasicBlock(ninstr=ninstr, kind=BranchKind.JUMP,
+                                     taken_succ=target))
+        elif roll < kind_roll_traps and can_trap and not is_kernel:
+            kernel_pool = layer_pools[-1]
+            cluster_base = int(rng.integers(0, len(kernel_pool)))
+            callees = _pick_callees(rng, params, kernel_pool, cluster_base,
+                                    indirect=False)
+            blocks.append(BasicBlock(ninstr=ninstr, kind=BranchKind.TRAP,
+                                     callees=callees))
+        else:
+            blocks.append(_pick_cond(rng, params, idx, nblocks, blocks))
+    terminator = BranchKind.TRAP_RET if is_kernel else BranchKind.RET
+    blocks.append(BasicBlock(ninstr=_draw_ninstr(rng, params),
+                             kind=terminator))
+    return Function(fid=fid, blocks=blocks, is_kernel=is_kernel)
+
+
+def generate_program(params: GeneratorParams) -> GeneratedProgram:
+    """Generate a layered synthetic server program.
+
+    Deterministic for a given ``params`` (including its seed).
+    """
+    rng = np.random.default_rng(params.seed)
+    sizes = _layer_sizes(params)
+
+    # Assign dense fids layer by layer so the Program invariant holds.
+    layer_pools: List[List[int]] = []
+    next_fid = 0
+    for size in sizes:
+        layer_pools.append(list(range(next_fid, next_fid + size)))
+        next_fid += size
+
+    functions: List[Function] = []
+    for layer, pool in enumerate(layer_pools):
+        is_kernel = layer == len(layer_pools) - 1
+        for fid in pool:
+            functions.append(
+                _build_function(rng, params, fid, layer, layer_pools,
+                                is_kernel)
+            )
+
+    # Shuffle the *layout order* (not the fids) so that functions that call
+    # each other are not artificially adjacent in the address space.
+    order = rng.permutation(len(functions))
+    laid_out = [functions[i] for i in order]
+    relabel = {f.fid: i for i, f in enumerate(laid_out)}
+    rebuilt: List[Function] = []
+    for new_fid, function in enumerate(laid_out):
+        new_blocks: List[BasicBlock] = []
+        for block in function.blocks:
+            if block.callees:
+                new_callees = tuple(relabel[c] for c in block.callees)
+                new_blocks.append(BasicBlock(
+                    ninstr=block.ninstr, kind=block.kind,
+                    taken_succ=block.taken_succ, callees=new_callees,
+                    behavior=block.behavior,
+                    behavior_param=block.behavior_param,
+                ))
+            else:
+                new_blocks.append(block)
+        rebuilt.append(Function(fid=new_fid, blocks=new_blocks,
+                                is_kernel=function.is_kernel))
+
+    program = Program(rebuilt, seed=params.seed)
+    roots = [relabel[f] for f in layer_pools[0]]
+    kernel_fids = [relabel[f] for f in layer_pools[-1]]
+    return GeneratedProgram(
+        program=program,
+        roots=roots,
+        root_weights=_zipf_weights(len(roots), params.zipf_root),
+        kernel_fids=kernel_fids,
+        params=params,
+    )

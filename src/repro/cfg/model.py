@@ -1,0 +1,242 @@
+"""Static program model: functions, basic blocks and the binary image.
+
+A :class:`Program` is a list of :class:`Function` objects laid out in a
+flat 48-bit virtual address space (functions are placed sequentially,
+aligned to cache lines, with small random gaps so that set-index conflicts
+resemble a real binary).  The model is *static*; execution semantics live
+in :mod:`repro.workloads.tracegen`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.isa import (
+    BLOCK_SHIFT,
+    INSTR_BYTES,
+    BranchKind,
+    branch_pc,
+    is_unconditional,
+)
+
+
+class CondBehavior(enum.IntEnum):
+    """Outcome model of a conditional branch.
+
+    * ``BIASED`` — i.i.d. Bernoulli with per-branch probability ``param``.
+    * ``LOOP`` — taken ``param - 1`` consecutive times, then not taken
+      (classic backward loop branch; highly predictable by TAGE).
+    * ``ALTERNATE`` — strictly alternates taken/not-taken.
+    """
+
+    BIASED = 0
+    LOOP = 1
+    ALTERNATE = 2
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One static basic block inside a function.
+
+    Attributes:
+        ninstr: instruction count, including the terminating branch.
+        kind: terminating branch kind.
+        taken_succ: function-local index of the taken successor for
+            conditional branches and unconditional jumps; unused for
+            calls/returns/traps.
+        callees: candidate callee function ids for CALL/TRAP blocks (one
+            entry for a direct call, several for an indirect call site).
+        behavior: outcome model for conditional branches.
+        behavior_param: bias probability or loop trip count.
+    """
+
+    ninstr: int
+    kind: BranchKind
+    taken_succ: int = -1
+    callees: Tuple[int, ...] = ()
+    behavior: CondBehavior = CondBehavior.BIASED
+    behavior_param: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ninstr < 1 or self.ninstr > 31:
+            # 31 is the largest value the 5-bit BTB size field can encode.
+            raise ProgramError(
+                f"block ninstr must be in [1, 31], got {self.ninstr}"
+            )
+        if self.kind in (BranchKind.CALL, BranchKind.TRAP) and not self.callees:
+            raise ProgramError(f"{self.kind.name} block needs callees")
+        if self.kind in (BranchKind.COND, BranchKind.JUMP) and self.taken_succ < 0:
+            raise ProgramError(f"{self.kind.name} block needs taken_succ")
+
+
+@dataclass
+class Function:
+    """A function: contiguous basic blocks, entered at block 0.
+
+    ``base_addr`` is assigned by :meth:`Program.layout`; block start
+    addresses are the cumulative instruction offsets from it.
+    """
+
+    fid: int
+    blocks: List[BasicBlock]
+    is_kernel: bool = False
+    base_addr: int = -1
+    _block_addrs: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ProgramError(f"function {self.fid} has no blocks")
+        terminator = self.blocks[-1].kind
+        expected = BranchKind.TRAP_RET if self.is_kernel else BranchKind.RET
+        if terminator != expected:
+            raise ProgramError(
+                f"function {self.fid} must end with {expected.name}, "
+                f"ends with {terminator.name}"
+            )
+        for idx, block in enumerate(self.blocks):
+            if block.kind in (BranchKind.COND, BranchKind.JUMP):
+                if not 0 <= block.taken_succ < len(self.blocks):
+                    raise ProgramError(
+                        f"function {self.fid} block {idx}: taken_succ "
+                        f"{block.taken_succ} out of range"
+                    )
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.ninstr for b in self.blocks) * INSTR_BYTES
+
+    def block_addr(self, idx: int) -> int:
+        """Start address of block *idx* (requires a laid-out program)."""
+        if self.base_addr < 0:
+            raise ProgramError(f"function {self.fid} has not been laid out")
+        return self._block_addrs[idx]
+
+    def _layout(self, base: int) -> int:
+        """Assign addresses from *base*; returns the end address."""
+        self.base_addr = base
+        self._block_addrs = []
+        addr = base
+        for block in self.blocks:
+            self._block_addrs.append(addr)
+            addr += block.ninstr * INSTR_BYTES
+        return addr
+
+
+@dataclass(frozen=True)
+class StaticBranch:
+    """Predecoder's view of one static branch in the binary image.
+
+    The predecoder (Section 4.2.3) extracts branch metadata from fetched
+    cache lines to fill BTBs, so it needs, per branch: the basic block it
+    terminates, its kind and its taken target address.
+    """
+
+    block_pc: int
+    ninstr: int
+    kind: BranchKind
+    target: int
+
+    @property
+    def branch_pc(self) -> int:
+        return branch_pc(self.block_pc, self.ninstr)
+
+
+class Program:
+    """A laid-out synthetic program.
+
+    Provides the *binary image* view needed by the predecoder: a mapping
+    from cache-line index to the static branches whose branch instruction
+    lies in that line.
+    """
+
+    def __init__(self, functions: List[Function], base_addr: int = 0x10000,
+                 gap_lines: int = 1, seed: Optional[int] = None) -> None:
+        if not functions:
+            raise ProgramError("program needs at least one function")
+        for idx, function in enumerate(functions):
+            if function.fid != idx:
+                raise ProgramError(
+                    f"function ids must be dense: index {idx} has fid "
+                    f"{function.fid}"
+                )
+        self.functions = functions
+        self._layout(base_addr, gap_lines)
+        self._image: Optional[Dict[int, List[StaticBranch]]] = None
+
+    def _layout(self, base_addr: int, gap_lines: int) -> None:
+        line = 1 << BLOCK_SHIFT
+        addr = base_addr
+        for function in self.functions:
+            # Align each function to a cache line, as linkers commonly do.
+            addr = (addr + line - 1) & ~(line - 1)
+            addr = function._layout(addr)
+            addr += gap_lines * line
+
+    @property
+    def nfunctions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(f.nblocks for f in self.functions)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Static code footprint: last byte minus first byte of code."""
+        first = self.functions[0].base_addr
+        last_fn = self.functions[-1]
+        last = last_fn.block_addr(last_fn.nblocks - 1) \
+            + last_fn.blocks[-1].ninstr * INSTR_BYTES
+        return last - first
+
+    def static_branch(self, fid: int, bidx: int) -> StaticBranch:
+        """Static-branch descriptor for one block (target resolved)."""
+        function = self.functions[fid]
+        block = function.blocks[bidx]
+        return StaticBranch(
+            block_pc=function.block_addr(bidx),
+            ninstr=block.ninstr,
+            kind=block.kind,
+            target=self._resolve_target(function, bidx, block),
+        )
+
+    def _resolve_target(self, function: Function, bidx: int,
+                        block: BasicBlock) -> int:
+        if block.kind in (BranchKind.COND, BranchKind.JUMP):
+            return function.block_addr(block.taken_succ)
+        if block.kind in (BranchKind.CALL, BranchKind.TRAP):
+            # Image records the first candidate; indirect call sites may
+            # go elsewhere dynamically (the BTB then mispredicts).
+            return self.functions[block.callees[0]].base_addr
+        # Returns take their target from the RAS; no static target.
+        return 0
+
+    @property
+    def image(self) -> Dict[int, List[StaticBranch]]:
+        """Cache-line index -> static branches in that line (lazy)."""
+        if self._image is None:
+            image: Dict[int, List[StaticBranch]] = {}
+            for function in self.functions:
+                for bidx, block in enumerate(function.blocks):
+                    descriptor = self.static_branch(function.fid, bidx)
+                    image.setdefault(
+                        descriptor.branch_pc >> BLOCK_SHIFT, []
+                    ).append(descriptor)
+            self._image = image
+        return self._image
+
+    def unconditional_count(self) -> int:
+        """Number of static unconditional branches (U-BTB + RIB residents)."""
+        return sum(
+            1
+            for function in self.functions
+            for block in function.blocks
+            if is_unconditional(block.kind)
+        )

@@ -1,0 +1,31 @@
+"""Microarchitectural and scheme configuration.
+
+``MicroarchParams`` mirrors the paper's Table 3; the storage-accounting
+helpers mirror Section 5.2's bit-level budgets, so experiments that compare
+schemes "at equal storage" (Figure 13) derive structure sizes the same way
+the paper does.
+"""
+
+from repro.config.microarch import MicroarchParams
+from repro.config.schemes import (
+    SchemeConfig,
+    ShotgunSizes,
+    cbtb_entry_bits,
+    conventional_btb_bits,
+    rib_entry_bits,
+    shotgun_budget_split,
+    shotgun_storage_bits,
+    ubtb_entry_bits,
+)
+
+__all__ = [
+    "MicroarchParams",
+    "SchemeConfig",
+    "ShotgunSizes",
+    "cbtb_entry_bits",
+    "conventional_btb_bits",
+    "rib_entry_bits",
+    "shotgun_budget_split",
+    "shotgun_storage_bits",
+    "ubtb_entry_bits",
+]

@@ -1,0 +1,100 @@
+"""Microarchitectural parameters of the modeled core (paper Table 3).
+
+The modeled processor resembles one tile of the paper's 16-core CMP: a
+3-way out-of-order core with a 32KB/2-way L1-I, a shared NUCA LLC reached
+over a mesh interconnect, and a TAGE direction predictor.  The front-end
+engine only needs latencies and widths, so that is what lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MicroarchParams:
+    """Latency/width/capacity parameters for the simulated front-end.
+
+    Defaults follow Table 3 of the paper and the surrounding text; derived
+    values (flush penalty, LLC round trip) are documented inline.
+    """
+
+    #: Instructions issued/retired per cycle (3-way OoO core).
+    issue_width: int = 3
+    #: Instructions fetched per cycle on an L1-I hit.
+    fetch_width: int = 6
+    #: L1-I hit latency in cycles (Table 3: 2-cycle L1).
+    l1i_latency: int = 2
+    #: Average LLC round-trip latency in cycles for a 4x4 mesh NUCA
+    #: (5-cycle bank + ~4 hops * 3 cycles/hop each way + queuing headroom).
+    llc_latency: int = 30
+    #: Memory round trip in cycles (45ns at 2GHz).
+    memory_latency: int = 90
+    #: Pipeline flush penalty in cycles (fetch-to-execute depth of the
+    #: modeled 3-way OoO pipeline); charged on direction/target
+    #: mispredictions and on BTB misses discovered at execute.
+    flush_penalty: int = 14
+    #: Cycles for the predecoder to extract branch metadata from a line.
+    predecode_latency: int = 3
+
+    #: L1-I capacity in bytes (32KB).
+    l1i_bytes: int = 32 * 1024
+    #: L1-I associativity (2-way).
+    l1i_assoc: int = 2
+    #: Cache line size in bytes.
+    line_bytes: int = 64
+    #: L1-I prefetch buffer entries (Table 3: 64-entry prefetch buffer).
+    l1i_prefetch_buffer: int = 64
+
+    #: Shared LLC capacity in bytes (512KB/core * 16 cores).
+    llc_bytes: int = 8 * 1024 * 1024
+    #: LLC associativity.
+    llc_assoc: int = 16
+
+    #: Fetch target queue entries (Section 5.2: 32-entry FTQ).
+    ftq_size: int = 32
+    #: BTB prefetch buffer entries (Section 5.2: 32 entries).
+    btb_prefetch_buffer: int = 32
+    #: Return address stack depth (Section 4.2.3: 8-32 is common).
+    ras_size: int = 32
+
+    #: Conventional BTB entries for the baseline/Boomerang (Table 3: 2K).
+    btb_entries: int = 2048
+    #: BTB associativity used for all BTB-like structures.
+    btb_assoc: int = 4
+
+    #: TAGE storage budget in bytes (Table 3: 8KB).
+    tage_budget_bytes: int = 8 * 1024
+
+    #: Fraction of an L1-D miss's fill latency exposed as back-end stall
+    #: (a 128-entry-ROB OoO core hides part of the latency; the rest
+    #: stalls retirement).  Couples NoC congestion to performance, the
+    #: mechanism behind the paper's Figure 11 discussion.
+    l1d_stall_exposure: float = 0.35
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "issue_width", "fetch_width", "l1i_latency", "llc_latency",
+            "memory_latency", "flush_penalty", "predecode_latency",
+            "l1i_bytes", "l1i_assoc", "line_bytes", "llc_bytes", "llc_assoc",
+            "ftq_size", "btb_prefetch_buffer", "ras_size", "btb_entries",
+            "btb_assoc", "tage_budget_bytes",
+        )
+        for name in positive_fields:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.l1i_bytes % (self.line_bytes * self.l1i_assoc):
+            raise ConfigError("l1i_bytes must be divisible by line*assoc")
+        if self.llc_latency <= self.l1i_latency:
+            raise ConfigError("llc_latency must exceed l1i_latency")
+
+    def with_overrides(self, **overrides: object) -> "MicroarchParams":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **overrides)

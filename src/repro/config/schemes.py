@@ -1,0 +1,192 @@
+"""Scheme-level configuration and bit-exact storage accounting.
+
+Section 5.2 of the paper specifies the per-entry bit layout of every BTB
+structure.  Experiments that compare Boomerang and Shotgun "at equal
+storage" (Figure 13) must size Shotgun's three BTBs from a conventional-BTB
+budget the same way the paper does; :func:`shotgun_budget_split` implements
+that derivation, including the paper's special case at the 8K-entry budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Conventional basic-block BTB entry (Section 5.2): 37-bit tag, 46-bit
+#: target, 5-bit basic-block size, 3-bit branch type, 2-bit direction hint.
+CONVENTIONAL_ENTRY_BITS = 37 + 46 + 5 + 3 + 2
+
+#: U-BTB entry fixed part (Section 5.2): 38-bit tag, 46-bit target, 5-bit
+#: size, 1-bit type; plus two spatial footprints of ``footprint_bits`` each.
+_UBTB_FIXED_BITS = 38 + 46 + 5 + 1
+
+#: C-BTB entry (Section 5.2): 41-bit tag, 22-bit target offset, 5-bit size,
+#: 2-bit direction hint.
+CBTB_ENTRY_BITS = 41 + 22 + 5 + 2
+
+#: RIB entry (Section 5.2): 39-bit tag, 5-bit size, 1-bit type.
+RIB_ENTRY_BITS = 39 + 5 + 1
+
+
+def conventional_btb_bits(entries: int) -> int:
+    """Total storage bits of a conventional basic-block BTB."""
+    if entries <= 0:
+        raise ConfigError(f"BTB entries must be positive, got {entries}")
+    return entries * CONVENTIONAL_ENTRY_BITS
+
+
+def ubtb_entry_bits(footprint_bits: int = 8) -> int:
+    """Bits per U-BTB entry for a given spatial-footprint width.
+
+    With the default 8-bit footprints this is the paper's 106 bits
+    (38+46+5+1 plus two 8-bit vectors).
+    """
+    if footprint_bits < 0:
+        raise ConfigError(f"footprint_bits must be >= 0, got {footprint_bits}")
+    return _UBTB_FIXED_BITS + 2 * footprint_bits
+
+
+def cbtb_entry_bits() -> int:
+    """Bits per C-BTB entry (70 bits per Section 5.2)."""
+    return CBTB_ENTRY_BITS
+
+
+def rib_entry_bits() -> int:
+    """Bits per RIB entry (45 bits per Section 5.2)."""
+    return RIB_ENTRY_BITS
+
+
+@dataclass(frozen=True)
+class ShotgunSizes:
+    """Entry counts for Shotgun's three BTB structures."""
+
+    ubtb_entries: int
+    cbtb_entries: int
+    rib_entries: int
+
+    def __post_init__(self) -> None:
+        for name in ("ubtb_entries", "cbtb_entries", "rib_entries"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+
+#: Shotgun's reference configuration at the 2K-entry Boomerang budget
+#: (Section 5.2): 1.5K-entry U-BTB, 128-entry C-BTB, 512-entry RIB.
+REFERENCE_SIZES = ShotgunSizes(ubtb_entries=1536, cbtb_entries=128,
+                               rib_entries=512)
+
+#: Reference conventional budget the paper sizes Shotgun against.
+REFERENCE_BTB_ENTRIES = 2048
+
+
+def shotgun_storage_bits(sizes: ShotgunSizes, footprint_bits: int = 8) -> int:
+    """Total storage bits of a Shotgun configuration."""
+    return (sizes.ubtb_entries * ubtb_entry_bits(footprint_bits)
+            + sizes.cbtb_entries * cbtb_entry_bits()
+            + sizes.rib_entries * rib_entry_bits())
+
+
+def _round_to_assoc(entries: float, assoc: int) -> int:
+    """Round an entry count down to a positive multiple of *assoc*."""
+    rounded = max(assoc, int(entries) // assoc * assoc)
+    return rounded
+
+
+def shotgun_budget_split(
+    boomerang_entries: int,
+    footprint_bits: int = 8,
+    assoc: int = 4,
+) -> ShotgunSizes:
+    """Derive Shotgun's structure sizes from a conventional-BTB budget.
+
+    For budgets from 512 to 4K conventional entries, the paper scales the
+    reference 1.5K/128/512 split proportionally (Section 6.5).  At the
+    8K-entry budget it instead caps the U-BTB at 4K entries (sufficient for
+    the whole unconditional working set per Figure 4) and grows the RIB to
+    1K and the C-BTB to 4K entries.
+
+    The returned sizes always fit within the conventional budget's bit
+    count for the given footprint width.
+    """
+    if boomerang_entries < 64:
+        raise ConfigError(
+            f"budget too small to split: {boomerang_entries} entries"
+        )
+    if boomerang_entries >= 8192:
+        scale = boomerang_entries / 8192
+        return ShotgunSizes(
+            ubtb_entries=_round_to_assoc(4096 * scale, assoc),
+            cbtb_entries=_round_to_assoc(4096 * scale, assoc),
+            rib_entries=_round_to_assoc(1024 * scale, assoc),
+        )
+
+    budget_bits = conventional_btb_bits(boomerang_entries)
+    scale = boomerang_entries / REFERENCE_BTB_ENTRIES
+    sizes = ShotgunSizes(
+        ubtb_entries=_round_to_assoc(REFERENCE_SIZES.ubtb_entries * scale,
+                                     assoc),
+        cbtb_entries=_round_to_assoc(REFERENCE_SIZES.cbtb_entries * scale,
+                                     assoc),
+        rib_entries=_round_to_assoc(REFERENCE_SIZES.rib_entries * scale,
+                                    assoc),
+    )
+    # The paper's own reference point slightly exceeds the conventional
+    # budget (23.77KB of Shotgun structures vs Boomerang's 23.25KB BTB,
+    # Section 5.2); permit the same ~2.3% slack before shrinking the
+    # U-BTB to fit.
+    slack = 1.025
+    while (shotgun_storage_bits(sizes, footprint_bits)
+           > budget_bits * slack
+           and sizes.ubtb_entries > assoc):
+        sizes = ShotgunSizes(
+            ubtb_entries=sizes.ubtb_entries - assoc,
+            cbtb_entries=sizes.cbtb_entries,
+            rib_entries=sizes.rib_entries,
+        )
+    return sizes
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Configuration shared by scheme factories in :mod:`repro.prefetch`.
+
+    Attributes:
+        name: scheme identifier (see ``repro.prefetch.SCHEME_FACTORIES``).
+        btb_entries: conventional BTB entries (baseline/FDIP/Boomerang, and
+            Confluence's generously-sized BTB).
+        shotgun_sizes: U-BTB/C-BTB/RIB entry counts for Shotgun.
+        footprint_mode: spatial-footprint variant for Shotgun, one of
+            ``{"none", "bitvector", "entire_region", "fixed_blocks"}``.
+        footprint_bits: bit-vector width when ``footprint_mode`` is
+            ``"bitvector"`` (the paper evaluates 8 and 32).
+        fixed_blocks: block count for the ``"fixed_blocks"`` variant
+            (the paper's "5-Blocks" design point).
+        confluence_history_entries: temporal-streaming history capacity.
+        confluence_index_entries: index table capacity.
+        confluence_stream_lookahead: blocks prefetched ahead per stream read.
+    """
+
+    name: str = "shotgun"
+    btb_entries: int = 2048
+    shotgun_sizes: ShotgunSizes = field(default_factory=lambda: REFERENCE_SIZES)
+    footprint_mode: str = "bitvector"
+    footprint_bits: int = 8
+    fixed_blocks: int = 5
+    confluence_history_entries: int = 32 * 1024
+    confluence_index_entries: int = 8 * 1024
+    confluence_stream_lookahead: int = 12
+
+    def __post_init__(self) -> None:
+        valid_modes = {"none", "bitvector", "entire_region", "fixed_blocks"}
+        if self.footprint_mode not in valid_modes:
+            raise ConfigError(
+                f"footprint_mode must be one of {sorted(valid_modes)}, "
+                f"got {self.footprint_mode!r}"
+            )
+        if self.footprint_bits not in (0, 8, 16, 32, 64):
+            raise ConfigError(
+                f"footprint_bits must be 0/8/16/32/64, got {self.footprint_bits}"
+            )
+        if self.fixed_blocks <= 0:
+            raise ConfigError("fixed_blocks must be positive")

@@ -1,0 +1,646 @@
+"""Decoupled front-end timing engine.
+
+The engine replays a retire-order basic-block trace (correct path only)
+against a control-flow delivery scheme and accounts cycles.  The timing
+model (see DESIGN.md Section 4) has three coupled actors:
+
+* **BPU** — for run-ahead schemes (FDIP/Boomerang/Shotgun), a branch
+  prediction unit walks the trace up to ``ftq_size`` blocks ahead of
+  fetch at one block per cycle, querying the scheme's BTBs, the TAGE
+  direction predictor and the RAS.  Each enqueued block triggers L1-I
+  prefetch probes; BTB misses are handled per the scheme's miss policy
+  (speculate / stall-and-fill / discover-at-execute).
+* **Fetch** — consumes enqueued blocks in order.  A block cannot be
+  fetched before the BPU enqueued it (fetch starvation — how Boomerang's
+  fill stalls hurt), and each cache line it touches either hits, is
+  promoted from the prefetch buffer, waits out the residual latency of an
+  in-flight prefetch, or stalls for a full demand fill.
+* **Back-end** — retires ``issue_width`` instructions per cycle; flush
+  penalties are charged when a misprediction or BTB miss is discovered
+  at execute.
+
+Mispredictions poison the run-ahead: the BPU parks at the offending
+block, the flush penalty is charged when fetch reaches it, and the BPU
+restarts from the resolve time — so every mispredict also costs prefetch
+lookahead, exactly as in a real decoupled front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import MicroarchParams
+from repro.core.metrics import EngineStats, SimulationResult
+from repro.errors import SimulationError
+from repro.isa import BLOCK_SHIFT, INSTR_BYTES, BranchKind
+from repro.prefetch.base import MissPolicy, Scheme
+from repro.uarch.cache import PrefetchBuffer, SetAssocCache
+from repro.uarch.interconnect import NocModel
+from repro.uarch.ras import ReturnAddressStack
+from repro.uarch.tage import TagePredictor
+from repro.workloads.trace import Trace
+
+#: How many in-flight entries may accumulate before arrived lines are
+#: drained into the prefetch buffer.  Kept near the real MSHR population
+#: (~LLC latency x issue rate): arrived lines must move into the *bounded*
+#: prefetch buffer promptly, otherwise the in-flight set acts as an
+#: unbounded buffer and over-prefetching costs nothing (it must displace
+#: useful prefetches, as in the paper's Figures 9-10).
+_INFLIGHT_DRAIN_THRESHOLD = 32
+
+_KIND_COND = int(BranchKind.COND)
+_KIND_JUMP = int(BranchKind.JUMP)
+_KIND_CALL = int(BranchKind.CALL)
+_KIND_RET = int(BranchKind.RET)
+_KIND_TRAP = int(BranchKind.TRAP)
+_KIND_TRAP_RET = int(BranchKind.TRAP_RET)
+_CALL_KINDS = (_KIND_CALL, _KIND_TRAP)
+_RET_KINDS = (_KIND_RET, _KIND_TRAP_RET)
+
+
+class FrontEnd:
+    """Trace-driven front-end simulation of one scheme.
+
+    Args:
+        trace: retire-order trace (see :mod:`repro.workloads`).
+        scheme: a :class:`repro.prefetch.Scheme`.
+        params: microarchitectural parameters.
+        predictor: direction predictor; defaults to an 8KB TAGE.
+        l1d_misses_per_kinstr: synthetic data-miss rate for the NoC-load
+            model (Figure 11).
+        warmup_fraction: leading fraction of the trace excluded from the
+            measured statistics (structures still train during it).
+        warm_llc: preload the program's instruction lines into the LLC.
+            The paper's SMARTS checkpoints include warmed caches, and the
+            multi-MB instruction footprints fit comfortably in the 8MB
+            LLC, so instruction fills come from the LLC, not memory.
+    """
+
+    def __init__(self, trace: Trace, scheme: Scheme,
+                 params: Optional[MicroarchParams] = None,
+                 predictor=None,
+                 l1d_misses_per_kinstr: float = 10.0,
+                 warmup_fraction: float = 0.1,
+                 warm_llc: bool = True) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError("warmup_fraction must be in [0, 1)")
+        self.trace = trace
+        self.scheme = scheme
+        self.params = params if params is not None else MicroarchParams()
+        self.predictor = predictor if predictor is not None \
+            else TagePredictor()
+        self.l1d_rate = l1d_misses_per_kinstr
+        self.warmup_fraction = warmup_fraction
+
+        p = self.params
+        self.l1i = SetAssocCache(p.l1i_bytes, p.l1i_assoc, p.line_bytes)
+        self.llc = SetAssocCache(p.llc_bytes, p.llc_assoc, p.line_bytes)
+        self.pf_buffer = PrefetchBuffer(p.l1i_prefetch_buffer)
+        self.noc = NocModel(base_latency=float(p.llc_latency))
+        self.ras = ReturnAddressStack(p.ras_size)
+        self.stats = EngineStats()
+        self._inflight: Dict[int, float] = {}
+        self._l1d_accum = 0.0
+        self._ran = False
+
+        # Static taken-targets from the binary image: a decoder genuinely
+        # knows a direct branch's target even when it is not taken, so
+        # BTB fills for not-taken conditionals use the real target rather
+        # than the trace's fall-through address.
+        self._static_targets: Dict[int, int] = {}
+        if trace.generated is not None:
+            for branches in trace.generated.program.image.values():
+                for branch in branches:
+                    self._static_targets[branch.block_pc] = branch.target
+        if warm_llc and trace.generated is not None:
+            for line in trace.generated.program.image:
+                self.llc.insert(line)
+
+    def _fill_target(self, pc: int, taken: bool, target: int) -> int:
+        """Target to install in a BTB entry for the block at *pc*."""
+        if taken:
+            return target
+        return self._static_targets.get(pc, target)
+
+    # ------------------------------------------------------------------
+    # Memory-side helpers
+    # ------------------------------------------------------------------
+
+    def _hierarchy_fill(self, line: int, now: float) -> float:
+        """Latency to fetch *line* from LLC (or memory beyond it)."""
+        self.stats.llc_requests += 1
+        latency = self.noc.request(now)
+        if self.llc.lookup(line):
+            return latency
+        self.llc.insert(line)
+        return latency + self.params.memory_latency
+
+    def _issue_prefetch(self, line: int, now: float) -> None:
+        """Issue a prefetch probe for *line* unless already covered.
+
+        A probe that finds the line already resident (L1-I or prefetch
+        buffer) still feeds the predecoder: the line's branch metadata is
+        extracted and proactively installed (Shotgun's C-BTB fill,
+        Confluence's BTB fill) after an L1-I read.  Without this, hot
+        regions — whose lines never leave the L1-I — would never be
+        proactively predecoded and a small C-BTB would thrash.
+        """
+        if self.l1i.contains(line) or line in self.pf_buffer:
+            self.scheme.on_prefetch_arrival(
+                line, now + self.params.l1i_latency
+            )
+            return
+        if line in self._inflight:
+            return
+        ready = now + self._hierarchy_fill(line, now)
+        self._inflight[line] = ready
+        self.stats.prefetch_issued += 1
+        self.scheme.on_prefetch_arrival(line, ready)
+        if len(self._inflight) > _INFLIGHT_DRAIN_THRESHOLD:
+            self._drain_inflight(now)
+
+    def _drain_inflight(self, now: float) -> None:
+        """Move arrived (never-demanded) fills into the prefetch buffer."""
+        arrived = [l for l, ready in self._inflight.items() if ready <= now]
+        for line in arrived:
+            del self._inflight[line]
+            self.pf_buffer.insert(line)
+
+    def _demand_line(self, line: int, now: float) -> float:
+        """Fetch-side access to *line*; returns stall cycles."""
+        stats = self.stats
+        stats.l1i_demand_accesses += 1
+        if self.l1i.lookup(line):
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
+            return 0.0
+        if self.pf_buffer.consume(line):
+            self.l1i.insert(line)
+            stats.prefetch_used += 1
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
+            return 0.0
+        ready = self._inflight.pop(line, None)
+        if ready is not None:
+            self.l1i.insert(line)
+            stats.prefetch_used += 1
+            residual = max(0.0, ready - now)
+            if residual > 0:
+                stats.l1i_late_prefetches += 1
+                stats.stall_l1i += residual
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
+            return residual
+        # Uncovered demand miss.
+        stats.l1i_demand_misses += 1
+        requests = self.scheme.on_fetch_line(line, False, now)
+        latency = self._hierarchy_fill(line, now)
+        self.l1i.insert(line)
+        stats.stall_l1i += latency
+        for req_line, earliest in requests:
+            self._issue_prefetch(req_line, max(earliest, now))
+        return latency
+
+    def _line_ready_for_fill(self, line: int, now: float) -> float:
+        """Time the line needed by a reactive BTB fill is available."""
+        if self.l1i.contains(line) or line in self.pf_buffer:
+            return now + self.params.l1i_latency
+        ready = self._inflight.get(line)
+        if ready is not None:
+            return max(ready, now)
+        latency = self._hierarchy_fill(line, now)
+        ready = now + latency
+        # The fetched line is installed as a prefetch: Boomerang pulls the
+        # whole block in, so a later demand access finds it.
+        self._inflight[line] = ready
+        self.stats.prefetch_issued += 1
+        self.scheme.on_prefetch_arrival(line, ready)
+        return ready
+
+    def _l1d_traffic(self, ninstr: int, now: float) -> float:
+        """Generate synthetic data-side LLC traffic (Figure 11).
+
+        Returns the back-end stall cycles the misses expose: an OoO core
+        hides part of each fill latency, the rest stalls retirement
+        (``l1d_stall_exposure``).  This is what makes NoC congestion from
+        over-prefetching cost actual performance.
+        """
+        self._l1d_accum += ninstr * self.l1d_rate / 1000.0
+        stall = 0.0
+        while self._l1d_accum >= 1.0:
+            self._l1d_accum -= 1.0
+            latency = self.noc.request(now)
+            # A fixed fraction of data misses falls through to memory.
+            latency += 0.15 * self.params.memory_latency
+            self.stats.l1d_misses += 1
+            self.stats.l1d_fill_cycles += latency
+            stall += latency * self.params.l1d_stall_exposure
+        return stall
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate the whole trace; returns measured-window metrics."""
+        if self._ran:
+            raise SimulationError("engine instances are single-use")
+        self._ran = True
+        if self.scheme.ideal:
+            self._run_ideal()
+        elif self.scheme.runahead:
+            self._run_runahead()
+        else:
+            self._run_demand()
+        return SimulationResult(scheme=self.scheme.name,
+                                stats=self._measured)
+
+    def _warmup_index(self) -> int:
+        return int(len(self.trace) * self.warmup_fraction)
+
+    # ------------------------------------------------------------------
+    # Ideal front-end: perfect L1-I and BTB (Figure 1 upper bound)
+    # ------------------------------------------------------------------
+
+    def _run_ideal(self) -> None:
+        trace = self.trace
+        params = self.params
+        predictor = self.predictor
+        stats = self.stats
+        issue_width = params.issue_width
+        flush = params.flush_penalty
+        warmup = self._warmup_index()
+        snapshot = None
+
+        pcs, ninstrs, kinds, takens = \
+            trace.pc, trace.ninstr, trace.kind, trace.taken
+        clock = 0.0
+        for i in range(len(trace)):
+            if i == warmup:
+                stats.cycles = clock
+                snapshot = stats.snapshot()
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            if kind == _KIND_COND:
+                stats.conditional_branches += 1
+                taken = bool(takens[i])
+                predicted = predictor.predict(pc)
+                predictor.update(pc, taken)
+                if predicted != taken:
+                    stats.dir_mispredicts += 1
+                    stats.stall_dir_flush += flush
+                    clock += flush
+            clock += ninstr / issue_width
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
+        stats.cycles = clock
+        self._finish(snapshot, warmup, clock)
+
+    # ------------------------------------------------------------------
+    # Demand-driven front-end: baseline and Confluence
+    # ------------------------------------------------------------------
+
+    def _run_demand(self) -> None:
+        trace = self.trace
+        params = self.params
+        scheme = self.scheme
+        predictor = self.predictor
+        ras = self.ras
+        stats = self.stats
+        issue_width = params.issue_width
+        flush = params.flush_penalty
+        warmup = self._warmup_index()
+        snapshot = None
+
+        pcs, ninstrs, kinds, takens, targets = (
+            trace.pc, trace.ninstr, trace.kind, trace.taken, trace.target
+        )
+        clock = 0.0
+        for i in range(len(trace)):
+            if i == warmup:
+                stats.cycles = clock
+                snapshot = stats.snapshot()
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            taken = bool(takens[i])
+            target = int(targets[i])
+            fallthrough = pc + ninstr * INSTR_BYTES
+
+            # L1-I demand accesses for the block's line(s).
+            first_line = pc >> BLOCK_SHIFT
+            last_line = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+            stall = self._demand_line(first_line, clock)
+            if last_line != first_line:
+                stall += self._demand_line(last_line, clock + stall)
+
+            # Control-flow delivery at fetch/execute.
+            hit = scheme.lookup(pc, clock)
+            flush_cycles = 0.0
+            if hit is None:
+                stats.btb_misses += 1
+                if kind == _KIND_COND:
+                    stats.conditional_branches += 1
+                    predictor.update(pc, taken)  # cold train
+                if kind in _CALL_KINDS:
+                    ras.push(fallthrough, pc)
+                elif kind in _RET_KINDS:
+                    ras.pop()
+                if taken:
+                    flush_cycles = flush
+                    stats.stall_btb_flush += flush
+                scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                   self._fill_target(pc, taken, target),
+                                   clock)
+            else:
+                if kind == _KIND_COND:
+                    stats.conditional_branches += 1
+                    predicted = predictor.predict(pc)
+                    predictor.update(pc, taken)
+                    if predicted != taken:
+                        stats.dir_mispredicts += 1
+                        stats.stall_dir_flush += flush
+                        flush_cycles = flush
+                    elif taken and hit.target != target:
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
+                        flush_cycles = flush
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
+                elif kind in _CALL_KINDS:
+                    ras.push(fallthrough, pc)
+                    if hit.target != target:
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
+                        flush_cycles = flush
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
+                elif kind in _RET_KINDS:
+                    entry = ras.pop()
+                    predicted_target = entry.return_addr if entry else -1
+                    if predicted_target != target:
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
+                        flush_cycles = flush
+                else:  # JUMP
+                    if hit.target != target:
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
+                        flush_cycles = flush
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
+
+            clock += stall + flush_cycles + ninstr / issue_width
+            scheme.on_retire(pc, ninstr, BranchKind(kind), taken, target,
+                             clock)
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
+        stats.cycles = clock
+        self._finish(snapshot, warmup, clock)
+
+    # ------------------------------------------------------------------
+    # Run-ahead front-end: FDIP, Boomerang, Shotgun
+    # ------------------------------------------------------------------
+
+    def _run_runahead(self) -> None:
+        trace = self.trace
+        params = self.params
+        scheme = self.scheme
+        predictor = self.predictor
+        ras = self.ras
+        stats = self.stats
+        issue_width = params.issue_width
+        flush = params.flush_penalty
+        ftq_size = params.ftq_size
+        predecode = params.predecode_latency
+        stall_fill = scheme.miss_policy is MissPolicy.STALL_FILL
+        warmup = self._warmup_index()
+        snapshot = None
+
+        pcs, ninstrs, kinds, takens, targets = (
+            trace.pc, trace.ninstr, trace.kind, trace.taken, trace.target
+        )
+        n = len(trace)
+        enqueue_time = np.zeros(n, dtype=np.float64)
+
+        clock = 0.0
+        t_bpu = 0.0
+        j = 0           # next block the BPU processes
+        diverged = -1   # trace index whose successor stream is unknown
+        diverge_class = ""  # "dir" | "target" | "btbmiss"
+        diverge_fill = None  # branch to demand-fill at resolve
+        capacity_blocked = False  # BPU waited on a full FTQ
+
+        for i in range(n):
+            if i == warmup:
+                stats.cycles = clock
+                snapshot = stats.snapshot()
+
+            # -- BPU run-ahead ----------------------------------------
+            while j < n and (j - i) < ftq_size and diverged < 0:
+                if capacity_blocked:
+                    # The BPU was stalled on FTQ space; the slot it now
+                    # fills frees as fetch consumes block i.
+                    capacity_blocked = False
+                    if t_bpu < clock:
+                        t_bpu = clock
+                t_bpu += 1.0
+                pc = int(pcs[j])
+                ninstr = int(ninstrs[j])
+                kind = int(kinds[j])
+                taken = bool(takens[j])
+                target = int(targets[j])
+                fallthrough = pc + ninstr * INSTR_BYTES
+
+                hit = scheme.lookup(pc, t_bpu)
+                if hit is None:
+                    stats.btb_misses += 1
+                    if stall_fill:
+                        branch_line = (pc + (ninstr - 1) * INSTR_BYTES) \
+                            >> BLOCK_SHIFT
+                        ready = self._line_ready_for_fill(branch_line, t_bpu)
+                        fill_done = ready + predecode
+                        stats.reactive_fills += 1
+                        stats.reactive_fill_cycles += fill_done - t_bpu
+                        t_bpu = fill_done
+                        scheme.reactive_fill_install(
+                            pc, ninstr, BranchKind(kind),
+                            self._fill_target(pc, taken, target),
+                            branch_line, t_bpu,
+                        )
+                        hit = scheme.lookup(pc, t_bpu)
+                        if hit is None:
+                            raise SimulationError(
+                                f"reactive fill failed for pc {pc:#x}"
+                            )
+                    else:
+                        # FDIP: speculate straight-line through the miss.
+                        enqueue_time[j] = t_bpu
+                        first = pc >> BLOCK_SHIFT
+                        last = (pc + (ninstr - 1) * INSTR_BYTES) \
+                            >> BLOCK_SHIFT
+                        for line in range(first, last + 1):
+                            self._issue_prefetch(line, t_bpu)
+                        if kind == _KIND_COND:
+                            stats.conditional_branches += 1
+                            predictor.update(pc, taken)  # trained at execute
+                        if taken:
+                            diverged = j
+                            diverge_class = "btbmiss"
+                            diverge_fill = (pc, ninstr, kind, target)
+                        else:
+                            scheme.demand_fill(
+                                pc, ninstr, BranchKind(kind),
+                                self._fill_target(pc, taken, target), t_bpu,
+                            )
+                        # RAS stays consistent even through misses.
+                        if kind in _CALL_KINDS:
+                            ras.push(fallthrough, pc)
+                        elif kind in _RET_KINDS:
+                            ras.pop()
+                        j += 1
+                        continue
+
+                # BTB (or C-BTB/RIB/U-BTB) hit: predict and enqueue.
+                call_block_pc = 0
+                predicted_target = hit.target
+                if kind == _KIND_COND:
+                    stats.conditional_branches += 1
+                    predicted_taken = predictor.predict(pc)
+                    predictor.update(pc, taken)
+                    if predicted_taken != taken:
+                        stats.dir_mispredicts += 1
+                        diverged = j
+                        diverge_class = "dir"
+                    elif taken and hit.target != target:
+                        stats.target_mispredicts += 1
+                        diverged = j
+                        diverge_class = "target"
+                        diverge_fill = (pc, ninstr, kind, target)
+                elif kind in _CALL_KINDS:
+                    ras.push(fallthrough, pc)
+                    if hit.target != target:
+                        stats.target_mispredicts += 1
+                        diverged = j
+                        diverge_class = "target"
+                        diverge_fill = (pc, ninstr, kind, target)
+                elif kind in _RET_KINDS:
+                    entry = ras.pop()
+                    if entry is not None:
+                        predicted_target = entry.return_addr
+                        call_block_pc = entry.call_block_pc
+                    else:
+                        predicted_target = -1
+                    if predicted_target != target:
+                        stats.target_mispredicts += 1
+                        diverged = j
+                        diverge_class = "target"
+                else:  # JUMP
+                    if hit.target != target:
+                        stats.target_mispredicts += 1
+                        diverged = j
+                        diverge_class = "target"
+                        diverge_fill = (pc, ninstr, kind, target)
+
+                enqueue_time[j] = t_bpu
+                first = pc >> BLOCK_SHIFT
+                last = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+                for line in range(first, last + 1):
+                    self._issue_prefetch(line, t_bpu)
+
+                # Spatial-footprint bulk prefetch (Shotgun).  Issued from
+                # the *predicted* target, so a mispredicted return wastes
+                # its region prefetches, as real hardware would.
+                if kind != _KIND_COND:
+                    region_target = predicted_target \
+                        if predicted_target > 0 else target
+                    for line in scheme.region_prefetch(
+                            pc, hit, region_target, call_block_pc, t_bpu):
+                        self._issue_prefetch(line, t_bpu)
+                j += 1
+
+            if j < n and (j - i) >= ftq_size and diverged < 0:
+                capacity_blocked = True
+
+            # -- fetch block i ----------------------------------------
+            start = enqueue_time[i]
+            if start > clock:
+                stats.stall_ftq += start - clock
+            else:
+                start = clock
+
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            taken = bool(takens[i])
+            target = int(targets[i])
+
+            first_line = pc >> BLOCK_SHIFT
+            last_line = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+            stall = self._demand_line(first_line, start)
+            if last_line != first_line:
+                stall += self._demand_line(last_line, start + stall)
+
+            clock = start + stall + ninstr / issue_width
+            scheme.on_retire(pc, ninstr, BranchKind(kind), taken, target,
+                             clock)
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
+
+            # -- resolve a divergence discovered at this block ---------
+            if diverged == i:
+                # The redirect fires at execute; the flush penalty below
+                # is the pipeline refill, during which the BPU is already
+                # walking the correct path again — so the BPU restarts at
+                # the pre-refill clock.
+                t_bpu = clock
+                clock += flush
+                if diverge_class == "dir":
+                    stats.stall_dir_flush += flush
+                elif diverge_class == "btbmiss":
+                    stats.stall_btb_flush += flush
+                else:
+                    stats.stall_target_flush += flush
+                if diverge_fill is not None:
+                    fill_pc, fill_ninstr, fill_kind, fill_target = \
+                        diverge_fill
+                    scheme.demand_fill(fill_pc, fill_ninstr,
+                                       BranchKind(fill_kind), fill_target,
+                                       clock)
+                diverged = -1
+                diverge_class = ""
+                diverge_fill = None
+
+        stats.cycles = clock
+        self._finish(snapshot, warmup, clock)
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, snapshot: Optional[EngineStats], warmup: int,
+                clock: float) -> None:
+        if warmup == 0 or snapshot is None:
+            self._measured = self.stats.snapshot()
+        else:
+            self._measured = self.stats.delta_from(snapshot)
+        if self._measured.instructions <= 0:
+            raise SimulationError("measured window contains no instructions")
+
+
+def simulate(trace: Trace, scheme: Scheme,
+             params: Optional[MicroarchParams] = None,
+             predictor=None, l1d_misses_per_kinstr: float = 10.0,
+             warmup_fraction: float = 0.1) -> SimulationResult:
+    """Convenience wrapper: build a :class:`FrontEnd` and run it."""
+    engine = FrontEnd(trace, scheme, params=params, predictor=predictor,
+                      l1d_misses_per_kinstr=l1d_misses_per_kinstr,
+                      warmup_fraction=warmup_fraction)
+    return engine.run()

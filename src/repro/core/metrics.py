@@ -1,0 +1,173 @@
+"""Simulation statistics and the paper's derived metrics.
+
+The paper reports *front-end stall cycle coverage* (Figure 6) rather than
+miss coverage, "to precisely capture the impact of in-flight prefetches"
+(Section 6.1).  We follow that definition: the engine accumulates stall
+cycles attributable to the front-end (L1-I miss stalls, fetch starvation
+while the BPU resolves BTB misses, and BTB-miss-induced flushes), and
+coverage is measured against the no-prefetch baseline's stall cycles.
+Direction-misprediction flushes are tracked separately — they are a
+branch-prediction cost that no front-end *prefetcher* can remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class EngineStats:
+    """Raw counters accumulated by the engine (all cumulative)."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    blocks: int = 0
+
+    # Stall-cycle buckets (correct path only).
+    stall_l1i: float = 0.0          # demand-miss + late-prefetch stalls
+    stall_ftq: float = 0.0          # fetch starved waiting for the BPU
+    stall_btb_flush: float = 0.0    # flushes from BTB misses
+    stall_target_flush: float = 0.0  # flushes from target/RAS mispredicts
+    stall_dir_flush: float = 0.0    # flushes from direction mispredicts
+
+    # Event counters.
+    l1i_demand_accesses: int = 0
+    l1i_demand_misses: int = 0      # uncovered misses (full latency)
+    l1i_late_prefetches: int = 0    # covered, but only partially
+    btb_misses: int = 0
+    reactive_fills: int = 0
+    reactive_fill_cycles: float = 0.0
+    dir_mispredicts: int = 0
+    target_mispredicts: int = 0
+    conditional_branches: int = 0
+
+    # Prefetch accounting.
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    llc_requests: int = 0
+
+    # Synthetic data-side traffic (Figure 11).
+    l1d_misses: int = 0
+    l1d_fill_cycles: float = 0.0
+
+    def snapshot(self) -> "EngineStats":
+        """A copy of the current counters (warm-up boundary)."""
+        return EngineStats(**{
+            f.name: getattr(self, f.name) for f in fields(EngineStats)
+        })
+
+    def delta_from(self, earlier: "EngineStats") -> "EngineStats":
+        """Counters accumulated since *earlier* (the measured window)."""
+        return EngineStats(**{
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in fields(EngineStats)
+        })
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured-window metrics of one scheme on one trace."""
+
+    scheme: str
+    stats: EngineStats
+
+    @property
+    def cycles(self) -> float:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.instructions / self.stats.cycles \
+            if self.stats.cycles else 0.0
+
+    @property
+    def frontend_stall_cycles(self) -> float:
+        """Stall cycles a front-end prefetcher could remove (Fig. 6)."""
+        return (self.stats.stall_l1i + self.stats.stall_ftq
+                + self.stats.stall_btb_flush)
+
+    @property
+    def l1i_mpki(self) -> float:
+        return 1000.0 * self.stats.l1i_demand_misses / self.stats.instructions
+
+    @property
+    def btb_mpki(self) -> float:
+        return 1000.0 * self.stats.btb_misses / self.stats.instructions
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that were demanded (Fig. 10).
+
+        Capped at 1.0: a prefetch issued just before the warm-up boundary
+        can be consumed just after it, which would otherwise push the
+        measured-window ratio marginally above one.
+        """
+        if self.stats.prefetch_issued == 0:
+            return 0.0
+        return min(1.0,
+                   self.stats.prefetch_used / self.stats.prefetch_issued)
+
+    @property
+    def l1d_fill_latency(self) -> float:
+        """Average cycles to fill an L1-D miss (Fig. 11)."""
+        if self.stats.l1d_misses == 0:
+            return 0.0
+        return self.stats.l1d_fill_cycles / self.stats.l1d_misses
+
+    @property
+    def dir_mispredict_rate(self) -> float:
+        if self.stats.conditional_branches == 0:
+            return 0.0
+        return self.stats.dir_mispredicts / self.stats.conditional_branches
+
+
+def speedup(baseline: SimulationResult, scheme: SimulationResult) -> float:
+    """Speedup of *scheme* over *baseline* on the same trace window."""
+    if baseline.instructions != scheme.instructions:
+        raise SimulationError(
+            "speedup requires results from identical trace windows "
+            f"({baseline.instructions} vs {scheme.instructions} instructions)"
+        )
+    if scheme.cycles <= 0:
+        raise SimulationError("scheme result has no cycles")
+    return baseline.cycles / scheme.cycles
+
+
+def frontend_stall_coverage(baseline: SimulationResult,
+                            scheme: SimulationResult) -> float:
+    """Fraction of the baseline's front-end stall cycles removed (Fig. 6).
+
+    Clamped below at 0 (a scheme can in principle add stalls).
+    """
+    base_stalls = baseline.frontend_stall_cycles
+    if base_stalls <= 0:
+        raise SimulationError("baseline has no front-end stall cycles")
+    return max(0.0, 1.0 - scheme.frontend_stall_cycles / base_stalls)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (paper's Gmean columns)."""
+    values = list(values)
+    if not values:
+        raise SimulationError("geometric mean of an empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise SimulationError(f"non-positive value {value} in gmean")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values) -> float:
+    """Arithmetic mean (paper's Avg columns for coverage/accuracy)."""
+    values = list(values)
+    if not values:
+        raise SimulationError("mean of an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,90 @@
+"""Shared experiment running: one trace, many schemes.
+
+Every figure in the paper compares several control-flow delivery
+mechanisms on the same workloads.  ``run_schemes`` builds the reference
+trace for a workload once, constructs each scheme against the workload's
+program image and simulates them all, returning results keyed by scheme
+name.  A module-level result cache keyed by the full configuration keeps
+repeated benchmark invocations cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.core.frontend import simulate
+from repro.core.metrics import SimulationResult
+from repro.prefetch.factory import build_scheme
+from repro.workloads.profiles import build_program, build_trace, get_profile
+
+#: Default trace length (dynamic basic blocks) for experiment runs.
+#: Chosen so that a full six-workload, three-scheme comparison finishes
+#: in minutes on a laptop while statistics are stable (DESIGN.md:
+#: "reduced traces").
+DEFAULT_TRACE_BLOCKS = 120_000
+
+_RESULT_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def _config_key(config: SchemeConfig) -> Tuple:
+    return (
+        config.name, config.btb_entries,
+        config.shotgun_sizes.ubtb_entries,
+        config.shotgun_sizes.cbtb_entries,
+        config.shotgun_sizes.rib_entries,
+        config.footprint_mode, config.footprint_bits, config.fixed_blocks,
+        config.confluence_history_entries, config.confluence_index_entries,
+        config.confluence_stream_lookahead,
+    )
+
+
+def run_scheme(workload: str, scheme_name: str,
+               n_blocks: int = DEFAULT_TRACE_BLOCKS,
+               config: Optional[SchemeConfig] = None,
+               params: Optional[MicroarchParams] = None,
+               use_cache: bool = True) -> SimulationResult:
+    """Simulate one scheme on one workload's reference trace."""
+    if config is None:
+        config = SchemeConfig(name=scheme_name)
+    if params is None:
+        params = MicroarchParams()
+    cache_key = (workload, scheme_name, n_blocks, _config_key(config),
+                 params)
+    if use_cache and cache_key in _RESULT_CACHE:
+        return _RESULT_CACHE[cache_key]
+
+    profile = get_profile(workload)
+    generated = build_program(workload)
+    trace = build_trace(workload, n_blocks)
+    scheme = build_scheme(scheme_name, params, generated, config)
+    result = simulate(
+        trace, scheme, params=params,
+        l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+    )
+    if use_cache:
+        _RESULT_CACHE[cache_key] = result
+    return result
+
+
+def run_schemes(workload: str, scheme_names: Iterable[str],
+                n_blocks: int = DEFAULT_TRACE_BLOCKS,
+                configs: Optional[Dict[str, SchemeConfig]] = None,
+                params: Optional[MicroarchParams] = None,
+                ) -> Dict[str, SimulationResult]:
+    """Simulate several schemes on the same workload trace.
+
+    ``configs`` optionally overrides the per-scheme configuration (keyed
+    by scheme name); missing keys get defaults.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name in scheme_names:
+        config = configs.get(name) if configs else None
+        results[name] = run_scheme(workload, name, n_blocks=n_blocks,
+                                   config=config, params=params)
+    return results
+
+
+def clear_result_cache() -> None:
+    """Drop memoised simulation results (used by tests)."""
+    _RESULT_CACHE.clear()

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch package failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid microarchitectural or scheme configuration was supplied."""
+
+
+class ProgramError(ReproError):
+    """A synthetic program or CFG failed validation."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or inconsistent with its program image."""
+
+
+class SimulationError(ReproError):
+    """The front-end engine reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was misconfigured or produced no data."""

@@ -1,0 +1,20 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(n_blocks=...) -> ExperimentResult``; the
+registry maps experiment ids ("table1", "figure7", ...) to runners.  Run
+from the command line with::
+
+    python -m repro.experiments figure7
+    python -m repro.experiments all --blocks 60000
+"""
+
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_all",
+]

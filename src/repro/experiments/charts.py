@@ -1,0 +1,61 @@
+"""Plain-text bar charts for experiment results.
+
+The paper's figures are grouped bar charts; rendering an
+:class:`ExperimentResult` as horizontal ASCII bars makes shape
+comparisons (who wins, by how much) visible directly in a terminal or CI
+log, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.reporting import ExperimentResult
+
+#: Glyph used for bar bodies.
+_BAR = "#"
+
+
+def render_bar_chart(result: ExperimentResult, width: int = 48,
+                     baseline: Optional[float] = None) -> str:
+    """Render grouped horizontal bars for *result*.
+
+    Args:
+        result: the experiment to draw.
+        width: character width of the longest bar.
+        baseline: value the bars start from (e.g. 1.0 for speedups so a
+            bar's length shows the *gain*); defaults to 0.
+    """
+    if not result.rows:
+        raise ExperimentError("cannot chart an empty result")
+    start = 0.0 if baseline is None else baseline
+    peak = max(
+        max(values) for _, values in result.rows
+    )
+    if result.summary is not None:
+        peak = max(peak, max(result.summary[1]))
+    span = peak - start
+    if span <= 0:
+        raise ExperimentError("chart values do not exceed the baseline")
+
+    label_width = max(len(label) for label, _ in result.rows)
+    column_width = max(len(c) for c in result.columns)
+    lines = [f"== {result.title} =="]
+    groups = list(result.rows)
+    if result.summary is not None:
+        groups.append(result.summary)
+        label_width = max(label_width, len(result.summary[0]))
+
+    for label, values in groups:
+        lines.append(f"{label}:")
+        for column, value in zip(result.columns, values):
+            filled = max(0, int(round((value - start) / span * width)))
+            bar = _BAR * filled
+            lines.append(
+                f"  {column.rjust(column_width)} |{bar} "
+                + result.value_format.format(value)
+            )
+    if baseline is not None:
+        lines.append(f"(bars start at {baseline:g})")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Workload colocation study (paper Section 2.1).
+
+The paper's critique of Confluence: its history metadata is virtualised
+into the LLC, and "the effectiveness of metadata sharing diminishes when
+workloads are colocated, in which case each workload requires its own
+metadata, reducing the effective LLC capacity in proportion to the
+number of colocated workloads".  Shotgun keeps all metadata inside the
+BTB budget, so colocation costs it only its fair LLC share.
+
+Model: with colocation degree ``d``, every scheme sees an LLC of
+``8MB / d``; Confluence additionally loses ``d`` copies of its ~204KB
+history (carved out of its share) and its metadata accesses contend with
+``d`` sharers (scaled restart latency).
+"""
+
+from __future__ import annotations
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.core.frontend import simulate
+from repro.core.metrics import speedup
+from repro.errors import ExperimentError
+from repro.experiments.reporting import ExperimentResult
+from repro.prefetch.confluence import ConfluenceScheme
+from repro.prefetch.factory import build_scheme
+from repro.uarch.predecoder import Predecoder
+from repro.workloads.profiles import build_program, build_trace, get_profile
+
+#: Per-workload Confluence history footprint in the LLC (Section 5.2).
+HISTORY_BYTES = 204 * 1024
+
+DEGREES = (1, 2, 4)
+
+
+def _params_for_degree(degree: int) -> MicroarchParams:
+    return MicroarchParams().with_overrides(
+        llc_bytes=8 * 1024 * 1024 // degree
+    )
+
+
+def _confluence_llc_bytes(degree: int) -> int:
+    share = 8 * 1024 * 1024 // degree
+    effective = share - degree * HISTORY_BYTES // degree - HISTORY_BYTES
+    if effective <= 0:
+        raise ExperimentError(f"degree {degree} leaves no LLC capacity")
+    # Round down to a valid cache geometry (multiple of line*assoc*sets).
+    line_assoc = 64 * 16
+    sets = effective // line_assoc
+    power = 1
+    while power * 2 <= sets:
+        power *= 2
+    return power * line_assoc
+
+
+def run(n_blocks: int = 40_000, workload: str = "db2") -> ExperimentResult:
+    """Confluence vs Shotgun speedup across colocation degrees."""
+    result = ExperimentResult(
+        experiment_id="colocation",
+        title=(f"Colocation study on {workload}: speedup vs degree "
+               "(Section 2.1)"),
+        columns=["Confluence", "Shotgun"],
+        notes=("Shape target: Shotgun's margin over Confluence grows "
+               "with the colocation degree, because Confluence's "
+               "per-workload metadata eats the shrinking LLC."),
+    )
+    profile = get_profile(workload)
+    generated = build_program(workload)
+    trace = build_trace(workload, n_blocks)
+
+    for degree in DEGREES:
+        params = _params_for_degree(degree)
+        base = simulate(
+            trace, build_scheme("baseline", params, generated),
+            params=params,
+            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+        )
+        config = SchemeConfig(name="confluence")
+        confluence = ConfluenceScheme(
+            predecoder=Predecoder(generated.program.image),
+            btb_entries=16384,
+            history_entries=config.confluence_history_entries,
+            index_entries=config.confluence_index_entries,
+            lookahead=config.confluence_stream_lookahead,
+            # Metadata accesses contend with the other sharers.
+            metadata_latency=2.0 * params.llc_latency
+            * (1.0 + 0.25 * (degree - 1)),
+        )
+        confluence_params = params.with_overrides(
+            llc_bytes=_confluence_llc_bytes(degree)
+        )
+        conf_result = simulate(
+            trace, confluence, params=confluence_params,
+            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+        )
+        shotgun = simulate(
+            trace, build_scheme("shotgun", params, generated),
+            params=params,
+            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+        )
+        result.add_row(f"degree {degree}", [
+            speedup(base, conf_result), speedup(base, shotgun),
+        ])
+    return result

@@ -1,0 +1,110 @@
+"""Shared configuration helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config.schemes import (
+    REFERENCE_SIZES,
+    SchemeConfig,
+    ShotgunSizes,
+    shotgun_budget_split,
+    ubtb_entry_bits,
+)
+from repro.errors import ExperimentError
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+#: Display names used in tables (paper capitalisation).
+DISPLAY_NAMES: Dict[str, str] = {
+    "nutch": "Nutch",
+    "streaming": "Streaming",
+    "apache": "Apache",
+    "zeus": "Zeus",
+    "oracle": "Oracle",
+    "db2": "DB2",
+}
+
+#: The spatial-footprint ablation variants of Section 6.3, in paper order.
+FOOTPRINT_VARIANTS = (
+    "no_bit_vector", "8_bit_vector", "32_bit_vector",
+    "entire_region", "5_blocks",
+)
+
+FOOTPRINT_LABELS: Dict[str, str] = {
+    "no_bit_vector": "No bit vector",
+    "8_bit_vector": "8-bit vector",
+    "32_bit_vector": "32-bit vector",
+    "entire_region": "Entire Region",
+    "5_blocks": "5-Blocks",
+}
+
+
+def _round_to_assoc(entries: float, assoc: int = 4) -> int:
+    return max(assoc, int(entries) // assoc * assoc)
+
+
+def footprint_variant_config(variant: str) -> SchemeConfig:
+    """Shotgun configuration for one Section 6.3 footprint variant.
+
+    Storage accounting follows the paper: the "No bit vector" design gets
+    extra U-BTB entries up to the 8-bit design's storage budget
+    (Section 6.3), and the metadata-free "5-Blocks" design likewise; the
+    32-bit design keeps the entry count and is simply granted the extra
+    vector storage; "Entire Region" stores packed entry/exit offsets in
+    place of the bit vectors.
+    """
+    reference_bits = REFERENCE_SIZES.ubtb_entries * ubtb_entry_bits(8)
+    if variant == "8_bit_vector":
+        return SchemeConfig(name="shotgun", footprint_mode="bitvector",
+                            footprint_bits=8)
+    if variant == "32_bit_vector":
+        return SchemeConfig(name="shotgun", footprint_mode="bitvector",
+                            footprint_bits=32)
+    if variant == "entire_region":
+        return SchemeConfig(name="shotgun", footprint_mode="entire_region",
+                            footprint_bits=0)
+    if variant in ("no_bit_vector", "5_blocks"):
+        grown_ubtb = _round_to_assoc(reference_bits / ubtb_entry_bits(0))
+        sizes = ShotgunSizes(
+            ubtb_entries=grown_ubtb,
+            cbtb_entries=REFERENCE_SIZES.cbtb_entries,
+            rib_entries=REFERENCE_SIZES.rib_entries,
+        )
+        mode = "none" if variant == "no_bit_vector" else "fixed_blocks"
+        return SchemeConfig(name="shotgun", footprint_mode=mode,
+                            footprint_bits=0, shotgun_sizes=sizes,
+                            fixed_blocks=5)
+    raise ExperimentError(f"unknown footprint variant {variant!r}")
+
+
+def cbtb_variant_config(cbtb_entries: int) -> SchemeConfig:
+    """Shotgun configuration with a non-default C-BTB size (Figure 12)."""
+    sizes = ShotgunSizes(
+        ubtb_entries=REFERENCE_SIZES.ubtb_entries,
+        cbtb_entries=cbtb_entries,
+        rib_entries=REFERENCE_SIZES.rib_entries,
+    )
+    return SchemeConfig(name="shotgun", shotgun_sizes=sizes)
+
+
+def budget_configs(boomerang_entries: int) -> Dict[str, SchemeConfig]:
+    """Equal-storage Boomerang and Shotgun configurations (Figure 13)."""
+    return {
+        "boomerang": SchemeConfig(name="boomerang",
+                                  btb_entries=boomerang_entries),
+        "shotgun": SchemeConfig(
+            name="shotgun",
+            shotgun_sizes=shotgun_budget_split(boomerang_entries),
+        ),
+    }
+
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "DISPLAY_NAMES",
+    "FOOTPRINT_VARIANTS",
+    "FOOTPRINT_LABELS",
+    "footprint_variant_config",
+    "cbtb_variant_config",
+    "budget_configs",
+]

@@ -1,0 +1,35 @@
+"""Figure 1: state-of-the-art prefetchers vs the ideal front-end."""
+
+from __future__ import annotations
+
+from repro.core.metrics import geometric_mean, speedup
+from repro.core.sweep import run_schemes
+from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES
+from repro.experiments.reporting import ExperimentResult
+
+SCHEMES = ("confluence", "boomerang", "ideal")
+
+
+def run(n_blocks: int = 60_000) -> ExperimentResult:
+    """Speedup of Confluence, Boomerang and Ideal over no-prefetch."""
+    result = ExperimentResult(
+        experiment_id="figure1",
+        title="Figure 1: Confluence/Boomerang vs ideal front-end (speedup)",
+        columns=["Confluence", "Boomerang", "Ideal"],
+        notes=("Shape target: Boomerang competitive on small-footprint "
+               "workloads (Nutch, Zeus); Confluence ahead on Oracle/DB2; "
+               "a sizeable gap to Ideal remains everywhere."),
+    )
+    per_scheme = {name: [] for name in SCHEMES}
+    for workload in WORKLOAD_NAMES:
+        results = run_schemes(workload, ("baseline",) + SCHEMES,
+                              n_blocks=n_blocks)
+        base = results["baseline"]
+        row = [speedup(base, results[name]) for name in SCHEMES]
+        for name, value in zip(SCHEMES, row):
+            per_scheme[name].append(value)
+        result.add_row(DISPLAY_NAMES[workload], row)
+    result.set_summary(
+        "Gmean", [geometric_mean(per_scheme[name]) for name in SCHEMES]
+    )
+    return result

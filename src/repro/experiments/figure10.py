@@ -1,0 +1,42 @@
+"""Figure 10: Shotgun prefetch accuracy vs spatial-footprint format."""
+
+from __future__ import annotations
+
+from repro.core.metrics import arithmetic_mean
+from repro.core.sweep import run_scheme
+from repro.experiments.common import (
+    DISPLAY_NAMES,
+    FOOTPRINT_LABELS,
+    WORKLOAD_NAMES,
+    footprint_variant_config,
+)
+from repro.experiments.reporting import ExperimentResult
+
+#: The paper's Figure 10 compares these three mechanisms.
+VARIANTS = ("8_bit_vector", "entire_region", "5_blocks")
+
+
+def run(n_blocks: int = 60_000) -> ExperimentResult:
+    """Fraction of issued prefetches that were demanded before eviction."""
+    result = ExperimentResult(
+        experiment_id="figure10",
+        title="Figure 10: Shotgun prefetch accuracy by footprint mechanism",
+        columns=[FOOTPRINT_LABELS[v] for v in VARIANTS],
+        value_format="{:.2f}",
+        notes=("Shape target: 8-bit vector most accurate, Entire Region "
+               "in between, 5-Blocks worst (indiscriminate region "
+               "prefetching)."),
+    )
+    per_variant = {v: [] for v in VARIANTS}
+    for workload in WORKLOAD_NAMES:
+        row = []
+        for variant in VARIANTS:
+            res = run_scheme(workload, "shotgun", n_blocks=n_blocks,
+                             config=footprint_variant_config(variant))
+            row.append(res.prefetch_accuracy)
+            per_variant[variant].append(res.prefetch_accuracy)
+        result.add_row(DISPLAY_NAMES[workload], row)
+    result.set_summary(
+        "Avg", [arithmetic_mean(per_variant[v]) for v in VARIANTS]
+    )
+    return result

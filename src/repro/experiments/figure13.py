@@ -1,0 +1,43 @@
+"""Figure 13: Boomerang vs Shotgun across BTB storage budgets.
+
+The indicated BTB size is Boomerang's conventional entry count; Shotgun
+uses the equivalent storage budget split across its three structures
+(Section 6.5).
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import speedup
+from repro.core.sweep import run_scheme
+from repro.experiments.common import budget_configs
+from repro.experiments.reporting import ExperimentResult
+
+BUDGETS = (512, 1024, 2048, 4096, 8192)
+WORKLOADS = ("oracle", "db2")
+
+
+def run(n_blocks: int = 60_000) -> ExperimentResult:
+    """Speedup at equal storage budgets on the two OLTP workloads."""
+    result = ExperimentResult(
+        experiment_id="figure13",
+        title=("Figure 13: speedup vs BTB storage budget "
+               "(Boomerang entries; Shotgun at equal storage)"),
+        columns=[(f"{b // 1024}K" if b >= 1024 else str(b))
+                 for b in BUDGETS],
+        notes=("Shape target: Shotgun above Boomerang at every budget; "
+               "Shotgun at budget B roughly matches Boomerang at 2B or "
+               "more."),
+    )
+    for workload in WORKLOADS:
+        base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+        for scheme in ("boomerang", "shotgun"):
+            row = []
+            for budget in BUDGETS:
+                config = budget_configs(budget)[scheme]
+                res = run_scheme(workload, scheme, n_blocks=n_blocks,
+                                 config=config)
+                row.append(speedup(base, res))
+            result.add_row(
+                f"{workload.capitalize()} {scheme.capitalize()}", row
+            )
+    return result

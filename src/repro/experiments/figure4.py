@@ -1,0 +1,34 @@
+"""Figure 4: dynamic branch coverage of the hottest static branches."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.workloads.analysis import branch_coverage_curve
+from repro.workloads.profiles import build_trace
+
+POINTS = (1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192)
+WORKLOADS = ("oracle", "db2")
+
+
+def run(n_blocks: int = 60_000) -> ExperimentResult:
+    """All-branch vs unconditional-branch coverage curves (Oracle, DB2)."""
+    result = ExperimentResult(
+        experiment_id="figure4",
+        title=("Figure 4: dynamic branch coverage vs hottest static "
+               "branches"),
+        columns=[f"{p // 1024}K" for p in POINTS],
+        value_format="{:.2f}",
+        notes=("Shape target: unconditional-branch curves saturate far "
+               "earlier than all-branch curves; a 2K BTB covers well "
+               "under 80% of all dynamic branches on Oracle but most of "
+               "the unconditional working set."),
+    )
+    for workload in WORKLOADS:
+        trace = build_trace(workload, n_blocks)
+        _, all_cov = branch_coverage_curve(trace, POINTS,
+                                           unconditional_only=False)
+        _, unc_cov = branch_coverage_curve(trace, POINTS,
+                                           unconditional_only=True)
+        result.add_row(f"{workload.capitalize()} (all)", list(all_cov))
+        result.add_row(f"{workload.capitalize()} (uncond)", list(unc_cov))
+    return result

@@ -1,0 +1,35 @@
+"""Figure 7: speedup of each prefetching scheme over no-prefetch."""
+
+from __future__ import annotations
+
+from repro.core.metrics import geometric_mean, speedup
+from repro.core.sweep import run_schemes
+from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES
+from repro.experiments.reporting import ExperimentResult
+
+SCHEMES = ("confluence", "boomerang", "shotgun")
+
+
+def run(n_blocks: int = 60_000) -> ExperimentResult:
+    """Speedups over the no-prefetch baseline (paper's headline figure)."""
+    result = ExperimentResult(
+        experiment_id="figure7",
+        title="Figure 7: speedup over no-prefetch baseline",
+        columns=["Confluence", "Boomerang", "Shotgun"],
+        notes=("Shape target: Shotgun > Boomerang everywhere, with the "
+               "largest margins on Oracle/DB2; Shotgun >= Confluence on "
+               "the web workloads."),
+    )
+    per_scheme = {name: [] for name in SCHEMES}
+    for workload in WORKLOAD_NAMES:
+        results = run_schemes(workload, ("baseline",) + SCHEMES,
+                              n_blocks=n_blocks)
+        base = results["baseline"]
+        row = [speedup(base, results[name]) for name in SCHEMES]
+        for name, value in zip(SCHEMES, row):
+            per_scheme[name].append(value)
+        result.add_row(DISPLAY_NAMES[workload], row)
+    result.set_summary(
+        "Gmean", [geometric_mean(per_scheme[name]) for name in SCHEMES]
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Registry of all experiment runners, keyed by paper table/figure id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    table1,
+)
+from repro.experiments.reporting import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "figure1": figure1.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "figure12": figure12.run,
+    "figure13": figure13.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Runner for one experiment id (e.g. ``"figure7"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_all(n_blocks: int = 60_000) -> List[ExperimentResult]:
+    """Run every experiment (shared simulations are cached)."""
+    return [run(n_blocks=n_blocks) for run in EXPERIMENTS.values()]

@@ -1,0 +1,113 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table (first column left-aligned)."""
+    if not rows:
+        raise ExperimentError("cannot format an empty table")
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ExperimentError(
+                f"row width {len(row)} does not match headers ({columns})"
+            )
+    widths = [
+        max(len(str(headers[c])), max(len(str(row[c])) for row in rows))
+        for c in range(columns)
+    ]
+    lines = []
+    header = "  ".join(
+        str(headers[c]).ljust(widths[c]) if c == 0
+        else str(headers[c]).rjust(widths[c])
+        for c in range(columns)
+    )
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(
+            str(row[c]).ljust(widths[c]) if c == 0
+            else str(row[c]).rjust(widths[c])
+            for c in range(columns)
+        ))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` maps a row label (workload or x-axis point) to one value per
+    column; ``summary`` optionally appends an aggregate row (the paper's
+    Avg/Gmean column).
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Tuple[str, List[float]]] = field(default_factory=list)
+    summary: Tuple[str, List[float]] = None
+    value_format: str = "{:.3f}"
+    notes: str = ""
+
+    def add_row(self, label: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"{self.experiment_id}: row {label!r} has {len(values)} "
+                f"values for {len(self.columns)} columns"
+            )
+        self.rows.append((label, values))
+
+    def set_summary(self, label: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"{self.experiment_id}: summary has wrong width"
+            )
+        self.summary = (label, values)
+
+    def column(self, name: str) -> List[float]:
+        """All row values for one named column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"{self.experiment_id}: no column {name!r}"
+            ) from None
+        return [values[idx] for _, values in self.rows]
+
+    def value(self, row_label: str, column: str) -> float:
+        idx = self.columns.index(column)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[idx]
+        raise ExperimentError(
+            f"{self.experiment_id}: no row {row_label!r}"
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's row/column layout."""
+        headers = [""] + list(self.columns)
+        table_rows = [
+            [label] + [self.value_format.format(v) for v in values]
+            for label, values in self.rows
+        ]
+        if self.summary is not None:
+            label, values = self.summary
+            table_rows.append(
+                [label] + [self.value_format.format(v) for v in values]
+            )
+        body = format_table(headers, table_rows)
+        header = f"== {self.title} =="
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)

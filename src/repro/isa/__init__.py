@@ -1,0 +1,40 @@
+"""Branch and basic-block model shared by the whole package.
+
+The simulated ISA is a simplified SPARC-v9-like fixed-width ISA: every
+instruction is 4 bytes and instruction cache lines are 64 bytes.  The
+front-end structures in the paper (basic-block-oriented BTB, spatial
+footprints) only care about branch kinds and addresses, so this module is
+deliberately small.
+"""
+
+from repro.isa.instructions import (
+    BLOCK_SHIFT,
+    CACHE_LINE_BYTES,
+    INSTR_BYTES,
+    BranchKind,
+    BlockRecord,
+    block_index,
+    block_offset,
+    branch_pc,
+    fallthrough_pc,
+    is_global,
+    is_return_kind,
+    is_unconditional,
+    lines_touched,
+)
+
+__all__ = [
+    "BLOCK_SHIFT",
+    "CACHE_LINE_BYTES",
+    "INSTR_BYTES",
+    "BranchKind",
+    "BlockRecord",
+    "block_index",
+    "block_offset",
+    "branch_pc",
+    "fallthrough_pc",
+    "is_global",
+    "is_return_kind",
+    "is_unconditional",
+    "lines_touched",
+]

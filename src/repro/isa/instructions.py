@@ -1,0 +1,136 @@
+"""Branch kinds, basic-block records and address arithmetic.
+
+A *basic block* here follows the paper's definition (Section 4.2.1,
+footnote 1): a sequence of straight-line instructions ending with a branch
+instruction.  Every block therefore has exactly one terminating branch and
+is fully described by its start address, its instruction count and the
+branch's kind/target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Bytes per instruction (SPARC v9 fixed width).
+INSTR_BYTES = 4
+
+#: Bytes per instruction cache line (Table 3: 64B lines).
+CACHE_LINE_BYTES = 64
+
+#: log2 of the cache line size, used for block-index arithmetic.
+BLOCK_SHIFT = 6
+
+
+class BranchKind(enum.IntEnum):
+    """Kind of a basic block's terminating branch.
+
+    The paper distinguishes conditional branches (local control flow) from
+    calls, unconditional jumps, traps, returns and trap-returns (global
+    control flow).  Shotgun routes them to different structures:
+
+    * ``COND`` -> C-BTB
+    * ``JUMP``, ``CALL``, ``TRAP`` -> U-BTB
+    * ``RET``, ``TRAP_RET`` -> RIB
+    """
+
+    COND = 0
+    JUMP = 1
+    CALL = 2
+    RET = 3
+    TRAP = 4
+    TRAP_RET = 5
+
+
+#: Kinds that transfer control between code regions (paper Section 3.1).
+_GLOBAL_KINDS = frozenset(
+    {BranchKind.JUMP, BranchKind.CALL, BranchKind.RET,
+     BranchKind.TRAP, BranchKind.TRAP_RET}
+)
+
+_RETURN_KINDS = frozenset({BranchKind.RET, BranchKind.TRAP_RET})
+
+
+def is_unconditional(kind: BranchKind) -> bool:
+    """Return True for every kind except a conditional branch."""
+    return kind != BranchKind.COND
+
+
+def is_global(kind: BranchKind) -> bool:
+    """Return True if *kind* steers global (inter-region) control flow."""
+    return kind in _GLOBAL_KINDS
+
+
+def is_return_kind(kind: BranchKind) -> bool:
+    """Return True for function returns and trap returns (RIB residents)."""
+    return kind in _RETURN_KINDS
+
+
+def branch_pc(pc: int, ninstr: int) -> int:
+    """Address of the terminating branch of a block starting at *pc*."""
+    if ninstr < 1:
+        raise ValueError(f"basic block must have >= 1 instruction, got {ninstr}")
+    return pc + (ninstr - 1) * INSTR_BYTES
+
+
+def fallthrough_pc(pc: int, ninstr: int) -> int:
+    """Address of the instruction after the block (not-taken successor)."""
+    if ninstr < 1:
+        raise ValueError(f"basic block must have >= 1 instruction, got {ninstr}")
+    return pc + ninstr * INSTR_BYTES
+
+
+def block_index(addr: int) -> int:
+    """Cache-line index (line number) of a byte address."""
+    return addr >> BLOCK_SHIFT
+
+
+def block_offset(addr: int) -> int:
+    """Byte offset of *addr* within its cache line."""
+    return addr & (CACHE_LINE_BYTES - 1)
+
+
+def lines_touched(pc: int, ninstr: int) -> range:
+    """Cache-line indices covered by a basic block.
+
+    Returns a range of line indices, first to last inclusive, so the fetch
+    engine and prefetchers can iterate the lines a block occupies.
+    """
+    first = block_index(pc)
+    last = block_index(branch_pc(pc, ninstr))
+    return range(first, last + 1)
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """One dynamic basic-block instance in a retire-order trace.
+
+    Attributes:
+        pc: start address of the block.
+        ninstr: number of instructions in the block (including the branch).
+        kind: kind of the terminating branch.
+        taken: whether the branch was taken (always True for unconditional
+            branches in a well-formed trace).
+        target: address control flow continued at (taken target, or the
+            fall-through address for a not-taken conditional).
+    """
+
+    pc: int
+    ninstr: int
+    kind: BranchKind
+    taken: bool
+    target: int
+
+    @property
+    def branch_pc(self) -> int:
+        """Address of the terminating branch instruction."""
+        return branch_pc(self.pc, self.ninstr)
+
+    @property
+    def fallthrough(self) -> int:
+        """Address of the next sequential instruction after the block."""
+        return fallthrough_pc(self.pc, self.ninstr)
+
+    def lines(self) -> range:
+        """Cache-line indices covered by this block."""
+        return lines_touched(self.pc, self.ninstr)

@@ -1,0 +1,40 @@
+"""Front-end prefetch schemes.
+
+Every control-flow delivery mechanism the paper evaluates lives here:
+
+* ``baseline`` — no prefetching (the denominator of every figure).
+* ``ideal`` — perfect L1-I and BTB (Figure 1's upper bound).
+* ``fdip`` — fetch-directed instruction prefetching [15].
+* ``boomerang`` — FDIP + reactive BTB fill [13].
+* ``confluence`` — temporal-streaming unified prefetcher (SHIFT-based) [10].
+* ``shotgun`` — the paper's contribution, with all spatial-footprint
+  variants of Section 6.3 (no bit vector / 8-bit / 32-bit / entire region
+  / fixed 5 blocks).
+"""
+
+from repro.prefetch.base import LookupHit, MissPolicy, Scheme
+from repro.prefetch.footprint import FootprintCodec, RegionRecorder
+from repro.prefetch.baseline import BaselineScheme, IdealScheme
+from repro.prefetch.fdip import FdipScheme
+from repro.prefetch.boomerang import BoomerangScheme
+from repro.prefetch.confluence import ConfluenceScheme
+from repro.prefetch.rdip import RdipScheme
+from repro.prefetch.shotgun import ShotgunScheme
+from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
+
+__all__ = [
+    "LookupHit",
+    "MissPolicy",
+    "Scheme",
+    "FootprintCodec",
+    "RegionRecorder",
+    "BaselineScheme",
+    "IdealScheme",
+    "FdipScheme",
+    "BoomerangScheme",
+    "ConfluenceScheme",
+    "RdipScheme",
+    "ShotgunScheme",
+    "SCHEME_FACTORIES",
+    "build_scheme",
+]

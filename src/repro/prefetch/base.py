@@ -1,0 +1,120 @@
+"""Scheme interface between the front-end engine and the prefetchers.
+
+The engine (:mod:`repro.core.frontend`) owns everything with *timing*:
+clocks, caches, in-flight fills, the FTQ walk, the RAS and the direction
+predictor.  A :class:`Scheme` owns the *control-flow metadata* structures
+(BTBs, footprints, streaming history) and answers a small set of
+questions:
+
+* ``lookup(pc, now)`` — does the front-end know the branch ending the
+  basic block at ``pc``?
+* ``miss_policy`` — what happens on a BTB miss (speculate straight-line,
+  stall and fill reactively, or discover at execute)?
+* fill/record hooks — demand fills, reactive fills from a predecoded
+  line, proactive fills on prefetch arrival, retire-time recording.
+* prefetch hooks — spatial-footprint bulk prefetches (Shotgun) and
+  fetch-triggered stream prefetches (Confluence).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa import BranchKind
+
+
+class MissPolicy(enum.Enum):
+    """What the BPU does when every BTB structure misses."""
+
+    #: Discover the branch at execute; flush if it was taken (baseline).
+    FLUSH_AT_EXECUTE = "flush"
+    #: Assume straight-line code and keep going (original FDIP [15]).
+    SPECULATE_FALLTHROUGH = "speculate"
+    #: Stall the BPU and fill the entry from the cache hierarchy
+    #: (Boomerang [13]; Shotgun's fallback).
+    STALL_FILL = "stall_fill"
+
+
+@dataclass(frozen=True)
+class LookupHit:
+    """A successful BTB lookup, normalised across structures.
+
+    ``target`` is 0 for returns (their target comes from the RAS).
+    ``source`` names the structure that hit, for statistics.
+    """
+
+    ninstr: int
+    kind: BranchKind
+    target: int
+    source: str
+
+
+class Scheme:
+    """Base class for control-flow delivery schemes.
+
+    Subclasses override the hooks they need; the defaults describe a
+    scheme with no metadata at all (never hits, discovers branches at
+    execute, issues no extra prefetches).
+    """
+
+    #: Scheme identifier used in reports.
+    name: str = "abstract"
+    #: Whether the BPU runs ahead of fetch through an FTQ (FDIP-style).
+    runahead: bool = False
+    #: Perfect front-end flag (Figure 1's "Ideal").
+    ideal: bool = False
+    #: BTB-miss behaviour of the run-ahead BPU.
+    miss_policy: MissPolicy = MissPolicy.FLUSH_AT_EXECUTE
+
+    # -- lookups -------------------------------------------------------
+
+    def lookup(self, pc: int, now: float) -> Optional[LookupHit]:
+        """BTB lookup for the basic block starting at *pc*."""
+        return None
+
+    # -- fills ---------------------------------------------------------
+
+    def demand_fill(self, pc: int, ninstr: int, kind: BranchKind,
+                    target: int, now: float) -> None:
+        """Install a branch discovered at execute (baseline/FDIP path)."""
+
+    def reactive_fill_install(self, pc: int, ninstr: int, kind: BranchKind,
+                              target: int, line: int, now: float) -> None:
+        """Install the missing branch after a reactive line fetch, and
+        stage the line's other branches (Boomerang's predecode fill)."""
+
+    def on_prefetch_arrival(self, line: int, ready: float) -> None:
+        """A prefetched line will arrive at *ready*; proactive predecode
+        fills (Shotgun's C-BTB, Confluence's BTB) hook in here."""
+
+    # -- prefetch generation --------------------------------------------
+
+    def region_prefetch(self, pc: int, hit: LookupHit, target: int,
+                        call_block_pc: int, now: float) -> List[int]:
+        """Extra lines to prefetch on an unconditional-branch hit.
+
+        *target* is the predicted target address; *call_block_pc* is the
+        associated call's basic-block address for returns (from the
+        extended RAS), or 0.
+        """
+        return []
+
+    def on_fetch_line(self, line: int, l1i_hit: bool,
+                      now: float) -> List[Tuple[int, float]]:
+        """Fetch-time trigger: returns ``(line, earliest_issue)`` prefetch
+        requests (Confluence's temporal stream)."""
+        return []
+
+    # -- retirement ------------------------------------------------------
+
+    def on_retire(self, pc: int, ninstr: int, kind: BranchKind, taken: bool,
+                  target: int, now: float) -> None:
+        """Observe the retire stream (footprint recording, history)."""
+
+    # -- accounting -------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Metadata storage consumed by the scheme's BTB structures."""
+        return 0

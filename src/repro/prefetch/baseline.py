@@ -1,0 +1,57 @@
+"""No-prefetch baseline and the ideal front-end.
+
+The baseline is the denominator of every figure in the paper: a
+conventional 2K-entry BTB, no FTQ run-ahead, demand-fetched L1-I.  BTB
+misses on taken branches are discovered at execute and flush the pipeline;
+L1-I misses stall for the full fill latency.
+
+The ideal front-end (Figure 1) never misses in the L1-I or the BTB;
+only direction mispredictions remain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import BranchKind
+from repro.prefetch.base import LookupHit, MissPolicy, Scheme
+from repro.uarch.btb import ConventionalBTB
+
+
+class BaselineScheme(Scheme):
+    """Conventional core front-end without any prefetching."""
+
+    name = "baseline"
+    runahead = False
+    miss_policy = MissPolicy.FLUSH_AT_EXECUTE
+
+    def __init__(self, btb_entries: int = 2048, btb_assoc: int = 4) -> None:
+        self.btb = ConventionalBTB(entries=btb_entries, assoc=btb_assoc)
+
+    def lookup(self, pc: int, now: float) -> Optional[LookupHit]:
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            return None
+        return LookupHit(ninstr=entry.ninstr, kind=entry.kind,
+                         target=entry.target, source="btb")
+
+    def demand_fill(self, pc: int, ninstr: int, kind: BranchKind,
+                    target: int, now: float) -> None:
+        self.btb.insert_branch(pc, ninstr, kind, target)
+
+    def storage_bits(self) -> int:
+        return self.btb.storage_bits()
+
+
+class IdealScheme(Scheme):
+    """Perfect L1-I and BTB: the upper bound of front-end prefetching.
+
+    The engine special-cases ``ideal`` schemes: every L1-I access hits and
+    every branch is known with its correct target, so the only front-end
+    stalls left are direction-misprediction flushes.
+    """
+
+    name = "ideal"
+    runahead = False
+    ideal = True
+    miss_policy = MissPolicy.FLUSH_AT_EXECUTE

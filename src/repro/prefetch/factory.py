@@ -1,0 +1,123 @@
+"""Scheme construction from a :class:`repro.config.SchemeConfig`.
+
+``build_scheme`` is the one place that knows how to wire predecoders,
+structure sizes and footprint codecs together, so experiments and
+examples construct schemes uniformly by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cfg.generator import GeneratedProgram
+from repro.config import MicroarchParams, SchemeConfig
+from repro.config.schemes import ShotgunSizes
+from repro.errors import ConfigError
+from repro.prefetch.base import Scheme
+from repro.prefetch.baseline import BaselineScheme, IdealScheme
+from repro.prefetch.boomerang import BoomerangScheme
+from repro.prefetch.confluence import ConfluenceScheme
+from repro.prefetch.fdip import FdipScheme
+from repro.prefetch.footprint import FootprintCodec
+from repro.prefetch.rdip import RdipScheme
+from repro.prefetch.shotgun import ShotgunScheme
+from repro.uarch.predecoder import Predecoder
+
+
+def _build_baseline(params: MicroarchParams, config: SchemeConfig,
+                    generated: GeneratedProgram) -> Scheme:
+    return BaselineScheme(btb_entries=config.btb_entries,
+                          btb_assoc=params.btb_assoc)
+
+
+def _build_ideal(params: MicroarchParams, config: SchemeConfig,
+                 generated: GeneratedProgram) -> Scheme:
+    return IdealScheme()
+
+
+def _build_fdip(params: MicroarchParams, config: SchemeConfig,
+                generated: GeneratedProgram) -> Scheme:
+    return FdipScheme(btb_entries=config.btb_entries,
+                      btb_assoc=params.btb_assoc)
+
+
+def _build_boomerang(params: MicroarchParams, config: SchemeConfig,
+                     generated: GeneratedProgram) -> Scheme:
+    return BoomerangScheme(
+        predecoder=Predecoder(generated.program.image),
+        btb_entries=config.btb_entries,
+        btb_assoc=params.btb_assoc,
+        prefetch_buffer_entries=params.btb_prefetch_buffer,
+    )
+
+
+def _build_confluence(params: MicroarchParams, config: SchemeConfig,
+                      generated: GeneratedProgram) -> Scheme:
+    return ConfluenceScheme(
+        predecoder=Predecoder(generated.program.image),
+        btb_entries=16384,
+        btb_assoc=params.btb_assoc,
+        history_entries=config.confluence_history_entries,
+        index_entries=config.confluence_index_entries,
+        lookahead=config.confluence_stream_lookahead,
+        # A stream restart serialises two LLC round trips: the index-table
+        # lookup, then the history-buffer read (both virtualised into the
+        # LLC by SHIFT).
+        metadata_latency=2.0 * params.llc_latency,
+        predecode_latency=float(params.predecode_latency),
+    )
+
+
+def _build_rdip(params: MicroarchParams, config: SchemeConfig,
+                generated: GeneratedProgram) -> Scheme:
+    return RdipScheme(btb_entries=config.btb_entries,
+                      btb_assoc=params.btb_assoc)
+
+
+def _build_shotgun(params: MicroarchParams, config: SchemeConfig,
+                   generated: GeneratedProgram) -> Scheme:
+    codec = FootprintCodec(mode=config.footprint_mode,
+                           bits=config.footprint_bits,
+                           fixed_blocks=config.fixed_blocks)
+    sizes: ShotgunSizes = config.shotgun_sizes
+    return ShotgunScheme(
+        predecoder=Predecoder(generated.program.image),
+        sizes=sizes,
+        codec=codec,
+        btb_assoc=params.btb_assoc,
+        prefetch_buffer_entries=params.btb_prefetch_buffer,
+        predecode_latency=float(params.predecode_latency),
+    )
+
+
+SCHEME_FACTORIES: Dict[str, Callable[..., Scheme]] = {
+    "baseline": _build_baseline,
+    "ideal": _build_ideal,
+    "fdip": _build_fdip,
+    "boomerang": _build_boomerang,
+    "confluence": _build_confluence,
+    "rdip": _build_rdip,
+    "shotgun": _build_shotgun,
+}
+
+
+def build_scheme(name: str, params: MicroarchParams,
+                 generated: GeneratedProgram,
+                 config: Optional[SchemeConfig] = None) -> Scheme:
+    """Construct the scheme *name* against a generated program.
+
+    Args:
+        name: one of ``SCHEME_FACTORIES``.
+        params: microarchitectural parameters.
+        generated: the program whose binary image predecoders consult.
+        config: scheme configuration; defaults to ``SchemeConfig()``.
+    """
+    key = name.lower()
+    if key not in SCHEME_FACTORIES:
+        raise ConfigError(
+            f"unknown scheme {name!r}; choose from "
+            f"{sorted(SCHEME_FACTORIES)}"
+        )
+    if config is None:
+        config = SchemeConfig(name=key)
+    return SCHEME_FACTORIES[key](params, config, generated)

@@ -1,0 +1,45 @@
+"""Fetch-directed instruction prefetching (Reinman, Calder & Austin [15]).
+
+FDIP decouples the branch prediction unit from fetch with an FTQ and
+prefetches the L1-I blocks of every predicted fetch address.  Its BTB-miss
+policy is to *speculate straight-line* (Section 3.2): when the BTB does
+not know about a branch, the BPU simply keeps enqueuing sequential code.
+That is harmless for not-taken conditionals but sends the prefetcher down
+the wrong path whenever the missing branch was a taken (especially an
+unconditional) control transfer, and the front-end only recovers at
+execute time.  FDIP does not prefill the BTB; entries are learned at
+execute (demand fill).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import BranchKind
+from repro.prefetch.base import LookupHit, MissPolicy, Scheme
+from repro.uarch.btb import ConventionalBTB
+
+
+class FdipScheme(Scheme):
+    """Original FDIP: run-ahead prefetching, speculate through BTB misses."""
+
+    name = "fdip"
+    runahead = True
+    miss_policy = MissPolicy.SPECULATE_FALLTHROUGH
+
+    def __init__(self, btb_entries: int = 2048, btb_assoc: int = 4) -> None:
+        self.btb = ConventionalBTB(entries=btb_entries, assoc=btb_assoc)
+
+    def lookup(self, pc: int, now: float) -> Optional[LookupHit]:
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            return None
+        return LookupHit(ninstr=entry.ninstr, kind=entry.kind,
+                         target=entry.target, source="btb")
+
+    def demand_fill(self, pc: int, ninstr: int, kind: BranchKind,
+                    target: int, now: float) -> None:
+        self.btb.insert_branch(pc, ninstr, kind, target)
+
+    def storage_bits(self) -> int:
+        return self.btb.storage_bits()

@@ -1,0 +1,167 @@
+"""Spatial footprints: encoding, decoding and retire-time recording.
+
+Section 4.2.2 of the paper: a spatial footprint summarises which cache
+blocks a code region touched, as a short bit vector of line offsets
+relative to the region's entry (target) line.  The paper's 8-bit format
+devotes 6 bits to blocks *after* the target and 2 to blocks *before* it.
+
+The codec also implements the ablation formats of Section 6.3:
+
+* ``none`` — no region prefetching.
+* ``bitvector`` — the paper's format, 8 or 32 bits.
+* ``entire_region`` — record only entry/exit offsets, prefetch everything
+  between them (over-prefetches untouched blocks).
+* ``fixed_blocks`` — metadata-free: always prefetch N consecutive blocks
+  from the target ("5-Blocks" design point).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Widest offset magnitude the entire-region packing can express.
+_REGION_CLAMP = 127
+
+
+def _split_bits(bits: int) -> Tuple[int, int]:
+    """Bits after/before the target line for a bit-vector width.
+
+    The paper's 8-bit vector uses 6 after + 2 before; wider vectors keep
+    the same 3:1 proportion.
+    """
+    after = bits * 3 // 4
+    return after, bits - after
+
+
+class FootprintCodec:
+    """Encode/decode spatial footprints in one of the four formats."""
+
+    MODES = ("none", "bitvector", "entire_region", "fixed_blocks")
+
+    def __init__(self, mode: str = "bitvector", bits: int = 8,
+                 fixed_blocks: int = 5) -> None:
+        if mode not in self.MODES:
+            raise ConfigError(f"unknown footprint mode {mode!r}")
+        if mode == "bitvector" and bits < 2:
+            raise ConfigError("bit vector needs at least 2 bits")
+        if mode == "fixed_blocks" and fixed_blocks < 1:
+            raise ConfigError("fixed_blocks needs at least 1 block")
+        self.mode = mode
+        self.bits = bits
+        self.fixed_blocks = fixed_blocks
+        self.after_bits, self.before_bits = _split_bits(bits)
+
+    # -- encoding ------------------------------------------------------
+
+    def encode(self, offsets: Iterable[int]) -> int:
+        """Encode accessed line offsets (relative to the target line).
+
+        Offset 0 (the target line itself) is implicit and never encoded;
+        offsets outside the representable range are dropped, exactly as a
+        narrow hardware vector would lose them.
+        """
+        if self.mode in ("none", "fixed_blocks"):
+            return 0
+        if self.mode == "entire_region":
+            lo = hi = 0
+            for offset in offsets:
+                clamped = max(-_REGION_CLAMP, min(_REGION_CLAMP, offset))
+                lo = min(lo, clamped)
+                hi = max(hi, clamped)
+            return ((hi & 0xFF) << 8) | (lo & 0xFF)
+        mask = 0
+        for offset in offsets:
+            bit = self._bit_for_offset(offset)
+            if bit is not None:
+                mask |= 1 << bit
+        return mask
+
+    def _bit_for_offset(self, offset: int) -> Optional[int]:
+        if 1 <= offset <= self.after_bits:
+            return offset - 1
+        if -self.before_bits <= offset <= -1:
+            return self.after_bits + (-offset) - 1
+        return None
+
+    # -- decoding ------------------------------------------------------
+
+    def prefetch_offsets(self, footprint: int) -> List[int]:
+        """Line offsets (relative to the target line) to prefetch.
+
+        Offset 0 is always included: the target block itself is prefetched
+        on every U-BTB/RIB hit regardless of format.
+        """
+        if self.mode == "none":
+            return [0]
+        if self.mode == "fixed_blocks":
+            return list(range(0, self.fixed_blocks))
+        if self.mode == "entire_region":
+            lo = _sign_extend(footprint & 0xFF)
+            hi = _sign_extend((footprint >> 8) & 0xFF)
+            return list(range(lo, hi + 1)) or [0]
+        offsets = [0]
+        for bit in range(self.after_bits):
+            if footprint & (1 << bit):
+                offsets.append(bit + 1)
+        for bit in range(self.before_bits):
+            if footprint & (1 << (self.after_bits + bit)):
+                offsets.append(-(bit + 1))
+        return offsets
+
+    def storage_bits_per_footprint(self) -> int:
+        """Metadata bits each footprint costs in a U-BTB entry."""
+        if self.mode == "bitvector":
+            return self.bits
+        if self.mode == "entire_region":
+            return 16  # packed entry/exit offsets
+        return 0
+
+
+def _sign_extend(byte: int) -> int:
+    return byte - 256 if byte >= 128 else byte
+
+
+class RegionRecorder:
+    """Retire-stream spatial-footprint recorder (Section 4.2.2).
+
+    A recording opens when an unconditional branch retires and closes at
+    the next unconditional branch.  While open, the recorder accumulates
+    the line offsets (relative to the region's entry line) of every block
+    the region touched; on close it hands the encoded footprint to the
+    ``store`` callback registered at open time.
+    """
+
+    def __init__(self, codec: FootprintCodec) -> None:
+        self.codec = codec
+        self._entry_line: Optional[int] = None
+        self._offsets: Dict[int, None] = {}
+        self._store: Optional[Callable[[int], None]] = None
+        self.regions_recorded = 0
+
+    def open(self, entry_line: int, store: Callable[[int], None]) -> None:
+        """Close any active recording, then start a new region."""
+        self.close()
+        self._entry_line = entry_line
+        self._offsets = {}
+        self._store = store
+
+    def access(self, line: int) -> None:
+        """Record an access to *line* inside the active region."""
+        if self._entry_line is None:
+            return
+        offset = line - self._entry_line
+        if offset != 0:
+            self._offsets[offset] = None
+
+    def close(self) -> None:
+        """Finish the active region and store its encoded footprint."""
+        if self._entry_line is None:
+            return
+        if self._store is not None:
+            self._store(self.codec.encode(self._offsets.keys()))
+            self.regions_recorded += 1
+        self._entry_line = None
+        self._offsets = {}
+        self._store = None

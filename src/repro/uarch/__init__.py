@@ -1,0 +1,39 @@
+"""Microarchitectural structures used by the front-end engine.
+
+Everything the paper's Figure 5a names is here: the conventional
+basic-block BTB, Shotgun's U-BTB/C-BTB/RIB, the return address stack (with
+Shotgun's call-block extension), the fetch target queue, the predecoder,
+the branch direction predictor (TAGE) and the cache/NoC substrate.
+"""
+
+from repro.uarch.cache import PrefetchBuffer, SetAssocCache
+from repro.uarch.btb import BTBEntry, ConventionalBTB, BTBPrefetchBuffer
+from repro.uarch.shotgun_btb import CBTB, RIB, UBTB, CBTBEntry, RIBEntry, \
+    UBTBEntry
+from repro.uarch.ras import RASEntry, ReturnAddressStack
+from repro.uarch.ftq import FetchTargetQueue, FTQEntry
+from repro.uarch.predecoder import Predecoder
+from repro.uarch.tage import BimodalPredictor, TagePredictor
+from repro.uarch.interconnect import NocModel
+
+__all__ = [
+    "PrefetchBuffer",
+    "SetAssocCache",
+    "BTBEntry",
+    "ConventionalBTB",
+    "BTBPrefetchBuffer",
+    "CBTB",
+    "RIB",
+    "UBTB",
+    "CBTBEntry",
+    "RIBEntry",
+    "UBTBEntry",
+    "RASEntry",
+    "ReturnAddressStack",
+    "FetchTargetQueue",
+    "FTQEntry",
+    "Predecoder",
+    "BimodalPredictor",
+    "TagePredictor",
+    "NocModel",
+]

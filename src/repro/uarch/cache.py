@@ -1,0 +1,129 @@
+"""Set-associative caches and the L1-I prefetch buffer.
+
+Caches are keyed by *line index* (byte address >> log2(line size)); the
+caller performs the shift once.  LRU is tracked with a monotonically
+increasing access stamp per set, which is O(assoc) on eviction — cheap for
+the associativities in play (2-16).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+class SetAssocCache:
+    """A set-associative, LRU, line-granular cache.
+
+    Args:
+        capacity_bytes: total capacity.
+        assoc: ways per set.
+        line_bytes: line size (used only to derive the set count).
+    """
+
+    def __init__(self, capacity_bytes: int, assoc: int,
+                 line_bytes: int = 64) -> None:
+        if capacity_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigError("cache parameters must be positive")
+        lines = capacity_bytes // line_bytes
+        if lines % assoc:
+            raise ConfigError(
+                f"capacity {capacity_bytes} not divisible into {assoc} ways"
+            )
+        self.n_sets = lines // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError(f"set count must be a power of two, "
+                              f"got {self.n_sets}")
+        self.assoc = assoc
+        self._set_mask = self.n_sets - 1
+        # Per set: {line_index: last_access_stamp}.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line: int) -> Dict[int, int]:
+        return self._sets[line & self._set_mask]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for *line*; updates LRU and hit/miss counters."""
+        cache_set = self._set_of(line)
+        self._stamp += 1
+        if line in cache_set:
+            cache_set[line] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without disturbing LRU or counters."""
+        return line in self._set_of(line)
+
+    def insert(self, line: int) -> Optional[int]:
+        """Install *line*; returns the evicted line index, if any."""
+        cache_set = self._set_of(line)
+        self._stamp += 1
+        if line in cache_set:
+            cache_set[line] = self._stamp
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[line] = self._stamp
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Remove *line* if present; returns whether it was present."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+
+class PrefetchBuffer:
+    """FIFO buffer holding prefetched lines until first demand use.
+
+    Mirrors the paper's 64-entry L1-I prefetch buffer (Table 3):
+    prefetched lines are staged here and promoted to the L1-I on first
+    demand access, so useless prefetches never pollute the cache proper.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ConfigError("prefetch buffer needs at least one entry")
+        self.entries = entries
+        self._lines: "OrderedDict[int, bool]" = OrderedDict()
+        self.evicted_unused = 0
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def insert(self, line: int) -> None:
+        """Stage a prefetched line, evicting the oldest if full."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return
+        if len(self._lines) >= self.entries:
+            _, used = self._lines.popitem(last=False)
+            if not used:
+                self.evicted_unused += 1
+        self._lines[line] = False
+
+    def consume(self, line: int) -> bool:
+        """Demand-promote *line* out of the buffer; True if it was staged."""
+        if line in self._lines:
+            del self._lines[line]
+            return True
+        return False

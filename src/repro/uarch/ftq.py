@@ -1,0 +1,69 @@
+"""Fetch target queue (FTQ).
+
+The FTQ decouples the branch prediction unit from the fetch engine
+(FDIP, Section 2.2): the BPU inserts predicted fetch addresses, the fetch
+engine consumes them, and every insertion is a natural prefetch trigger.
+The engine models FTQ *timing* with its two-pointer walk; this class
+provides the capacity/occupancy bookkeeping and is what tests exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FTQEntry:
+    """One FTQ slot: a predicted basic block and its enqueue time."""
+
+    index: int
+    pc: int
+    ninstr: int
+    enqueue_time: float
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of predicted fetch targets."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ConfigError("FTQ capacity must be positive")
+        self.capacity = capacity
+        self._queue: Deque[FTQEntry] = deque()
+        self.max_occupancy = 0
+        self.enqueues = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, entry: FTQEntry) -> None:
+        """Append an entry; raises if the queue is full."""
+        if self.full:
+            raise ConfigError("push into a full FTQ")
+        self._queue.append(entry)
+        self.enqueues += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+
+    def pop(self) -> Optional[FTQEntry]:
+        """Remove and return the oldest entry, or None if empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def flush(self) -> int:
+        """Drop all entries (misprediction recovery); returns count."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped

@@ -1,0 +1,47 @@
+"""Predecoder: extract branch metadata from fetched cache lines.
+
+Both Boomerang's reactive BTB fill and Shotgun's proactive C-BTB fill rely
+on predecoding cache lines as they arrive at the L1-I (paper
+Sections 4.1-4.2.3).  In hardware the predecoder scans the line's
+instruction bytes; here it consults the program's binary image, which maps
+each line index to the static branches whose branch instruction lies in
+that line — the same information a hardware scanner would recover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cfg.model import StaticBranch
+from repro.errors import ProgramError
+from repro.isa import BranchKind
+
+
+class Predecoder:
+    """Line-indexed view of the program's static branches."""
+
+    def __init__(self, image: Dict[int, List[StaticBranch]]) -> None:
+        if image is None:
+            raise ProgramError("predecoder needs a program image")
+        self._image = image
+        self.lines_decoded = 0
+
+    def branches_in_line(self, line: int) -> Sequence[StaticBranch]:
+        """All static branches whose branch instruction is in *line*."""
+        self.lines_decoded += 1
+        return self._image.get(line, ())
+
+    def conditional_branches(self, line: int) -> List[StaticBranch]:
+        """Conditional branches in *line* (Shotgun's C-BTB fill path)."""
+        return [
+            branch for branch in self.branches_in_line(line)
+            if branch.kind == BranchKind.COND
+        ]
+
+    def find_block(self, line: int, block_pc: int) -> Optional[StaticBranch]:
+        """The static branch terminating the block at *block_pc*, if its
+        branch instruction lies in *line* (Boomerang's reactive fill)."""
+        for branch in self.branches_in_line(line):
+            if branch.block_pc == block_pc:
+                return branch
+        return None

@@ -1,0 +1,76 @@
+"""Return address stack, with Shotgun's call-block extension.
+
+Section 4.2.3: on a call, Shotgun pushes — in addition to the return
+address — the *basic-block address of the call* so that a later RIB hit
+can index the U-BTB and retrieve the Return Footprint.  The plain RAS is
+the same structure with the extra field ignored.
+
+The stack is a fixed-depth circular buffer: pushing beyond capacity
+overwrites the oldest entry (as real hardware does), so deeply nested
+call chains cause bottom-of-stack corruption and hence return
+mispredictions — a behaviour tests pin down explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RASEntry:
+    """One RAS entry: predicted return target + Shotgun's call-block pc."""
+
+    return_addr: int
+    call_block_pc: int
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return address stack."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ConfigError("RAS depth must be positive")
+        self.depth = depth
+        self._buffer: List[Optional[RASEntry]] = [None] * depth
+        self._top = 0          # index of the next free slot
+        self._live = 0         # number of valid entries (<= depth)
+        self.overflows = 0
+        self.underflows = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, return_addr: int, call_block_pc: int = 0) -> None:
+        """Push a return address (wrapping over the oldest if full)."""
+        if self._live == self.depth:
+            self.overflows += 1
+        else:
+            self._live += 1
+        self._buffer[self._top] = RASEntry(return_addr, call_block_pc)
+        self._top = (self._top + 1) % self.depth
+
+    def pop(self) -> Optional[RASEntry]:
+        """Pop the youngest entry; None (and an underflow) if empty."""
+        if self._live == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._live -= 1
+        entry = self._buffer[self._top]
+        self._buffer[self._top] = None
+        return entry
+
+    def peek(self) -> Optional[RASEntry]:
+        """Youngest entry without popping, or None if empty."""
+        if self._live == 0:
+            return None
+        return self._buffer[(self._top - 1) % self.depth]
+
+    def clear(self) -> None:
+        """Drop all entries (pipeline-flush recovery in simple designs)."""
+        self._buffer = [None] * self.depth
+        self._top = 0
+        self._live = 0

@@ -1,0 +1,102 @@
+"""Shotgun's specialised BTB organisation (paper Section 4.2.1).
+
+Three structures share the conventional BTB's storage budget:
+
+* :class:`UBTB` — unconditional branches (calls, jumps, trap entries) with
+  two spatial footprints per entry: one for the call/jump target region
+  and one for the *return* region of the corresponding call (stored with
+  the call because a return's target region is the caller's fall-through
+  region, Section 4.2.1).
+* :class:`RIB` — returns and trap returns; no target (comes from the RAS)
+  and no footprint (stored with the call), hence a slim 45-bit entry.
+* :class:`CBTB` — conditional branches of the currently-active regions,
+  filled proactively by the predecoder; entries carry a ``valid_from``
+  timestamp so that an entry inserted by an in-flight prefetch only
+  becomes visible once the line has actually arrived and been predecoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.schemes import (
+    cbtb_entry_bits,
+    rib_entry_bits,
+    ubtb_entry_bits,
+)
+from repro.isa import BranchKind
+from repro.uarch.btb import SetAssocTable
+
+
+@dataclass
+class UBTBEntry:
+    """U-BTB entry: tag/size/type/target plus two spatial footprints.
+
+    Footprints are stored as integer bitmasks over signed line offsets
+    relative to the target line; the encoding/decoding lives in
+    :mod:`repro.prefetch.footprint`, keeping this class a dumb container
+    the way hardware would be.
+    """
+
+    ninstr: int
+    kind: BranchKind
+    target: int
+    call_footprint: int = 0
+    ret_footprint: int = 0
+
+
+@dataclass
+class RIBEntry:
+    """RIB entry: only tag (implicit), size and return-type bit."""
+
+    ninstr: int
+    kind: BranchKind
+
+
+@dataclass
+class CBTBEntry:
+    """C-BTB entry: size, target offset and a proactive-fill timestamp."""
+
+    ninstr: int
+    target: int
+    valid_from: float = 0.0
+    direction: int = 2
+
+
+class UBTB(SetAssocTable[UBTBEntry]):
+    """Unconditional-branch BTB, the heart of Shotgun."""
+
+    def __init__(self, entries: int, assoc: int = 4,
+                 footprint_bits: int = 8) -> None:
+        super().__init__(entries, assoc)
+        self.footprint_bits = footprint_bits
+
+    def storage_bits(self) -> int:
+        return self.entries * ubtb_entry_bits(self.footprint_bits)
+
+
+class RIB(SetAssocTable[RIBEntry]):
+    """Return instruction buffer."""
+
+    def storage_bits(self) -> int:
+        return self.entries * rib_entry_bits()
+
+
+class CBTB(SetAssocTable[CBTBEntry]):
+    """Conditional-branch BTB with arrival-time-gated visibility."""
+
+    def lookup_at(self, pc: int, now: float) -> Optional[CBTBEntry]:
+        """Lookup that hides entries still in flight at time *now*.
+
+        A proactively-filled entry whose line has not yet arrived and been
+        predecoded behaves exactly like a miss, which is what the
+        front-end would observe.
+        """
+        entry = self.lookup(pc)
+        if entry is None or entry.valid_from > now:
+            return None
+        return entry
+
+    def storage_bits(self) -> int:
+        return self.entries * cbtb_entry_bits()

@@ -1,0 +1,3 @@
+"""Package version, kept separate so it can be imported without side effects."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,36 @@
+"""Workload profiles, trace generation and trace characterisation.
+
+The six profiles model the paper's workload suite (Table 2): Nutch (web
+search), Streaming (Darwin media streaming), Apache and Zeus (web
+front-ends), Oracle and DB2 (TPC-C OLTP).  Each profile is a calibrated
+:class:`repro.cfg.GeneratorParams` plus trace-time parameters; calibration
+targets the paper's own characterisation data (Table 1 BTB MPKI ordering,
+Figure 3 spatial locality, Figure 4 branch working-set curves).
+"""
+
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import TraceGenerator, generate_trace
+from repro.workloads.profiles import (
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.analysis import (
+    branch_coverage_curve,
+    btb_mpki,
+    region_access_distribution,
+    trace_summary,
+)
+
+__all__ = [
+    "Trace",
+    "TraceGenerator",
+    "generate_trace",
+    "WORKLOAD_NAMES",
+    "WorkloadProfile",
+    "get_profile",
+    "branch_coverage_curve",
+    "btb_mpki",
+    "region_access_distribution",
+    "trace_summary",
+]

@@ -1,0 +1,104 @@
+"""Command-line workload tools: generate, characterise and export traces.
+
+Usage::
+
+    python -m repro.workloads list
+    python -m repro.workloads characterize oracle --blocks 40000
+    python -m repro.workloads export db2 /tmp/db2.npz --blocks 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.reporting import format_table
+from repro.workloads.analysis import (
+    branch_coverage_curve,
+    btb_mpki,
+    region_access_distribution,
+    trace_summary,
+    unconditional_working_set,
+)
+from repro.workloads.profiles import (
+    WORKLOAD_NAMES,
+    build_program,
+    build_trace,
+    get_profile,
+)
+
+
+def _cmd_list() -> None:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        profile = get_profile(name)
+        params = profile.gen_params
+        rows.append([
+            name,
+            profile.description,
+            str(params.n_functions),
+            str(params.n_layers),
+            f"{profile.l1d_misses_per_kinstr:.0f}",
+        ])
+    print(format_table(
+        ["workload", "description", "functions", "layers", "L1-D mpki"],
+        rows,
+    ))
+
+
+def _cmd_characterize(workload: str, blocks: int) -> None:
+    profile = get_profile(workload)
+    generated = build_program(workload)
+    trace = build_trace(workload, blocks)
+    summary = trace_summary(trace)
+    cdf = region_access_distribution(trace)
+    _, coverage = branch_coverage_curve(trace, points=(1024, 2048, 4096))
+
+    print(f"{profile.description}")
+    print(f"  static code:       "
+          f"{generated.program.footprint_bytes // 1024} KB "
+          f"({generated.program.nfunctions} functions)")
+    print(f"  trace:             {summary.blocks} blocks, "
+          f"{summary.instructions} instructions")
+    print(f"  unique blocks:     {summary.unique_blocks}")
+    print(f"  uncond working set: {unconditional_working_set(trace)}")
+    print(f"  BTB MPKI (2K):     {btb_mpki(trace):.1f}")
+    print(f"  region locality:   {cdf[2]:.0%} within 2 blocks, "
+          f"{cdf[10]:.0%} within 10")
+    print(f"  2K hottest branches cover {coverage[1]:.0%} of the "
+          f"dynamic stream")
+
+
+def _cmd_export(workload: str, path: str, blocks: int) -> None:
+    trace = build_trace(workload, blocks)
+    trace.save(path)
+    print(f"wrote {len(trace)} blocks "
+          f"({trace.instruction_count} instructions) to {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Workload generation and characterisation tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the calibrated workload profiles")
+    for command in ("characterize", "export"):
+        cmd = sub.add_parser(command)
+        cmd.add_argument("workload", choices=WORKLOAD_NAMES)
+        cmd.add_argument("--blocks", type=int, default=30_000)
+        if command == "export":
+            cmd.add_argument("path")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "characterize":
+        _cmd_characterize(args.workload, args.blocks)
+    else:
+        _cmd_export(args.workload, args.path, args.blocks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Trace characterisation: the paper's Section 3 measurements.
+
+These functions regenerate the motivation data of the paper:
+
+* :func:`region_access_distribution` — Figure 3 (cumulative probability of
+  a cache-block access vs. its distance from the region entry point).
+* :func:`branch_coverage_curve` — Figure 4 (dynamic branch coverage of the
+  N hottest static branches, all vs. unconditional-only).
+* :func:`btb_mpki` — Table 1 (BTB misses per kilo-instruction of a
+  conventional 2K-entry BTB without prefetching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa import BLOCK_SHIFT, BranchKind
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a trace."""
+
+    blocks: int
+    instructions: int
+    unique_blocks: int
+    unique_lines: int
+    branch_mix: Dict[str, float]
+
+    @property
+    def mean_block_instrs(self) -> float:
+        return self.instructions / self.blocks
+
+
+def trace_summary(trace: Trace) -> TraceSummary:
+    """Compute aggregate statistics for *trace*."""
+    kinds, counts = np.unique(trace.kind, return_counts=True)
+    total = counts.sum()
+    mix = {
+        BranchKind(int(k)).name.lower(): float(c) / total
+        for k, c in zip(kinds, counts)
+    }
+    return TraceSummary(
+        blocks=len(trace),
+        instructions=trace.instruction_count,
+        unique_blocks=int(np.unique(trace.pc).size),
+        unique_lines=int(np.unique(trace.pc >> BLOCK_SHIFT).size),
+        branch_mix=mix,
+    )
+
+
+def region_access_distribution(
+    trace: Trace, max_distance: int = 16
+) -> np.ndarray:
+    """Cumulative access probability vs. distance from region entry.
+
+    A *code region* is the dynamic span between two unconditional branches
+    (Section 3.1).  For every block executed inside a region we measure the
+    cache-line distance of its start line from the region's entry line (the
+    target line of the opening unconditional branch) and accumulate a
+    distribution.
+
+    Returns an array ``cdf`` of length ``max_distance + 2``: ``cdf[d]`` is
+    the probability that an access lies within ``d`` lines of the entry
+    point for ``d <= max_distance``; the final element is always 1.0 and
+    covers the ``> max_distance`` tail (the paper's ">16" bucket).
+    """
+    lines = trace.pc.astype(np.int64) >> BLOCK_SHIFT
+    uncond = trace.kind != int(BranchKind.COND)
+
+    # Region id of each block: regions open on the block *after* an
+    # unconditional branch.  Block 0 precedes any opening branch, so ids
+    # start at 0 and blocks with id 0 are discarded below.
+    region_id = np.zeros(len(trace), dtype=np.int64)
+    region_id[1:] = np.cumsum(uncond[:-1])
+
+    # Entry line of region r (r >= 1) is the target line of the r-th
+    # unconditional branch.
+    entry_lines = trace.target[uncond] >> BLOCK_SHIFT
+    valid = region_id >= 1
+    distances = np.abs(
+        lines[valid] - entry_lines[region_id[valid] - 1]
+    )
+
+    histogram = np.bincount(
+        np.minimum(distances, max_distance + 1),
+        minlength=max_distance + 2,
+    ).astype(np.float64)
+    total = histogram.sum()
+    if total == 0:
+        raise ValueError("trace has no region-interior accesses")
+    return np.cumsum(histogram) / total
+
+
+def branch_coverage_curve(
+    trace: Trace,
+    points: Sequence[int] = (1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192),
+    unconditional_only: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dynamic branch coverage of the N hottest static branches (Fig. 4).
+
+    Returns ``(points, coverage)`` where ``coverage[i]`` is the fraction of
+    dynamic branch executions accounted for by the ``points[i]`` hottest
+    static branches.  With ``unconditional_only`` the population is
+    restricted to unconditional branches (numerator and denominator), as
+    in the paper's "(Unconditional branches)" series.
+    """
+    if unconditional_only:
+        mask = trace.kind != int(BranchKind.COND)
+        population = trace.pc[mask]
+    else:
+        population = trace.pc
+    _, counts = np.unique(population, return_counts=True)
+    counts.sort()
+    counts = counts[::-1]
+    total = counts.sum()
+    cumulative = np.cumsum(counts)
+    xs = np.asarray(list(points), dtype=np.int64)
+    coverage = np.empty(len(xs), dtype=np.float64)
+    for i, x in enumerate(xs):
+        if x >= len(cumulative):
+            coverage[i] = 1.0
+        else:
+            coverage[i] = cumulative[x - 1] / total
+    return xs, coverage
+
+
+def btb_mpki(trace: Trace, entries: int = 2048, assoc: int = 4) -> float:
+    """BTB misses per kilo-instruction without prefetching (Table 1).
+
+    Replays the retire stream against a demand-filled conventional
+    basic-block BTB (all branch kinds share it, as in the baseline core).
+    """
+    from repro.uarch.btb import ConventionalBTB
+
+    btb = ConventionalBTB(entries=entries, assoc=assoc)
+    misses = 0
+    pcs = trace.pc
+    ninstrs = trace.ninstr
+    kinds = trace.kind
+    targets = trace.target
+    takens = trace.taken
+    for i in range(len(trace)):
+        pc = int(pcs[i])
+        if btb.lookup(pc) is None:
+            misses += 1
+            btb.insert_branch(pc, int(ninstrs[i]),
+                              BranchKind(int(kinds[i])),
+                              int(targets[i]) if takens[i] else 0)
+    return misses / (trace.instruction_count / 1000.0)
+
+
+def unconditional_working_set(trace: Trace) -> int:
+    """Number of distinct static unconditional branches executed."""
+    mask = trace.kind != int(BranchKind.COND)
+    return int(np.unique(trace.pc[mask]).size)

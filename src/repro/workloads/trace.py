@@ -1,0 +1,97 @@
+"""Retire-order basic-block traces.
+
+A :class:`Trace` stores one dynamic basic block per entry in parallel
+numpy arrays — the compact representation that keeps pure-Python
+simulation tractable (the paper's Flexus runs are replaced by reduced
+traces; see DESIGN.md).  Each entry records the block's start pc,
+instruction count, terminating-branch kind, taken flag and the address
+control flow actually continued at.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa import BlockRecord, BranchKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cfg.generator import GeneratedProgram
+
+
+class Trace:
+    """A retire-order trace of dynamic basic blocks.
+
+    Attributes:
+        pc: int64 array of block start addresses.
+        ninstr: int16 array of instruction counts.
+        kind: int8 array of :class:`repro.isa.BranchKind` values.
+        taken: bool array of branch outcomes.
+        target: int64 array of successor addresses (taken target or
+            fall-through).
+        generated: the :class:`GeneratedProgram` the trace was produced
+            from, used by predecoders for the binary image.
+    """
+
+    def __init__(self, pc: np.ndarray, ninstr: np.ndarray, kind: np.ndarray,
+                 taken: np.ndarray, target: np.ndarray,
+                 generated: Optional["GeneratedProgram"] = None) -> None:
+        n = len(pc)
+        if not (len(ninstr) == len(kind) == len(taken) == len(target) == n):
+            raise TraceError("trace arrays must have equal length")
+        if n == 0:
+            raise TraceError("trace must contain at least one block")
+        self.pc = np.asarray(pc, dtype=np.int64)
+        self.ninstr = np.asarray(ninstr, dtype=np.int16)
+        self.kind = np.asarray(kind, dtype=np.int8)
+        self.taken = np.asarray(taken, dtype=bool)
+        self.target = np.asarray(target, dtype=np.int64)
+        self.generated = generated
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instructions in the trace."""
+        return int(self.ninstr.sum())
+
+    def record(self, i: int) -> BlockRecord:
+        """Materialise entry *i* as a :class:`BlockRecord`."""
+        return BlockRecord(
+            pc=int(self.pc[i]),
+            ninstr=int(self.ninstr[i]),
+            kind=BranchKind(int(self.kind[i])),
+            taken=bool(self.taken[i]),
+            target=int(self.target[i]),
+        )
+
+    def records(self) -> Iterator[BlockRecord]:
+        """Iterate all entries as :class:`BlockRecord` objects (slow path;
+        the engine reads the arrays directly)."""
+        for i in range(len(self)):
+            yield self.record(i)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A view-backed sub-trace covering ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise TraceError(f"bad slice [{start}, {stop}) of {len(self)}")
+        return Trace(self.pc[start:stop], self.ninstr[start:stop],
+                     self.kind[start:stop], self.taken[start:stop],
+                     self.target[start:stop], self.generated)
+
+    def save(self, path: str) -> None:
+        """Persist the trace arrays (without the program) to an .npz file."""
+        np.savez_compressed(path, pc=self.pc, ninstr=self.ninstr,
+                            kind=self.kind, taken=self.taken,
+                            target=self.target)
+
+    @classmethod
+    def load(cls, path: str,
+             generated: Optional["GeneratedProgram"] = None) -> "Trace":
+        """Load a trace saved with :meth:`save`."""
+        data = np.load(path)
+        return cls(data["pc"], data["ninstr"], data["kind"], data["taken"],
+                   data["target"], generated)

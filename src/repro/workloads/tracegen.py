@@ -1,0 +1,142 @@
+"""Execution of a generated program into a retire-order trace.
+
+The trace generator is the package's stand-in for the paper's Flexus
+full-system runs: it walks the layered call graph request by request,
+resolving conditional outcomes from each branch's behaviour model,
+call/trap targets from the static call graph (indirect sites draw among
+their candidates), and returns from an explicit software call stack.
+
+Determinism: a given (program, seed, length) triple always produces the
+same trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cfg.generator import GeneratedProgram
+from repro.cfg.model import CondBehavior
+from repro.errors import TraceError
+from repro.isa import BranchKind
+from repro.workloads.trace import Trace
+
+
+class TraceGenerator:
+    """Stateful executor of a :class:`GeneratedProgram`.
+
+    The generator can be advanced incrementally (``run(n)``), which the
+    experiment layer uses to produce warm-up prefixes and measurement
+    windows from a single deterministic stream.
+    """
+
+    def __init__(self, generated: GeneratedProgram, seed: int = 1) -> None:
+        self.generated = generated
+        self.program = generated.program
+        self._rng = np.random.default_rng(seed)
+        # (fid, block-index) resume points for returns.
+        self._stack: List[Tuple[int, int]] = []
+        # Loop/alternate per-branch counters, keyed by (fid, block index).
+        self._counters: Dict[Tuple[int, int], int] = {}
+        self._fid = self._pick_root()
+        self._bidx = 0
+
+    def _pick_root(self) -> int:
+        roots = self.generated.roots
+        weights = self.generated.root_weights
+        return int(roots[self._rng.choice(len(roots), p=weights)])
+
+    def _cond_taken(self, fid: int, bidx: int, behavior: CondBehavior,
+                    param: float) -> bool:
+        if behavior == CondBehavior.BIASED:
+            return bool(self._rng.random() < param)
+        key = (fid, bidx)
+        count = self._counters.get(key, 0)
+        if behavior == CondBehavior.LOOP:
+            trips = max(2, int(param))
+            if count + 1 < trips:
+                self._counters[key] = count + 1
+                return True
+            self._counters[key] = 0
+            return False
+        # ALTERNATE
+        self._counters[key] = count ^ 1
+        return count == 0
+
+    def run(self, n_blocks: int) -> Trace:
+        """Execute *n_blocks* dynamic basic blocks and return the trace."""
+        if n_blocks < 1:
+            raise TraceError(f"n_blocks must be >= 1, got {n_blocks}")
+        pcs = np.empty(n_blocks, dtype=np.int64)
+        ninstrs = np.empty(n_blocks, dtype=np.int16)
+        kinds = np.empty(n_blocks, dtype=np.int8)
+        takens = np.empty(n_blocks, dtype=bool)
+        targets = np.empty(n_blocks, dtype=np.int64)
+
+        functions = self.program.functions
+        for i in range(n_blocks):
+            function = functions[self._fid]
+            block = function.blocks[self._bidx]
+            pc = function.block_addr(self._bidx)
+            kind = block.kind
+
+            pcs[i] = pc
+            ninstrs[i] = block.ninstr
+            kinds[i] = int(kind)
+
+            if kind == BranchKind.COND:
+                taken = self._cond_taken(self._fid, self._bidx,
+                                         block.behavior,
+                                         block.behavior_param)
+                if taken:
+                    next_bidx = block.taken_succ
+                else:
+                    next_bidx = self._bidx + 1
+                target = function.block_addr(next_bidx)
+                takens[i] = taken
+                targets[i] = target
+                self._bidx = next_bidx
+            elif kind == BranchKind.JUMP:
+                next_bidx = block.taken_succ
+                target = function.block_addr(next_bidx)
+                takens[i] = True
+                targets[i] = target
+                self._bidx = next_bidx
+            elif kind in (BranchKind.CALL, BranchKind.TRAP):
+                callees = block.callees
+                if len(callees) == 1:
+                    callee = callees[0]
+                else:
+                    callee = callees[int(self._rng.integers(0, len(callees)))]
+                self._stack.append((self._fid, self._bidx + 1))
+                target = functions[callee].base_addr
+                takens[i] = True
+                targets[i] = target
+                self._fid = callee
+                self._bidx = 0
+            else:  # RET or TRAP_RET
+                takens[i] = True
+                if self._stack:
+                    self._fid, self._bidx = self._stack.pop()
+                else:
+                    # Request complete: dispatch the next request type.
+                    self._fid = self._pick_root()
+                    self._bidx = 0
+                targets[i] = functions[self._fid].block_addr(self._bidx)
+
+        return Trace(pcs, ninstrs, kinds, takens, targets, self.generated)
+
+
+def generate_trace(generated: GeneratedProgram, n_blocks: int,
+                   seed: int = 1, warmup_blocks: int = 0) -> Trace:
+    """One-shot trace generation, with an optional discarded warm-up.
+
+    The warm-up prefix lets the executor settle into its steady-state mix
+    of request types before the measured window begins (the paper's SMARTS
+    methodology similarly warms structures before measuring).
+    """
+    generator = TraceGenerator(generated, seed=seed)
+    if warmup_blocks > 0:
+        generator.run(warmup_blocks)
+    return generator.run(n_blocks)

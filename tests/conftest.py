@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic programs and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.generator import GeneratorParams, generate_program
+from repro.config import MicroarchParams
+from repro.workloads.tracegen import generate_trace
+
+#: Small generator configuration used across the unit tests: big enough
+#: to exercise every branch kind, small enough to build in milliseconds.
+TINY_PARAMS = GeneratorParams(
+    n_functions=60,
+    n_layers=4,
+    n_roots=4,
+    median_blocks=6.0,
+    call_fraction=0.15,
+    trap_fraction=0.03,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_generated():
+    """A small generated program shared by the whole test session."""
+    return generate_program(TINY_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_generated):
+    """A 4000-block trace of the tiny program."""
+    return generate_trace(tiny_generated, 4000, seed=3, warmup_blocks=200)
+
+
+@pytest.fixture(scope="session")
+def medium_generated():
+    """A mid-sized program for engine-level behaviour tests."""
+    return generate_program(GeneratorParams(
+        n_functions=400, n_layers=6, n_roots=8, median_blocks=8.0,
+        call_fraction=0.14, trap_fraction=0.015, zipf_callee=0.7,
+        zipf_root=0.8, seed=77,
+    ))
+
+
+@pytest.fixture(scope="session")
+def medium_trace(medium_generated):
+    return generate_trace(medium_generated, 12_000, seed=5,
+                          warmup_blocks=1000)
+
+
+@pytest.fixture(scope="session")
+def params():
+    """Default Table 3 microarchitectural parameters."""
+    return MicroarchParams()

@@ -1,0 +1,139 @@
+"""Unit tests for trace characterisation (Figs. 3-4, Table 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.isa import BranchKind
+from repro.workloads.analysis import (
+    branch_coverage_curve,
+    btb_mpki,
+    region_access_distribution,
+    trace_summary,
+    unconditional_working_set,
+)
+from repro.workloads.trace import Trace
+
+
+def _trace(entries):
+    """Build a trace from (pc, ninstr, kind, taken, target) tuples."""
+    pcs, ninstrs, kinds, takens, targets = zip(*entries)
+    return Trace(
+        pc=np.array(pcs, dtype=np.int64),
+        ninstr=np.array(ninstrs, dtype=np.int16),
+        kind=np.array([int(k) for k in kinds], dtype=np.int8),
+        taken=np.array(takens),
+        target=np.array(targets, dtype=np.int64),
+    )
+
+
+class TestTraceSummary:
+    def test_counts(self, tiny_trace):
+        summary = trace_summary(tiny_trace)
+        assert summary.blocks == len(tiny_trace)
+        assert summary.instructions == tiny_trace.instruction_count
+        assert sum(summary.branch_mix.values()) == pytest.approx(1.0)
+        assert summary.mean_block_instrs > 1.0
+
+
+class TestRegionAccessDistribution:
+    def test_single_line_regions_all_at_zero(self):
+        # call -> region at 0x8000 (1 line), ret -> region at 0x1010.
+        trace = _trace([
+            (0x1000, 4, BranchKind.CALL, True, 0x8000),
+            (0x8000, 4, BranchKind.COND, False, 0x8010),
+            (0x8010, 4, BranchKind.RET, True, 0x1010),
+            (0x1010, 4, BranchKind.RET, True, 0x2000),
+        ])
+        cdf = region_access_distribution(trace, max_distance=4)
+        assert cdf[0] == pytest.approx(1.0)
+
+    def test_distant_access_lands_in_right_bucket(self):
+        # After the call, the region spans lines 0x8000>>6 and +2.
+        trace = _trace([
+            (0x1000, 4, BranchKind.CALL, True, 0x8000),
+            (0x8000, 4, BranchKind.COND, True, 0x8080),
+            (0x8080, 4, BranchKind.RET, True, 0x1010),
+        ])
+        cdf = region_access_distribution(trace, max_distance=4)
+        # Two region accesses: line +0 and line +2.
+        assert cdf[0] == pytest.approx(0.5)
+        assert cdf[1] == pytest.approx(0.5)
+        assert cdf[2] == pytest.approx(1.0)
+
+    def test_cdf_is_monotone_and_ends_at_one(self, tiny_trace):
+        cdf = region_access_distribution(tiny_trace)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_spatial_locality_of_generated_workload(self, tiny_trace):
+        """Figure 3's property on the synthetic workload."""
+        cdf = region_access_distribution(tiny_trace)
+        assert cdf[10] >= 0.85
+
+
+class TestBranchCoverageCurve:
+    def test_full_coverage_when_points_exceed_statics(self, tiny_trace):
+        _, coverage = branch_coverage_curve(tiny_trace, points=(10 ** 6,))
+        assert coverage[0] == pytest.approx(1.0)
+
+    def test_monotone_in_points(self, tiny_trace):
+        _, coverage = branch_coverage_curve(
+            tiny_trace, points=(64, 256, 1024)
+        )
+        assert (np.diff(coverage) >= 0).all()
+
+    def test_unconditional_curve_saturates_faster(self, medium_trace):
+        points = (128, 512)
+        _, all_cov = branch_coverage_curve(medium_trace, points)
+        _, unc_cov = branch_coverage_curve(medium_trace, points,
+                                           unconditional_only=True)
+        assert unc_cov[0] >= all_cov[0]
+
+    def test_hottest_first(self):
+        # One hot branch (3 executions), one cold (1): top-1 covers 75%.
+        trace = _trace([
+            (0x1000, 2, BranchKind.COND, True, 0x1000),
+            (0x1000, 2, BranchKind.COND, True, 0x1000),
+            (0x1000, 2, BranchKind.COND, True, 0x2000),
+            (0x2000, 2, BranchKind.RET, True, 0x1000),
+        ])
+        _, coverage = branch_coverage_curve(trace, points=(1,))
+        assert coverage[0] == pytest.approx(0.75)
+
+
+class TestBtbMpki:
+    def test_zero_misses_when_working_set_fits(self):
+        entries = [(0x1000, 4, BranchKind.COND, True, 0x1000)] * 100
+        trace = _trace(entries)
+        # One static branch: one compulsory miss.
+        mpki = btb_mpki(trace, entries=64, assoc=4)
+        assert mpki == pytest.approx(1000.0 / trace.instruction_count,
+                                     rel=0.01)
+
+    def test_thrashing_when_working_set_exceeds_btb(self):
+        # 64 distinct branches cycling through an 8-entry BTB: all miss.
+        entries = []
+        for _ in range(5):
+            for i in range(64):
+                pc = 0x1000 + i * 0x100
+                entries.append((pc, 4, BranchKind.COND, True, pc))
+        trace = _trace(entries)
+        mpki = btb_mpki(trace, entries=8, assoc=2)
+        expected = 1000.0 * len(entries) / trace.instruction_count
+        assert mpki == pytest.approx(expected, rel=0.05)
+
+    def test_mpki_decreases_with_btb_size(self, medium_trace):
+        small = btb_mpki(medium_trace, entries=256, assoc=4)
+        large = btb_mpki(medium_trace, entries=4096, assoc=4)
+        assert large <= small
+
+
+class TestUnconditionalWorkingSet:
+    def test_counts_distinct_unconditional_pcs(self):
+        trace = _trace([
+            (0x1000, 4, BranchKind.CALL, True, 0x8000),
+            (0x8000, 4, BranchKind.RET, True, 0x1010),
+            (0x1000, 4, BranchKind.CALL, True, 0x8000),
+            (0x8000, 4, BranchKind.RET, True, 0x1010),
+        ])
+        assert unconditional_working_set(trace) == 2

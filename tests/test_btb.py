@@ -1,0 +1,104 @@
+"""Unit tests for the conventional BTB and generic table machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.isa import BranchKind
+from repro.uarch.btb import (
+    BTBEntry,
+    BTBPrefetchBuffer,
+    ConventionalBTB,
+    SetAssocTable,
+)
+
+
+class TestSetAssocTable:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SetAssocTable(entries=10, assoc=4)
+        with pytest.raises(ConfigError):
+            SetAssocTable(entries=0, assoc=4)
+
+    def test_lookup_miss_returns_none(self):
+        table = SetAssocTable(entries=16, assoc=4)
+        assert table.lookup(0x1000) is None
+
+    def test_insert_lookup(self):
+        table = SetAssocTable(entries=16, assoc=4)
+        table.insert(0x1000, "payload")
+        assert table.lookup(0x1000) == "payload"
+
+    def test_lru_within_set(self):
+        table = SetAssocTable(entries=2, assoc=2)  # 1 set
+        table.insert(0x0, "a")
+        table.insert(0x4, "b")
+        table.lookup(0x0)
+        table.insert(0x8, "c")  # evicts 0x4
+        assert table.lookup(0x4) is None
+        assert table.lookup(0x0) == "a"
+
+    def test_peek_does_not_count(self):
+        table = SetAssocTable(entries=16, assoc=4)
+        table.insert(0x1000, "x")
+        table.peek(0x1000)
+        assert table.lookups == 0
+
+    def test_hit_rate(self):
+        table = SetAssocTable(entries=16, assoc=4)
+        table.insert(0x1000, "x")
+        table.lookup(0x1000)
+        table.lookup(0x2000)
+        assert table.hit_rate == pytest.approx(0.5)
+
+    def test_replace_existing(self):
+        table = SetAssocTable(entries=16, assoc=4)
+        table.insert(0x1000, "old")
+        table.insert(0x1000, "new")
+        assert table.lookup(0x1000) == "new"
+        assert table.occupancy() == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, pcs):
+        table = SetAssocTable(entries=8, assoc=2)
+        for pc in pcs:
+            table.insert(pc * 4, pc)
+        assert table.occupancy() <= 8
+
+
+class TestConventionalBTB:
+    def test_storage_follows_paper(self):
+        btb = ConventionalBTB(entries=2048, assoc=4)
+        assert btb.storage_bits() == 2048 * 93
+
+    def test_insert_branch(self):
+        btb = ConventionalBTB(entries=64, assoc=4)
+        btb.insert_branch(0x1000, 5, BranchKind.CALL, 0x9000)
+        entry = btb.lookup(0x1000)
+        assert entry.kind == BranchKind.CALL
+        assert entry.target == 0x9000
+        assert entry.ninstr == 5
+
+
+class TestBTBPrefetchBuffer:
+    def test_take_removes_and_counts(self):
+        buffer = BTBPrefetchBuffer(4)
+        buffer.insert(0x1000, BTBEntry(4, BranchKind.COND, 0x2000))
+        entry = buffer.take(0x1000)
+        assert entry is not None and entry.target == 0x2000
+        assert buffer.take(0x1000) is None
+        assert buffer.hits == 1
+
+    def test_fifo_capacity(self):
+        buffer = BTBPrefetchBuffer(2)
+        for i in range(3):
+            buffer.insert(0x1000 + i * 16,
+                          BTBEntry(4, BranchKind.COND, 0))
+        assert buffer.take(0x1000) is None      # oldest evicted
+        assert buffer.take(0x1010) is not None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            BTBPrefetchBuffer(0)

@@ -1,0 +1,112 @@
+"""Unit tests for caches and the prefetch buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.uarch.cache import PrefetchBuffer, SetAssocCache
+
+
+class TestSetAssocCache:
+    def test_geometry(self):
+        cache = SetAssocCache(32 * 1024, 2, 64)
+        assert cache.n_sets == 256
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(0, 2, 64)
+        with pytest.raises(ConfigError):
+            SetAssocCache(100, 3, 64)  # not divisible
+
+    def test_miss_then_hit(self):
+        cache = SetAssocCache(1024, 2, 64)
+        assert not cache.lookup(5)
+        cache.insert(5)
+        assert cache.lookup(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = SetAssocCache(2 * 64, 2, 64)  # 1 set, 2 ways
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)          # 0 is now MRU
+        victim = cache.insert(2)
+        assert victim == 1       # LRU evicted
+
+    def test_contains_does_not_touch_lru(self):
+        cache = SetAssocCache(2 * 64, 2, 64)
+        cache.insert(0)
+        cache.insert(1)
+        cache.contains(0)        # must NOT promote 0
+        victim = cache.insert(2)
+        assert victim == 0
+
+    def test_insert_existing_refreshes(self):
+        cache = SetAssocCache(2 * 64, 2, 64)
+        cache.insert(0)
+        cache.insert(1)
+        cache.insert(0)          # refresh 0
+        victim = cache.insert(2)
+        assert victim == 1
+
+    def test_invalidate(self):
+        cache = SetAssocCache(1024, 2, 64)
+        cache.insert(7)
+        assert cache.invalidate(7)
+        assert not cache.invalidate(7)
+        assert not cache.contains(7)
+
+    def test_occupancy(self):
+        cache = SetAssocCache(1024, 2, 64)
+        for line in range(10):
+            cache.insert(line)
+        assert cache.occupancy() == 10
+
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_lru_model(self, accesses):
+        """Single-set cache behaves exactly like a reference LRU list."""
+        cache = SetAssocCache(4 * 64, 4, 64)  # 1 set, 4 ways
+        reference = []
+        for line in accesses:
+            hit = cache.lookup(line)
+            assert hit == (line in reference)
+            if hit:
+                reference.remove(line)
+                reference.append(line)
+            else:
+                cache.insert(line)
+                if len(reference) == 4:
+                    reference.pop(0)
+                reference.append(line)
+
+
+class TestPrefetchBuffer:
+    def test_fifo_eviction(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        buffer.insert(3)
+        assert 1 not in buffer
+        assert 2 in buffer and 3 in buffer
+        assert buffer.evicted_unused == 1
+
+    def test_consume_removes(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(1)
+        assert buffer.consume(1)
+        assert not buffer.consume(1)
+        assert len(buffer) == 0
+
+    def test_reinsert_moves_to_back(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        buffer.insert(1)  # refresh
+        buffer.insert(3)  # evicts 2, not 1
+        assert 1 in buffer and 2 not in buffer
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            PrefetchBuffer(0)

@@ -1,0 +1,36 @@
+"""Tests for the colocation experiment module."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.colocation import (
+    DEGREES,
+    _confluence_llc_bytes,
+    run,
+)
+
+
+class TestLlcAccounting:
+    def test_effective_capacity_shrinks_with_degree(self):
+        sizes = [_confluence_llc_bytes(d) for d in DEGREES]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_capacity_is_valid_cache_geometry(self):
+        for degree in DEGREES:
+            size = _confluence_llc_bytes(degree)
+            # Must divide into 16 ways of 64B lines with power-of-two sets.
+            sets = size // (64 * 16)
+            assert sets & (sets - 1) == 0
+
+    def test_absurd_degree_rejected(self):
+        with pytest.raises(ExperimentError):
+            _confluence_llc_bytes(64)
+
+
+class TestRun:
+    def test_tiny_run_has_expected_rows(self):
+        result = run(n_blocks=6000, workload="nutch")
+        assert [label for label, _ in result.rows] == \
+            [f"degree {d}" for d in DEGREES]
+        for _, values in result.rows:
+            assert all(v > 0.5 for v in values)

@@ -1,0 +1,136 @@
+"""Unit tests for microarchitectural parameters and storage accounting."""
+
+import pytest
+
+from repro.config import MicroarchParams
+from repro.config.schemes import (
+    CONVENTIONAL_ENTRY_BITS,
+    REFERENCE_BTB_ENTRIES,
+    REFERENCE_SIZES,
+    SchemeConfig,
+    ShotgunSizes,
+    cbtb_entry_bits,
+    conventional_btb_bits,
+    rib_entry_bits,
+    shotgun_budget_split,
+    shotgun_storage_bits,
+    ubtb_entry_bits,
+)
+from repro.errors import ConfigError
+
+
+class TestMicroarchParams:
+    def test_defaults_follow_table3(self):
+        params = MicroarchParams()
+        assert params.issue_width == 3
+        assert params.l1i_bytes == 32 * 1024
+        assert params.l1i_assoc == 2
+        assert params.llc_bytes == 8 * 1024 * 1024
+        assert params.btb_entries == 2048
+        assert params.ftq_size == 32
+        assert params.tage_budget_bytes == 8 * 1024
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            MicroarchParams(issue_width=0)
+        with pytest.raises(ConfigError):
+            MicroarchParams(llc_latency=-5)
+
+    def test_rejects_llc_faster_than_l1(self):
+        with pytest.raises(ConfigError):
+            MicroarchParams(l1i_latency=10, llc_latency=5)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            MicroarchParams(line_bytes=48)
+
+    def test_with_overrides_validates(self):
+        params = MicroarchParams().with_overrides(ftq_size=16)
+        assert params.ftq_size == 16
+        with pytest.raises(ConfigError):
+            MicroarchParams().with_overrides(ftq_size=0)
+
+
+class TestStorageAccounting:
+    """The bit-exact budgets of Section 5.2."""
+
+    def test_conventional_entry_is_93_bits(self):
+        assert CONVENTIONAL_ENTRY_BITS == 93
+
+    def test_boomerang_2k_btb_costs_23_25_kb(self):
+        bits = conventional_btb_bits(2048)
+        assert bits / 8 / 1024 == pytest.approx(23.25, abs=0.01)
+
+    def test_ubtb_entry_is_106_bits_with_8_bit_footprints(self):
+        assert ubtb_entry_bits(8) == 106
+
+    def test_ubtb_1536_entries_cost_19_87_kb(self):
+        kb = 1536 * ubtb_entry_bits(8) / 8 / 1024
+        assert kb == pytest.approx(19.87, abs=0.02)
+
+    def test_cbtb_128_entries_cost_1_1_kb(self):
+        kb = 128 * cbtb_entry_bits() / 8 / 1024
+        assert kb == pytest.approx(1.1, abs=0.03)
+
+    def test_rib_entry_is_45_bits(self):
+        assert rib_entry_bits() == 45
+
+    def test_rib_512_entries_cost_2_8_kb(self):
+        kb = 512 * rib_entry_bits() / 8 / 1024
+        assert kb == pytest.approx(2.8, abs=0.02)
+
+    def test_reference_shotgun_total_is_23_77_kb(self):
+        kb = shotgun_storage_bits(REFERENCE_SIZES, 8) / 8 / 1024
+        assert kb == pytest.approx(23.77, abs=0.03)
+
+
+class TestBudgetSplit:
+    def test_reference_budget_reproduces_paper_sizes(self):
+        sizes = shotgun_budget_split(REFERENCE_BTB_ENTRIES)
+        assert sizes.ubtb_entries == REFERENCE_SIZES.ubtb_entries
+        assert sizes.cbtb_entries == REFERENCE_SIZES.cbtb_entries
+        assert sizes.rib_entries == REFERENCE_SIZES.rib_entries
+
+    def test_small_budgets_scale_proportionally(self):
+        sizes = shotgun_budget_split(1024)
+        assert sizes.ubtb_entries == pytest.approx(768, abs=4)
+        assert sizes.rib_entries == pytest.approx(256, abs=4)
+
+    def test_8k_budget_uses_paper_special_case(self):
+        sizes = shotgun_budget_split(8192)
+        assert sizes.ubtb_entries == 4096
+        assert sizes.rib_entries == 1024
+        assert sizes.cbtb_entries == 4096
+
+    def test_split_never_exceeds_budget_below_8k(self):
+        for entries in (512, 1024, 2048, 4096):
+            sizes = shotgun_budget_split(entries)
+            # The paper allows ~2% slack at the reference point
+            # (23.77KB vs 23.25KB); enforce the same tolerance.
+            assert shotgun_storage_bits(sizes, 8) \
+                <= conventional_btb_bits(entries) * 1.03
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ConfigError):
+            shotgun_budget_split(32)
+
+
+class TestShotgunSizes:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            ShotgunSizes(ubtb_entries=0, cbtb_entries=128, rib_entries=512)
+
+
+class TestSchemeConfig:
+    def test_defaults(self):
+        config = SchemeConfig()
+        assert config.footprint_mode == "bitvector"
+        assert config.footprint_bits == 8
+
+    def test_rejects_unknown_footprint_mode(self):
+        with pytest.raises(ConfigError):
+            SchemeConfig(footprint_mode="magic")
+
+    def test_rejects_odd_bit_width(self):
+        with pytest.raises(ConfigError):
+            SchemeConfig(footprint_bits=13)

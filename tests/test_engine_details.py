@@ -1,0 +1,179 @@
+"""Fine-grained engine behaviour: crafted micro-traces through FrontEnd.
+
+These tests build tiny hand-written traces (no generator) so individual
+timing mechanisms can be pinned down: prefetch residual stalls, demand
+misses, RAS-driven return prediction, target-mispredict flushes,
+in-flight promotion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MicroarchParams
+from repro.core.frontend import FrontEnd
+from repro.isa import BranchKind
+from repro.prefetch.base import LookupHit, MissPolicy, Scheme
+from repro.workloads.trace import Trace
+
+
+def _trace(entries):
+    pcs, ninstrs, kinds, takens, targets = zip(*entries)
+    return Trace(
+        pc=np.array(pcs, dtype=np.int64),
+        ninstr=np.array(ninstrs, dtype=np.int16),
+        kind=np.array([int(k) for k in kinds], dtype=np.int8),
+        taken=np.array(takens),
+        target=np.array(targets, dtype=np.int64),
+    )
+
+
+class _OracleBTB(Scheme):
+    """A test scheme that knows every branch (no BTB misses)."""
+
+    name = "oracle-btb"
+    runahead = False
+    miss_policy = MissPolicy.FLUSH_AT_EXECUTE
+
+    def __init__(self, trace):
+        self._entries = {}
+        for i in range(len(trace)):
+            record = trace.record(i)
+            target = record.target if record.taken else 0
+            if record.pc not in self._entries or record.taken:
+                self._entries[record.pc] = (record.ninstr, record.kind,
+                                            target)
+
+    def lookup(self, pc, now):
+        entry = self._entries.get(pc)
+        if entry is None:
+            return None
+        ninstr, kind, target = entry
+        return LookupHit(ninstr=ninstr, kind=kind, target=target,
+                         source="btb")
+
+
+def _loop_trace(n, pc=0x1000, line_span=1):
+    """n iterations of a hot self-loop within one line."""
+    entries = []
+    for _ in range(n):
+        entries.append((pc, 4, BranchKind.COND, True, pc))
+    entries.append((pc, 4, BranchKind.COND, False, pc + 16))
+    return _trace(entries)
+
+
+class TestDemandPath:
+    def test_hot_loop_misses_once(self, params):
+        trace = _loop_trace(200)
+        engine = FrontEnd(trace, _OracleBTB(trace), params=params,
+                          warmup_fraction=0.0, l1d_misses_per_kinstr=0.0)
+        result = engine.run()
+        assert result.stats.l1i_demand_misses == 1  # compulsory only
+
+    def test_retirement_throughput_bound(self, params):
+        """With perfect everything, cycles ~ instructions/issue_width."""
+        trace = _loop_trace(300)
+        engine = FrontEnd(trace, _OracleBTB(trace), params=params,
+                          warmup_fraction=0.0, l1d_misses_per_kinstr=0.0)
+        result = engine.run()
+        lower_bound = result.instructions / params.issue_width
+        assert result.cycles >= lower_bound
+        # The loop predicts perfectly after warmup; overhead is small.
+        assert result.cycles < lower_bound * 1.5
+
+    def test_returns_predicted_by_ras(self, params):
+        """call -> leaf -> ret: the RAS predicts the return, no flush."""
+        entries = []
+        for _ in range(50):
+            entries.append((0x1000, 4, BranchKind.CALL, True, 0x9000))
+            entries.append((0x9000, 4, BranchKind.RET, True, 0x1010))
+            entries.append((0x1010, 4, BranchKind.JUMP, True, 0x1000))
+        trace = _trace(entries)
+        engine = FrontEnd(trace, _OracleBTB(trace), params=params,
+                          warmup_fraction=0.2, l1d_misses_per_kinstr=0.0)
+        result = engine.run()
+        assert result.stats.target_mispredicts == 0
+        assert result.stats.stall_target_flush == 0.0
+
+    def test_indirect_target_mispredict_flushes(self, params):
+        """A call site alternating targets flushes on every change."""
+        entries = []
+        for i in range(60):
+            callee = 0x9000 if i % 2 == 0 else 0xB000
+            entries.append((0x1000, 4, BranchKind.CALL, True, callee))
+            entries.append((callee, 4, BranchKind.RET, True, 0x1010))
+            entries.append((0x1010, 4, BranchKind.JUMP, True, 0x1000))
+        trace = _trace(entries)
+
+        class _DemandBTB(_OracleBTB):
+            """BTB that learns targets as they resolve (stale targets)."""
+
+            def __init__(self, trace):
+                self._entries = {}
+
+            def lookup(self, pc, now):
+                entry = self._entries.get(pc)
+                if entry is None:
+                    return None
+                ninstr, kind, target = entry
+                return LookupHit(ninstr=ninstr, kind=kind, target=target,
+                                 source="btb")
+
+            def demand_fill(self, pc, ninstr, kind, target, now):
+                self._entries[pc] = (ninstr, kind, target)
+
+        engine = FrontEnd(trace, _DemandBTB(trace), params=params,
+                          warmup_fraction=0.2, l1d_misses_per_kinstr=0.0)
+        result = engine.run()
+        # Every executed call sees the stale target from the previous
+        # iteration -> target mispredict each time.
+        assert result.stats.target_mispredicts > 20
+
+
+class TestPrefetchTiming:
+    def test_inflight_promotion_counts_use(self, params,
+                                           medium_generated,
+                                           medium_trace):
+        from repro.prefetch.factory import build_scheme
+        scheme = build_scheme("shotgun", params, medium_generated)
+        engine = FrontEnd(medium_trace, scheme, params=params)
+        result = engine.run()
+        assert result.stats.prefetch_used > 0
+        assert result.stats.prefetch_used <= \
+            result.stats.prefetch_issued + result.stats.prefetch_used
+
+    def test_late_prefetches_counted(self, params, medium_generated,
+                                     medium_trace):
+        """With a tiny FTQ, prefetches launch late and arrive late."""
+        from repro.prefetch.factory import build_scheme
+        small = params.with_overrides(ftq_size=4)
+        scheme = build_scheme("fdip", small, medium_generated)
+        engine = FrontEnd(medium_trace, scheme, params=small)
+        result = engine.run()
+        assert result.stats.l1i_late_prefetches > 0
+
+
+class TestStatsConsistency:
+    def test_cycles_exceed_component_sum_lower_bound(self, params,
+                                                     medium_generated,
+                                                     medium_trace):
+        from repro.prefetch.factory import build_scheme
+        scheme = build_scheme("boomerang", params, medium_generated)
+        result = FrontEnd(medium_trace, scheme, params=params,
+                          warmup_fraction=0.0).run()
+        stats = result.stats
+        minimum = (stats.instructions / params.issue_width
+                   + stats.stall_l1i + stats.stall_ftq
+                   + stats.stall_dir_flush + stats.stall_btb_flush
+                   + stats.stall_target_flush)
+        assert result.cycles >= minimum * 0.99
+
+    def test_llc_requests_cover_misses_and_prefetches(self, params,
+                                                      medium_generated,
+                                                      medium_trace):
+        from repro.prefetch.factory import build_scheme
+        scheme = build_scheme("shotgun", params, medium_generated)
+        result = FrontEnd(medium_trace, scheme, params=params,
+                          warmup_fraction=0.0).run()
+        stats = result.stats
+        assert stats.llc_requests >= (stats.prefetch_issued
+                                      + stats.l1i_demand_misses)

@@ -1,0 +1,108 @@
+"""Tests for the experiment layer: registry, reporting, tiny runs."""
+
+import pytest
+
+from repro.config.schemes import shotgun_storage_bits, ubtb_entry_bits
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    FOOTPRINT_VARIANTS,
+    budget_configs,
+    cbtb_variant_config,
+    footprint_variant_config,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.reporting import ExperimentResult, format_table
+
+
+class TestRegistry:
+    def test_every_paper_result_registered(self):
+        expected = {"table1", "figure1", "figure3", "figure4", "figure6",
+                    "figure7", "figure8", "figure9", "figure10",
+                    "figure11", "figure12", "figure13"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup(self):
+        assert get_experiment("FIGURE7") is EXPERIMENTS["figure7"]
+        with pytest.raises(ExperimentError):
+            get_experiment("figure99")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["", "a"], [["row", "1.0"], ["r2", "22.0"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("a")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_result_accessors(self):
+        result = ExperimentResult("x", "Title", columns=["A", "B"])
+        result.add_row("w1", [1.0, 2.0])
+        result.set_summary("Avg", [1.0, 2.0])
+        assert result.column("B") == [2.0]
+        assert result.value("w1", "A") == 1.0
+        rendered = result.render()
+        assert "Title" in rendered and "Avg" in rendered
+
+    def test_result_rejects_bad_width(self):
+        result = ExperimentResult("x", "T", columns=["A"])
+        with pytest.raises(ExperimentError):
+            result.add_row("w", [1.0, 2.0])
+
+    def test_missing_row_or_column(self):
+        result = ExperimentResult("x", "T", columns=["A"])
+        result.add_row("w", [1.0])
+        with pytest.raises(ExperimentError):
+            result.column("Z")
+        with pytest.raises(ExperimentError):
+            result.value("nope", "A")
+
+
+class TestVariantConfigs:
+    def test_all_footprint_variants_buildable(self):
+        for variant in FOOTPRINT_VARIANTS:
+            config = footprint_variant_config(variant)
+            assert config.name == "shotgun"
+
+    def test_metadata_free_variants_get_more_ubtb_entries(self):
+        grown = footprint_variant_config("no_bit_vector")
+        reference = footprint_variant_config("8_bit_vector")
+        assert grown.shotgun_sizes.ubtb_entries \
+            > reference.shotgun_sizes.ubtb_entries
+
+    def test_no_bit_vector_stays_on_budget(self):
+        grown = footprint_variant_config("no_bit_vector")
+        reference = footprint_variant_config("8_bit_vector")
+        assert (grown.shotgun_sizes.ubtb_entries * ubtb_entry_bits(0)
+                <= reference.shotgun_sizes.ubtb_entries
+                * ubtb_entry_bits(8))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ExperimentError):
+            footprint_variant_config("17_bit_vector")
+
+    def test_cbtb_variant(self):
+        config = cbtb_variant_config(64)
+        assert config.shotgun_sizes.cbtb_entries == 64
+
+    def test_budget_configs_at_equal_storage(self):
+        configs = budget_configs(1024)
+        assert configs["boomerang"].btb_entries == 1024
+        shotgun_bits = shotgun_storage_bits(
+            configs["shotgun"].shotgun_sizes, 8
+        )
+        assert shotgun_bits <= 1024 * 93 * 1.03
+
+
+class TestTinyExperimentRun:
+    """table1 end-to-end on a reduced trace (fast smoke test)."""
+
+    def test_table1_runs(self):
+        from repro.experiments import table1
+        result = table1.run(n_blocks=4000)
+        assert len(result.rows) == 6
+        for _, values in result.rows:
+            assert values[0] >= 0.0

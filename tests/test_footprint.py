@@ -1,0 +1,143 @@
+"""Unit and property tests for spatial footprints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.prefetch.footprint import FootprintCodec, RegionRecorder
+
+
+class TestBitvectorCodec:
+    def test_paper_example(self):
+        """Figure 5b: footprint 01001000-style decoding around target A."""
+        codec = FootprintCodec("bitvector", bits=8)
+        mask = codec.encode([2, 5])
+        offsets = codec.prefetch_offsets(mask)
+        assert sorted(offsets) == [0, 2, 5]
+
+    def test_eight_bit_split_is_6_after_2_before(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        assert codec.after_bits == 6
+        assert codec.before_bits == 2
+
+    def test_negative_offsets_encoded(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        mask = codec.encode([-1, -2, 3])
+        assert sorted(codec.prefetch_offsets(mask)) == [-2, -1, 0, 3]
+
+    def test_out_of_range_offsets_dropped(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        mask = codec.encode([7, -3, 100])
+        assert codec.prefetch_offsets(mask) == [0]
+
+    def test_32_bit_covers_wider_region(self):
+        codec = FootprintCodec("bitvector", bits=32)
+        assert codec.after_bits == 24
+        mask = codec.encode([20, -7])
+        assert sorted(codec.prefetch_offsets(mask)) == [-7, 0, 20]
+
+    def test_mask_fits_in_declared_bits(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        mask = codec.encode(range(-2, 7))
+        assert mask < (1 << 8)
+
+    @given(st.sets(st.integers(min_value=-2, max_value=6)))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_within_range(self, offsets):
+        """Encodable offsets survive an encode/decode round trip."""
+        codec = FootprintCodec("bitvector", bits=8)
+        offsets.discard(0)  # offset 0 is implicit
+        mask = codec.encode(offsets)
+        decoded = set(codec.prefetch_offsets(mask))
+        assert decoded == offsets | {0}
+
+    @given(offsets=st.sets(st.integers(min_value=-64, max_value=64)),
+           bits=st.sampled_from([8, 32]))
+    @settings(max_examples=100, deadline=None)
+    def test_decoded_is_subset_plus_target(self, offsets, bits):
+        """Decoding never invents offsets that were not accessed."""
+        codec = FootprintCodec("bitvector", bits=bits)
+        decoded = set(codec.prefetch_offsets(codec.encode(offsets)))
+        assert decoded <= offsets | {0}
+
+
+class TestOtherFormats:
+    def test_none_prefetches_target_only(self):
+        codec = FootprintCodec("none")
+        assert codec.prefetch_offsets(codec.encode([1, 2, 3])) == [0]
+
+    def test_fixed_blocks(self):
+        codec = FootprintCodec("fixed_blocks", fixed_blocks=5)
+        assert codec.prefetch_offsets(0) == [0, 1, 2, 3, 4]
+
+    def test_entire_region_covers_span(self):
+        codec = FootprintCodec("entire_region")
+        mask = codec.encode([1, 4, -1])
+        assert codec.prefetch_offsets(mask) == list(range(-1, 5))
+
+    def test_entire_region_includes_untouched_blocks(self):
+        """The over-prefetching the paper penalises: everything between
+        entry and exit is fetched, accessed or not."""
+        codec = FootprintCodec("entire_region")
+        mask = codec.encode([5])  # only +5 accessed
+        assert codec.prefetch_offsets(mask) == [0, 1, 2, 3, 4, 5]
+
+    def test_entire_region_clamps(self):
+        codec = FootprintCodec("entire_region")
+        mask = codec.encode([1000, -1000])
+        offsets = codec.prefetch_offsets(mask)
+        assert min(offsets) == -127 and max(offsets) == 127
+
+    def test_storage_bits(self):
+        assert FootprintCodec("bitvector", bits=8) \
+            .storage_bits_per_footprint() == 8
+        assert FootprintCodec("entire_region") \
+            .storage_bits_per_footprint() == 16
+        assert FootprintCodec("none").storage_bits_per_footprint() == 0
+        assert FootprintCodec("fixed_blocks") \
+            .storage_bits_per_footprint() == 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            FootprintCodec("bogus")
+
+
+class TestRegionRecorder:
+    def test_records_offsets_relative_to_entry(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        recorder = RegionRecorder(codec)
+        stored = []
+        recorder.open(100, stored.append)
+        recorder.access(100)   # offset 0 — implicit, not recorded
+        recorder.access(102)
+        recorder.access(105)
+        recorder.close()
+        assert stored == [codec.encode([2, 5])]
+
+    def test_open_closes_previous(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        recorder = RegionRecorder(codec)
+        stored = []
+        recorder.open(100, stored.append)
+        recorder.access(101)
+        recorder.open(200, stored.append)  # implicit close
+        recorder.access(203)
+        recorder.close()
+        assert stored == [codec.encode([1]), codec.encode([3])]
+        assert recorder.regions_recorded == 2
+
+    def test_access_without_open_is_ignored(self):
+        recorder = RegionRecorder(FootprintCodec("bitvector", bits=8))
+        recorder.access(123)  # must not raise
+        recorder.close()
+        assert recorder.regions_recorded == 0
+
+    def test_duplicate_accesses_collapse(self):
+        codec = FootprintCodec("bitvector", bits=8)
+        recorder = RegionRecorder(codec)
+        stored = []
+        recorder.open(50, stored.append)
+        for _ in range(5):
+            recorder.access(51)
+        recorder.close()
+        assert stored == [codec.encode([1])]

@@ -1,0 +1,50 @@
+"""Unit tests for the fetch target queue."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.ftq import FetchTargetQueue, FTQEntry
+
+
+def _entry(index):
+    return FTQEntry(index=index, pc=0x1000 + index * 16, ninstr=4,
+                    enqueue_time=float(index))
+
+
+class TestFTQ:
+    def test_fifo_order(self):
+        ftq = FetchTargetQueue(4)
+        for i in range(3):
+            ftq.push(_entry(i))
+        assert ftq.pop().index == 0
+        assert ftq.pop().index == 1
+
+    def test_capacity_enforced(self):
+        ftq = FetchTargetQueue(2)
+        ftq.push(_entry(0))
+        ftq.push(_entry(1))
+        assert ftq.full
+        with pytest.raises(ConfigError):
+            ftq.push(_entry(2))
+
+    def test_pop_empty_returns_none(self):
+        assert FetchTargetQueue(2).pop() is None
+
+    def test_flush(self):
+        ftq = FetchTargetQueue(4)
+        for i in range(3):
+            ftq.push(_entry(i))
+        assert ftq.flush() == 3
+        assert ftq.empty
+
+    def test_occupancy_stats(self):
+        ftq = FetchTargetQueue(4)
+        for i in range(3):
+            ftq.push(_entry(i))
+        ftq.pop()
+        assert ftq.max_occupancy == 3
+        assert ftq.enqueues == 3
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            FetchTargetQueue(0)

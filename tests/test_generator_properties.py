@@ -1,0 +1,91 @@
+"""Property-based tests: generator and trace invariants hold across the
+parameter space (hypothesis drives the knobs)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.generator import GeneratorParams, generate_program
+from repro.isa import BranchKind, fallthrough_pc
+from repro.workloads.tracegen import generate_trace
+
+#: Small but varied generator parameter space.
+_PARAMS = st.builds(
+    GeneratorParams,
+    n_functions=st.integers(min_value=40, max_value=150),
+    n_layers=st.integers(min_value=3, max_value=6),
+    n_roots=st.integers(min_value=1, max_value=6),
+    median_blocks=st.floats(min_value=3.0, max_value=12.0),
+    call_fraction=st.floats(min_value=0.05, max_value=0.25),
+    jump_fraction=st.floats(min_value=0.0, max_value=0.1),
+    trap_fraction=st.floats(min_value=0.0, max_value=0.05),
+    loop_fraction=st.floats(min_value=0.0, max_value=0.3),
+    zipf_callee=st.floats(min_value=0.2, max_value=1.2),
+    zipf_root=st.floats(min_value=0.2, max_value=1.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestGeneratorInvariants:
+    @given(params=_PARAMS)
+    @settings(max_examples=25, deadline=None)
+    def test_program_validates_and_lays_out(self, params):
+        generated = generate_program(params)
+        program = generated.program
+        assert program.nfunctions == params.n_functions
+        # Addresses strictly increase and functions do not overlap.
+        previous_end = -1
+        for function in program.functions:
+            assert function.base_addr > previous_end
+            last = function.block_addr(function.nblocks - 1)
+            previous_end = last + function.blocks[-1].ninstr * 4 - 1
+
+    @given(params=_PARAMS)
+    @settings(max_examples=25, deadline=None)
+    def test_image_is_complete(self, params):
+        generated = generate_program(params)
+        program = generated.program
+        image_branches = sum(len(b) for b in program.image.values())
+        assert image_branches == program.total_blocks
+
+
+class TestTraceInvariants:
+    @given(params=_PARAMS, seed=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_execution_invariants(self, params, seed):
+        """The executor never derails regardless of the parameter mix."""
+        generated = generate_program(params)
+        trace = generate_trace(generated, 800, seed=seed)
+        # 1. Successor chain is consistent.
+        assert (trace.target[:-1] == trace.pc[1:]).all()
+        # 2. Unconditional branches are always taken.
+        uncond = trace.kind != int(BranchKind.COND)
+        assert trace.taken[uncond].all()
+        # 3. Not-taken conditionals fall through.
+        cond_nt = (trace.kind == int(BranchKind.COND)) & ~trace.taken
+        for i in np.flatnonzero(cond_nt)[:50]:
+            assert trace.target[i] == fallthrough_pc(
+                int(trace.pc[i]), int(trace.ninstr[i])
+            )
+        # 4. Call/trap targets are function entry points.
+        entries = {f.base_addr for f in generated.program.functions}
+        call_mask = np.isin(
+            trace.kind, [int(BranchKind.CALL), int(BranchKind.TRAP)]
+        )
+        assert set(trace.target[call_mask].tolist()) <= entries
+
+    @given(params=_PARAMS)
+    @settings(max_examples=10, deadline=None)
+    def test_depth_is_bounded_by_construction(self, params):
+        """Layered calls + acyclic kernel calls bound the stack depth."""
+        generated = generate_program(params)
+        trace = generate_trace(generated, 1200, seed=7)
+        depth = 0
+        max_depth = 0
+        for kind in trace.kind:
+            if kind in (int(BranchKind.CALL), int(BranchKind.TRAP)):
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif kind in (int(BranchKind.RET), int(BranchKind.TRAP_RET)):
+                depth = max(0, depth - 1)
+        kernel_size = len(generated.kernel_fids)
+        assert max_depth <= params.n_layers + kernel_size + 2

@@ -1,0 +1,62 @@
+"""Unit tests for the NoC/LLC load model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.interconnect import NocModel
+
+
+class TestNocModel:
+    def test_unloaded_latency_is_base(self):
+        noc = NocModel(base_latency=30.0)
+        assert noc.latency(0.0) == pytest.approx(30.0)
+
+    def test_latency_grows_with_load(self):
+        noc = NocModel(base_latency=30.0, window_cycles=100,
+                       capacity_per_cycle=0.1, inflation=1.5)
+        quiet = noc.latency(0.0)
+        for t in range(10):
+            noc.record(float(t))
+        loaded = noc.latency(10.0)
+        assert loaded > quiet
+
+    def test_saturates_at_capacity(self):
+        noc = NocModel(base_latency=30.0, window_cycles=10,
+                       capacity_per_cycle=0.5, inflation=1.0)
+        for t in range(100):
+            noc.record(t * 0.01)
+        assert noc.utilisation(1.0) == pytest.approx(1.0)
+        assert noc.latency(1.0) == pytest.approx(60.0)
+
+    def test_window_drains(self):
+        noc = NocModel(base_latency=30.0, window_cycles=10,
+                       capacity_per_cycle=0.5)
+        for t in range(5):
+            noc.record(float(t))
+        assert noc.utilisation(4.0) > 0.0
+        # Far in the future, the window is empty again.
+        assert noc.utilisation(1000.0) == pytest.approx(0.0)
+        assert noc.latency(1000.0) == pytest.approx(30.0)
+
+    def test_request_records_and_returns(self):
+        noc = NocModel(base_latency=30.0)
+        latency = noc.request(0.0)
+        assert latency == pytest.approx(30.0)
+        assert noc.total_requests == 1
+
+    def test_monotone_in_utilisation(self):
+        noc = NocModel(base_latency=30.0, window_cycles=100,
+                       capacity_per_cycle=0.2)
+        last = 0.0
+        for t in range(20):
+            value = noc.request(float(t))
+            assert value >= last or value == pytest.approx(30.0)
+            last = max(last, value)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            NocModel(base_latency=0)
+        with pytest.raises(ConfigError):
+            NocModel(capacity_per_cycle=0)
+        with pytest.raises(ConfigError):
+            NocModel(inflation=-1)

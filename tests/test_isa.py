@@ -1,0 +1,101 @@
+"""Unit tests for the ISA/branch model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    BLOCK_SHIFT,
+    CACHE_LINE_BYTES,
+    INSTR_BYTES,
+    BlockRecord,
+    BranchKind,
+    block_index,
+    block_offset,
+    branch_pc,
+    fallthrough_pc,
+    is_global,
+    is_return_kind,
+    is_unconditional,
+    lines_touched,
+)
+
+
+class TestBranchKindPredicates:
+    def test_conditional_is_not_unconditional(self):
+        assert not is_unconditional(BranchKind.COND)
+
+    def test_every_other_kind_is_unconditional(self):
+        for kind in BranchKind:
+            if kind != BranchKind.COND:
+                assert is_unconditional(kind)
+
+    def test_global_kinds_exclude_conditionals(self):
+        assert not is_global(BranchKind.COND)
+        for kind in (BranchKind.JUMP, BranchKind.CALL, BranchKind.RET,
+                     BranchKind.TRAP, BranchKind.TRAP_RET):
+            assert is_global(kind)
+
+    def test_return_kinds(self):
+        assert is_return_kind(BranchKind.RET)
+        assert is_return_kind(BranchKind.TRAP_RET)
+        assert not is_return_kind(BranchKind.CALL)
+        assert not is_return_kind(BranchKind.JUMP)
+
+
+class TestAddressArithmetic:
+    def test_branch_pc_of_single_instruction_block(self):
+        assert branch_pc(0x1000, 1) == 0x1000
+
+    def test_branch_pc_is_last_instruction(self):
+        assert branch_pc(0x1000, 5) == 0x1000 + 4 * INSTR_BYTES
+
+    def test_fallthrough_is_next_instruction(self):
+        assert fallthrough_pc(0x1000, 5) == 0x1000 + 5 * INSTR_BYTES
+
+    def test_invalid_ninstr_raises(self):
+        with pytest.raises(ValueError):
+            branch_pc(0x1000, 0)
+        with pytest.raises(ValueError):
+            fallthrough_pc(0x1000, -1)
+
+    def test_block_index_line_granularity(self):
+        assert block_index(0) == 0
+        assert block_index(CACHE_LINE_BYTES - 1) == 0
+        assert block_index(CACHE_LINE_BYTES) == 1
+
+    def test_block_offset(self):
+        assert block_offset(CACHE_LINE_BYTES + 12) == 12
+
+    def test_lines_touched_within_one_line(self):
+        lines = lines_touched(0x1000, 4)
+        assert list(lines) == [0x1000 >> BLOCK_SHIFT]
+
+    def test_lines_touched_spanning_boundary(self):
+        # Block starts 8 bytes before a line boundary with 4 instructions.
+        pc = CACHE_LINE_BYTES * 10 - 8
+        lines = list(lines_touched(pc, 4))
+        assert lines == [9, 10]
+
+    @given(pc=st.integers(min_value=0, max_value=2**40).map(lambda x: x * 4),
+           ninstr=st.integers(min_value=1, max_value=31))
+    def test_lines_touched_cover_branch_pc(self, pc, ninstr):
+        lines = lines_touched(pc, ninstr)
+        assert block_index(pc) == lines.start
+        assert block_index(branch_pc(pc, ninstr)) == lines.stop - 1
+        # A 31-instruction block spans at most 3 lines.
+        assert 1 <= len(lines) <= 3
+
+
+class TestBlockRecord:
+    def test_properties(self):
+        record = BlockRecord(pc=0x2000, ninstr=3, kind=BranchKind.CALL,
+                             taken=True, target=0x9000)
+        assert record.branch_pc == 0x2008
+        assert record.fallthrough == 0x200C
+        assert list(record.lines()) == [0x2000 >> BLOCK_SHIFT]
+
+    def test_frozen(self):
+        record = BlockRecord(pc=0x2000, ninstr=3, kind=BranchKind.COND,
+                             taken=False, target=0x200C)
+        with pytest.raises(AttributeError):
+            record.pc = 0x3000

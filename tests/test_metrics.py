@@ -1,0 +1,100 @@
+"""Unit tests for metrics and result containers."""
+
+import pytest
+
+from repro.core.metrics import (
+    EngineStats,
+    SimulationResult,
+    arithmetic_mean,
+    frontend_stall_coverage,
+    geometric_mean,
+    speedup,
+)
+from repro.errors import SimulationError
+
+
+def _result(cycles, instructions=1000, **stall_kwargs):
+    stats = EngineStats(cycles=cycles, instructions=instructions,
+                        **stall_kwargs)
+    return SimulationResult(scheme="test", stats=stats)
+
+
+class TestEngineStats:
+    def test_snapshot_and_delta(self):
+        stats = EngineStats(cycles=100.0, instructions=50, stall_l1i=10.0)
+        snap = stats.snapshot()
+        stats.cycles = 250.0
+        stats.instructions = 120
+        stats.stall_l1i = 35.0
+        delta = stats.delta_from(snap)
+        assert delta.cycles == 150.0
+        assert delta.instructions == 70
+        assert delta.stall_l1i == 25.0
+        # Snapshot itself is unchanged.
+        assert snap.cycles == 100.0
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert _result(500.0).ipc == pytest.approx(2.0)
+
+    def test_frontend_stall_definition(self):
+        result = _result(1000.0, stall_l1i=10.0, stall_ftq=5.0,
+                         stall_btb_flush=3.0, stall_dir_flush=100.0)
+        # Direction flushes are NOT front-end-prefetchable stalls.
+        assert result.frontend_stall_cycles == pytest.approx(18.0)
+
+    def test_prefetch_accuracy(self):
+        result = _result(100.0, prefetch_issued=10, prefetch_used=7)
+        assert result.prefetch_accuracy == pytest.approx(0.7)
+        assert _result(100.0).prefetch_accuracy == 0.0
+
+    def test_l1d_fill_latency(self):
+        result = _result(100.0, l1d_misses=4, l1d_fill_cycles=200.0)
+        assert result.l1d_fill_latency == pytest.approx(50.0)
+
+    def test_mpki_properties(self):
+        result = _result(100.0, instructions=2000, btb_misses=10,
+                         l1i_demand_misses=4)
+        assert result.btb_mpki == pytest.approx(5.0)
+        assert result.l1i_mpki == pytest.approx(2.0)
+
+
+class TestSpeedupAndCoverage:
+    def test_speedup(self):
+        assert speedup(_result(200.0), _result(100.0)) == pytest.approx(2.0)
+
+    def test_speedup_rejects_mismatched_windows(self):
+        with pytest.raises(SimulationError):
+            speedup(_result(200.0, instructions=10),
+                    _result(100.0, instructions=20))
+
+    def test_coverage(self):
+        base = _result(200.0, stall_l1i=100.0)
+        scheme = _result(150.0, stall_l1i=25.0)
+        assert frontend_stall_coverage(base, scheme) == pytest.approx(0.75)
+
+    def test_coverage_clamps_at_zero(self):
+        base = _result(200.0, stall_l1i=10.0)
+        worse = _result(300.0, stall_l1i=50.0)
+        assert frontend_stall_coverage(base, worse) == 0.0
+
+    def test_coverage_rejects_stall_free_baseline(self):
+        with pytest.raises(SimulationError):
+            frontend_stall_coverage(_result(100.0), _result(100.0))
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(SimulationError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(SimulationError):
+            arithmetic_mean([])

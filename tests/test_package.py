@@ -1,0 +1,52 @@
+"""Package-level tests: exports, errors, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_api(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_workload_names_export(self):
+        assert "oracle" in repro.WORKLOAD_NAMES
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (errors.ConfigError, errors.ProgramError,
+                    errors.TraceError, errors.SimulationError,
+                    errors.ExperimentError):
+            assert issubclass(exc, errors.ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigError("boom")
+
+
+class TestSchemeRegistryConsistency:
+    def test_scheme_names_match_keys(self, tiny_generated, params):
+        from repro.prefetch import SCHEME_FACTORIES, build_scheme
+        for key in SCHEME_FACTORIES:
+            scheme = build_scheme(key, params, tiny_generated)
+            assert scheme.name == key
+
+    def test_runahead_schemes_have_fill_or_speculate(self, tiny_generated,
+                                                     params):
+        """Run-ahead schemes must define what to do on a BTB miss."""
+        from repro.prefetch import SCHEME_FACTORIES, build_scheme
+        from repro.prefetch.base import MissPolicy
+        for key in SCHEME_FACTORIES:
+            scheme = build_scheme(key, params, tiny_generated)
+            if scheme.runahead:
+                assert scheme.miss_policy in (
+                    MissPolicy.SPECULATE_FALLTHROUGH,
+                    MissPolicy.STALL_FILL,
+                )

@@ -1,0 +1,44 @@
+"""Unit tests for the predecoder."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import BLOCK_SHIFT, BranchKind
+from repro.uarch.predecoder import Predecoder
+
+
+class TestPredecoder:
+    def test_rejects_missing_image(self):
+        with pytest.raises(ProgramError):
+            Predecoder(None)
+
+    def test_branches_in_line(self, tiny_generated):
+        predecoder = Predecoder(tiny_generated.program.image)
+        line, branches = next(iter(tiny_generated.program.image.items()))
+        assert list(predecoder.branches_in_line(line)) == branches
+
+    def test_unknown_line_is_empty(self, tiny_generated):
+        predecoder = Predecoder(tiny_generated.program.image)
+        assert list(predecoder.branches_in_line(10 ** 9)) == []
+
+    def test_conditional_filter(self, tiny_generated):
+        predecoder = Predecoder(tiny_generated.program.image)
+        for line in list(tiny_generated.program.image)[:50]:
+            for branch in predecoder.conditional_branches(line):
+                assert branch.kind == BranchKind.COND
+
+    def test_find_block(self, tiny_generated):
+        image = tiny_generated.program.image
+        predecoder = Predecoder(image)
+        line, branches = next(iter(image.items()))
+        target = branches[0]
+        found = predecoder.find_block(line, target.block_pc)
+        assert found is target
+        assert predecoder.find_block(line, 0xDEAD00) is None
+
+    def test_every_image_branch_findable(self, tiny_generated):
+        predecoder = Predecoder(tiny_generated.program.image)
+        for line, branches in tiny_generated.program.image.items():
+            for branch in branches:
+                assert branch.branch_pc >> BLOCK_SHIFT == line
+                assert predecoder.find_block(line, branch.block_pc)

@@ -1,0 +1,80 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.uarch.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x1000, 0x900)
+        entry = ras.pop()
+        assert entry.return_addr == 0x1000
+        assert entry.call_block_pc == 0x900
+
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(8)
+        for addr in (1, 2, 3):
+            ras.push(addr)
+        assert [ras.pop().return_addr for _ in range(3)] == [3, 2, 1]
+
+    def test_underflow_returns_none_and_counts(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_wraps_over_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)          # overwrites 1
+        assert ras.overflows == 1
+        assert ras.pop().return_addr == 3
+        assert ras.pop().return_addr == 2
+        assert ras.pop() is None  # 1 was lost — deep-call corruption
+
+    def test_peek(self):
+        ras = ReturnAddressStack(4)
+        assert ras.peek() is None
+        ras.push(7)
+        assert ras.peek().return_addr == 7
+        assert len(ras) == 1  # peek does not pop
+
+    def test_clear(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.clear()
+        assert len(ras) == 0
+        assert ras.pop() is None
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(0)
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 1000)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bounded_reference_stack(self, ops):
+        """Equivalent to a list stack as long as depth never exceeds
+        capacity; overflow drops the *oldest* entries only."""
+        depth = 16
+        ras = ReturnAddressStack(depth)
+        reference = []
+        for op, value in ops:
+            if op == "push":
+                ras.push(value)
+                reference.append(value)
+                if len(reference) > depth:
+                    reference.pop(0)
+            else:
+                entry = ras.pop()
+                if reference:
+                    assert entry is not None
+                    assert entry.return_addr == reference.pop()
+                else:
+                    assert entry is None

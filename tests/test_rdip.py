@@ -1,0 +1,104 @@
+"""Unit tests for the RDIP scheme (related work, paper Section 4.3)."""
+
+import pytest
+
+from repro.isa import BranchKind
+from repro.prefetch.base import MissPolicy
+from repro.prefetch.rdip import RdipScheme, _SignatureTable
+
+
+class TestSignatureTable:
+    def test_record_and_footprint(self):
+        table = _SignatureTable(entries=4, lines_per_entry=3)
+        table.record(0xAA, 10)
+        table.record(0xAA, 11)
+        assert sorted(table.footprint(0xAA)) == [10, 11]
+        assert table.footprint(0xBB) == []
+
+    def test_lines_per_entry_bounded(self):
+        table = _SignatureTable(entries=4, lines_per_entry=2)
+        for line in (1, 2, 3):
+            table.record(0xAA, line)
+        footprint = table.footprint(0xAA)
+        assert len(footprint) == 2
+        assert 1 not in footprint  # FIFO within the entry
+
+    def test_signature_lru(self):
+        table = _SignatureTable(entries=2, lines_per_entry=2)
+        table.record(0xA, 1)
+        table.record(0xB, 2)
+        table.footprint(0xA)        # touch A
+        table.record(0xC, 3)        # evicts B
+        assert table.footprint(0xB) == []
+        assert table.footprint(0xA) == [1]
+
+    def test_duplicate_lines_collapse(self):
+        table = _SignatureTable(entries=2, lines_per_entry=4)
+        table.record(0xA, 7)
+        table.record(0xA, 7)
+        assert table.footprint(0xA) == [7]
+
+
+class TestRdipScheme:
+    def test_policy(self):
+        scheme = RdipScheme()
+        assert not scheme.runahead
+        assert scheme.miss_policy is MissPolicy.FLUSH_AT_EXECUTE
+
+    def test_btb_fill_and_lookup(self):
+        scheme = RdipScheme(btb_entries=64)
+        scheme.demand_fill(0x1000, 4, BranchKind.CALL, 0x9000, 0.0)
+        assert scheme.lookup(0x1000, 1.0) is not None
+
+    def test_context_switch_on_call_and_return(self):
+        scheme = RdipScheme()
+        scheme.on_retire(0x1000, 4, BranchKind.CALL, True, 0x9000, 0.0)
+        assert scheme.context_switches == 1
+        scheme.on_retire(0x9000, 3, BranchKind.RET, True, 0x1010, 1.0)
+        assert scheme.context_switches == 2
+
+    def test_conditionals_do_not_switch_context(self):
+        scheme = RdipScheme()
+        scheme.on_retire(0x1000, 4, BranchKind.COND, True, 0x1100, 0.0)
+        assert scheme.context_switches == 0
+
+    def test_miss_recorded_and_replayed_on_reentry(self):
+        """The core RDIP loop: learn a context's miss footprint, then
+        prefetch it when the same context recurs."""
+        scheme = RdipScheme()
+        # Enter context (call from 0x1000), observe misses.
+        scheme.on_retire(0x1000, 4, BranchKind.CALL, True, 0x9000, 0.0)
+        scheme.on_fetch_line(0x9000 >> 6, l1i_hit=False, now=1.0)
+        scheme.on_fetch_line((0x9000 >> 6) + 1, l1i_hit=False, now=2.0)
+        # Leave and re-enter the same context.
+        scheme.on_retire(0x9040, 3, BranchKind.RET, True, 0x1010, 3.0)
+        scheme.on_fetch_line(0x1010 >> 6, l1i_hit=True, now=4.0)  # drain
+        scheme.on_retire(0x1000, 4, BranchKind.CALL, True, 0x9000, 5.0)
+        requests = scheme.on_fetch_line(0x9000 >> 6, l1i_hit=True, now=6.0)
+        lines = sorted(line for line, _ in requests)
+        assert lines == [0x9000 >> 6, (0x9000 >> 6) + 1]
+        assert scheme.prefetch_triggers >= 1
+
+    def test_pending_drained_once(self):
+        scheme = RdipScheme()
+        scheme.on_retire(0x1000, 4, BranchKind.CALL, True, 0x9000, 0.0)
+        scheme.on_fetch_line(100, l1i_hit=False, now=1.0)
+        scheme.on_retire(0x9040, 3, BranchKind.RET, True, 0x1010, 2.0)
+        scheme.on_retire(0x1000, 4, BranchKind.CALL, True, 0x9000, 3.0)
+        first = scheme.on_fetch_line(100, l1i_hit=True, now=4.0)
+        second = scheme.on_fetch_line(101, l1i_hit=True, now=5.0)
+        assert first and not second
+
+    def test_storage_near_64kb(self):
+        """Section 4.3: RDIP costs ~64KB of metadata per core."""
+        scheme = RdipScheme()
+        metadata_kb = (scheme.storage_bits()
+                       - scheme.btb.storage_bits()) / 8 / 1024
+        assert 55 <= metadata_kb <= 70
+
+    def test_context_stack_bounded(self):
+        scheme = RdipScheme()
+        for i in range(200):
+            scheme.on_retire(0x1000 + i * 64, 4, BranchKind.CALL, True,
+                             0x9000, float(i))
+        assert len(scheme._context_stack) <= 64

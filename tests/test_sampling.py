@@ -1,0 +1,49 @@
+"""Tests for SMARTS-style sampled simulation."""
+
+import pytest
+
+from repro.core.sampling import SampleStats, aggregate, sampled_comparison
+from repro.errors import SimulationError
+
+
+class TestAggregate:
+    def test_single_sample(self):
+        stats = aggregate([2.0])
+        assert stats.mean == 2.0
+        assert stats.ci95 == 0.0
+        assert stats.n == 1
+
+    def test_mean_and_interval(self):
+        stats = aggregate([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.stdev == pytest.approx(1.0)
+        # t(df=2, 97.5%) = 4.303 -> CI = 4.303 * 1 / sqrt(3).
+        assert stats.ci95 == pytest.approx(4.303 / 3 ** 0.5, rel=1e-3)
+
+    def test_identical_samples_have_zero_interval(self):
+        stats = aggregate([1.5] * 5)
+        assert stats.stdev == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate([])
+
+    def test_str_format(self):
+        assert "n=2" in str(aggregate([1.0, 2.0]))
+
+
+class TestSampledComparison:
+    def test_windows_produce_confidence_interval(self):
+        comparison = sampled_comparison(
+            "nutch", "boomerang", n_windows=3, window_blocks=5000,
+        )
+        assert comparison.speedup.n == 3
+        assert comparison.speedup.mean > 0.9
+        # Independent seeds -> genuine variance -> non-degenerate CI.
+        assert comparison.speedup.stdev >= 0.0
+        assert 0.0 <= comparison.coverage.mean <= 1.0
+
+    def test_rejects_zero_windows(self):
+        with pytest.raises(SimulationError):
+            sampled_comparison("nutch", "shotgun", n_windows=0)

@@ -1,0 +1,61 @@
+"""Unit tests for Shotgun's U-BTB, C-BTB and RIB structures."""
+
+import pytest
+
+from repro.isa import BranchKind
+from repro.uarch.shotgun_btb import (
+    CBTB,
+    CBTBEntry,
+    RIB,
+    RIBEntry,
+    UBTB,
+    UBTBEntry,
+)
+
+
+class TestUBTB:
+    def test_storage_is_106_bits_per_entry(self):
+        ubtb = UBTB(entries=1536, assoc=4, footprint_bits=8)
+        assert ubtb.storage_bits() == 1536 * 106
+
+    def test_entry_holds_two_footprints(self):
+        ubtb = UBTB(entries=64, assoc=4)
+        ubtb.insert(0x1000, UBTBEntry(ninstr=4, kind=BranchKind.CALL,
+                                      target=0x9000))
+        entry = ubtb.lookup(0x1000)
+        assert entry.call_footprint == 0
+        assert entry.ret_footprint == 0
+        entry.call_footprint = 0b01001000
+        assert ubtb.peek(0x1000).call_footprint == 0b01001000
+
+
+class TestRIB:
+    def test_storage_is_45_bits_per_entry(self):
+        rib = RIB(entries=512, assoc=4)
+        assert rib.storage_bits() == 512 * 45
+
+    def test_entry_has_no_target(self):
+        rib = RIB(entries=64, assoc=4)
+        rib.insert(0x1000, RIBEntry(ninstr=3, kind=BranchKind.RET))
+        entry = rib.lookup(0x1000)
+        assert not hasattr(entry, "target")
+
+
+class TestCBTB:
+    def test_storage_is_70_bits_per_entry(self):
+        cbtb = CBTB(entries=128, assoc=4)
+        assert cbtb.storage_bits() == 128 * 70
+
+    def test_valid_from_gates_visibility(self):
+        """A proactively-filled entry is invisible until its line has
+        arrived and been predecoded — the paper's in-flight semantics."""
+        cbtb = CBTB(entries=64, assoc=4)
+        cbtb.insert(0x1000, CBTBEntry(ninstr=4, target=0x1100,
+                                      valid_from=50.0))
+        assert cbtb.lookup_at(0x1000, now=40.0) is None
+        assert cbtb.lookup_at(0x1000, now=50.0) is not None
+        assert cbtb.lookup_at(0x1000, now=60.0) is not None
+
+    def test_lookup_at_miss(self):
+        cbtb = CBTB(entries=64, assoc=4)
+        assert cbtb.lookup_at(0x2000, now=100.0) is None

@@ -1,0 +1,39 @@
+"""Tests for the sweep/result-cache layer."""
+
+from repro.config import SchemeConfig
+from repro.core.sweep import clear_result_cache, run_scheme, run_schemes
+
+
+class TestRunScheme:
+    def test_cache_hit_returns_same_result(self):
+        clear_result_cache()
+        first = run_scheme("nutch", "baseline", n_blocks=3000)
+        second = run_scheme("nutch", "baseline", n_blocks=3000)
+        assert first is second
+
+    def test_cache_respects_config(self):
+        clear_result_cache()
+        small = run_scheme("nutch", "boomerang", n_blocks=3000,
+                           config=SchemeConfig(name="boomerang",
+                                               btb_entries=512))
+        large = run_scheme("nutch", "boomerang", n_blocks=3000,
+                           config=SchemeConfig(name="boomerang",
+                                               btb_entries=4096))
+        assert small is not large
+
+    def test_cache_bypass(self):
+        clear_result_cache()
+        first = run_scheme("nutch", "baseline", n_blocks=3000)
+        fresh = run_scheme("nutch", "baseline", n_blocks=3000,
+                           use_cache=False)
+        assert fresh is not first
+        assert fresh.cycles == first.cycles  # still deterministic
+
+
+class TestRunSchemes:
+    def test_returns_all_requested(self):
+        clear_result_cache()
+        results = run_schemes("nutch", ("baseline", "ideal"),
+                              n_blocks=3000)
+        assert set(results) == {"baseline", "ideal"}
+        assert results["ideal"].cycles < results["baseline"].cycles

@@ -1,0 +1,119 @@
+"""Unit tests for the TAGE and bimodal direction predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.uarch.tage import BimodalPredictor, TagePredictor, _FoldedHistory
+
+
+def _run(predictor, outcomes, pc=0x4000):
+    wrong = 0
+    for taken in outcomes:
+        predicted = predictor.predict(pc)
+        predictor.update(pc, taken)
+        wrong += predicted != taken
+    return wrong / len(outcomes)
+
+
+class TestFoldedHistory:
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=300),
+           hist_len=st.sampled_from([5, 10, 20, 50]),
+           folded_len=st.sampled_from([7, 9, 10]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_recomputed_fold(self, bits, hist_len, folded_len):
+        """Incremental fold equals XOR-folding the raw history window."""
+        fold = _FoldedHistory(hist_len, folded_len)
+        window = [0] * hist_len  # window[0] is newest
+        for bit in bits:
+            dropped = window[-1]
+            window = [bit] + window[:-1]
+            fold.update(bit, dropped)
+            # Reference: value = XOR of folded chunks, where history bit i
+            # (newest = 0) contributes at position i mod folded_len ...
+            # matching the circular-shift-register semantics: newest bit
+            # enters at bit 0 and shifts left once per update.
+            reference = 0
+            for i, b in enumerate(window):  # i updates ago
+                if b:
+                    # After i further shifts, the bit originally at
+                    # position 0 sits at position i (mod wrap-with-xor).
+                    reference ^= _shift_position(i, folded_len)
+            assert fold.value == reference
+
+
+def _shift_position(age: int, folded_len: int) -> int:
+    """Value contributed by a set bit inserted *age* updates ago."""
+    value = 1  # inserted at bit 0
+    for _ in range(age):
+        value <<= 1
+        if value >> folded_len:
+            value = (value & ((1 << folded_len) - 1)) ^ 1
+    return value
+
+
+class TestTagePatterns:
+    def test_learns_alternating(self):
+        outcomes = [i % 2 == 0 for i in range(2000)]
+        assert _run(TagePredictor(), outcomes) < 0.05
+
+    def test_learns_loop_exits(self):
+        outcomes = [(i % 6) != 5 for i in range(3000)]
+        assert _run(TagePredictor(), outcomes) < 0.02
+
+    def test_biased_branch_near_floor(self):
+        rng = np.random.default_rng(1)
+        outcomes = list(rng.random(3000) < 0.95)
+        assert _run(TagePredictor(), outcomes) < 0.12
+
+    def test_beats_bimodal_on_patterns(self):
+        outcomes = [(i % 4) != 3 for i in range(2000)]
+        tage = _run(TagePredictor(), outcomes)
+        bimodal = _run(BimodalPredictor(), outcomes)
+        assert tage < bimodal
+
+    def test_interleaved_branches_do_not_alias_destructively(self):
+        tage = TagePredictor()
+        rng = np.random.default_rng(2)
+        pcs = [0x1000 + i * 4 for i in range(32)]
+        wrong = total = 0
+        for it in range(6000):
+            pc = pcs[it % len(pcs)]
+            taken = bool(rng.random() < (0.98 if pc % 8 else 0.02))
+            predicted = tage.predict(pc)
+            tage.update(pc, taken)
+            wrong += predicted != taken
+            total += 1
+        assert wrong / total < 0.1
+
+    def test_accuracy_property(self):
+        tage = TagePredictor()
+        assert tage.accuracy == 0.0
+        _run(tage, [True] * 100)
+        assert tage.accuracy > 0.9
+
+    def test_cold_update_trains_without_prediction(self):
+        tage = TagePredictor()
+        for _ in range(10):
+            tage.update(0x1000, True)  # no preceding predict
+        assert tage.predict(0x1000) is True
+
+    def test_storage_within_budget(self):
+        tage = TagePredictor()
+        assert tage.storage_bits() <= 8 * 1024 * 8
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            TagePredictor(bimodal_entries=1000)  # not a power of two
+        with pytest.raises(ConfigError):
+            TagePredictor(histories=(50, 20, 8, 5))  # not increasing
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        assert _run(BimodalPredictor(), [True] * 200) < 0.05
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(100)

@@ -1,0 +1,73 @@
+"""Unit tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import BranchKind
+from repro.workloads.trace import Trace
+
+
+def _small_trace():
+    return Trace(
+        pc=np.array([0x1000, 0x1010, 0x9000], dtype=np.int64),
+        ninstr=np.array([4, 2, 3], dtype=np.int16),
+        kind=np.array([int(BranchKind.COND), int(BranchKind.CALL),
+                       int(BranchKind.RET)], dtype=np.int8),
+        taken=np.array([False, True, True]),
+        target=np.array([0x1010, 0x9000, 0x1018], dtype=np.int64),
+    )
+
+
+class TestTrace:
+    def test_length_and_instruction_count(self):
+        trace = _small_trace()
+        assert len(trace) == 3
+        assert trace.instruction_count == 9
+
+    def test_record_materialisation(self):
+        record = _small_trace().record(1)
+        assert record.pc == 0x1010
+        assert record.kind == BranchKind.CALL
+        assert record.taken
+        assert record.target == 0x9000
+
+    def test_records_iteration(self):
+        records = list(_small_trace().records())
+        assert len(records) == 3
+        assert records[2].kind == BranchKind.RET
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(pc=np.zeros(3, dtype=np.int64),
+                  ninstr=np.zeros(2, dtype=np.int16),
+                  kind=np.zeros(3, dtype=np.int8),
+                  taken=np.zeros(3, dtype=bool),
+                  target=np.zeros(3, dtype=np.int64))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(pc=np.array([], dtype=np.int64),
+                  ninstr=np.array([], dtype=np.int16),
+                  kind=np.array([], dtype=np.int8),
+                  taken=np.array([], dtype=bool),
+                  target=np.array([], dtype=np.int64))
+
+    def test_slice(self):
+        sliced = _small_trace().slice(1, 3)
+        assert len(sliced) == 2
+        assert sliced.record(0).pc == 0x1010
+
+    def test_bad_slice_rejected(self):
+        with pytest.raises(TraceError):
+            _small_trace().slice(2, 1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(trace)
+        assert (loaded.pc == trace.pc).all()
+        assert (loaded.taken == trace.taken).all()
+        assert (loaded.target == trace.target).all()

@@ -1,0 +1,94 @@
+"""Unit tests for trace generation (execution semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import BranchKind, fallthrough_pc
+from repro.workloads.tracegen import TraceGenerator, generate_trace
+
+
+class TestExecutionSemantics:
+    def test_deterministic(self, tiny_generated):
+        a = generate_trace(tiny_generated, 2000, seed=3)
+        b = generate_trace(tiny_generated, 2000, seed=3)
+        assert (a.pc == b.pc).all()
+        assert (a.taken == b.taken).all()
+
+    def test_seed_varies_stream(self, tiny_generated):
+        a = generate_trace(tiny_generated, 2000, seed=3)
+        b = generate_trace(tiny_generated, 2000, seed=4)
+        assert not (a.pc == b.pc).all()
+
+    def test_warmup_advances_stream(self, tiny_generated):
+        plain = generate_trace(tiny_generated, 1000, seed=3)
+        warmed = generate_trace(tiny_generated, 1000, seed=3,
+                                warmup_blocks=500)
+        assert not (plain.pc == warmed.pc).all()
+
+    def test_incremental_equals_oneshot(self, tiny_generated):
+        generator = TraceGenerator(tiny_generated, seed=3)
+        first = generator.run(600)
+        second = generator.run(400)
+        oneshot = generate_trace(tiny_generated, 1000, seed=3)
+        assert (oneshot.pc[:600] == first.pc).all()
+        assert (oneshot.pc[600:] == second.pc).all()
+
+    def test_rejects_empty_run(self, tiny_generated):
+        with pytest.raises(TraceError):
+            TraceGenerator(tiny_generated).run(0)
+
+    def test_successor_consistency(self, tiny_trace):
+        """Each block's recorded target is the next block's pc."""
+        assert (tiny_trace.target[:-1] == tiny_trace.pc[1:]).all()
+
+    def test_unconditionals_always_taken(self, tiny_trace):
+        uncond = tiny_trace.kind != int(BranchKind.COND)
+        assert tiny_trace.taken[uncond].all()
+
+    def test_not_taken_conditionals_fall_through(self, tiny_trace):
+        for i in range(len(tiny_trace)):
+            if (tiny_trace.kind[i] == int(BranchKind.COND)
+                    and not tiny_trace.taken[i]):
+                assert tiny_trace.target[i] == fallthrough_pc(
+                    int(tiny_trace.pc[i]), int(tiny_trace.ninstr[i])
+                )
+
+    def test_calls_and_returns_balance(self, tiny_trace):
+        """Returns never exceed calls plus request-boundary returns."""
+        depth = 0
+        for k in tiny_trace.kind:
+            if k in (int(BranchKind.CALL), int(BranchKind.TRAP)):
+                depth += 1
+            elif k in (int(BranchKind.RET), int(BranchKind.TRAP_RET)):
+                depth = max(0, depth - 1)  # empty-stack ret = new request
+        assert depth >= 0
+
+    def test_call_targets_function_entries(self, tiny_generated,
+                                           tiny_trace):
+        entries = {f.base_addr for f in tiny_generated.program.functions}
+        call_mask = np.isin(tiny_trace.kind,
+                            [int(BranchKind.CALL), int(BranchKind.TRAP)])
+        targets = set(tiny_trace.target[call_mask].tolist())
+        assert targets <= entries
+
+    def test_all_pcs_belong_to_program(self, tiny_generated, tiny_trace):
+        valid = set()
+        for function in tiny_generated.program.functions:
+            for bidx in range(function.nblocks):
+                valid.add(function.block_addr(bidx))
+        assert set(tiny_trace.pc.tolist()) <= valid
+
+    def test_every_kind_appears(self, tiny_trace):
+        kinds = set(tiny_trace.kind.tolist())
+        for kind in (BranchKind.COND, BranchKind.CALL, BranchKind.RET):
+            assert int(kind) in kinds
+
+    def test_loop_branches_terminate(self, tiny_generated):
+        """A long run never gets stuck: the pc keeps changing."""
+        trace = generate_trace(tiny_generated, 6000, seed=11)
+        # No single block dominates the stream (a stuck walk would put
+        # one block at ~100%; hot loop heads in a 60-function program can
+        # legitimately reach ~25%).
+        _, counts = np.unique(trace.pc, return_counts=True)
+        assert counts.max() < 0.3 * len(trace)
