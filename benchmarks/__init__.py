@@ -1,0 +1,1 @@
+"""Benchmark suite package (regenerates paper tables/figures; see conftest)."""

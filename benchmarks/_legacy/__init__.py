@@ -1,0 +1,1 @@
+"""Seed-revision engine snapshot used by the perf smoke benchmark."""

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Scheme interface between the front-end engine and the prefetchers.
 
 The engine (:mod:`repro.core.frontend`) owns everything with *timing*:
@@ -19,7 +22,8 @@ questions:
 from __future__ import annotations
 
 import enum
-from typing import List, NamedTuple, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.isa import BranchKind
 
@@ -36,15 +40,12 @@ class MissPolicy(enum.Enum):
     STALL_FILL = "stall_fill"
 
 
-class LookupHit(NamedTuple):
+@dataclass(frozen=True)
+class LookupHit:
     """A successful BTB lookup, normalised across structures.
 
     ``target`` is 0 for returns (their target comes from the RAS).
     ``source`` names the structure that hit, for statistics.
-
-    A ``NamedTuple`` rather than a frozen dataclass: one is built per BTB
-    hit in the innermost loop, and tuple construction is several times
-    cheaper than ``object.__setattr__``-based frozen-dataclass init.
     """
 
     ninstr: int

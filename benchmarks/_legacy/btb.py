@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Conventional basic-block-oriented BTB and the BTB prefetch buffer.
 
 The BTB follows Yeh & Patt's basic-block orientation (paper Section 4.2.1):
@@ -27,9 +30,6 @@ class SetAssocTable(Generic[E]):
     granularity so that consecutive blocks spread across sets.
     """
 
-    __slots__ = ("entries", "assoc", "n_sets", "_sets", "lookups",
-                 "hit_count")
-
     def __init__(self, entries: int, assoc: int = 4) -> None:
         if entries <= 0 or assoc <= 0:
             raise ConfigError("table entries/assoc must be positive")
@@ -46,9 +46,12 @@ class SetAssocTable(Generic[E]):
         self.lookups = 0
         self.hit_count = 0
 
+    def _set_of(self, pc: int) -> "OrderedDict[int, E]":
+        return self._sets[(pc >> 2) % self.n_sets]
+
     def lookup(self, pc: int) -> Optional[E]:
         """Return the entry for block *pc*, updating LRU, or None."""
-        table_set = self._sets[(pc >> 2) % self.n_sets]
+        table_set = self._set_of(pc)
         self.lookups += 1
         entry = table_set.get(pc)
         if entry is not None:
@@ -58,11 +61,11 @@ class SetAssocTable(Generic[E]):
 
     def peek(self, pc: int) -> Optional[E]:
         """Probe without disturbing LRU or counters."""
-        return self._sets[(pc >> 2) % self.n_sets].get(pc)
+        return self._set_of(pc).get(pc)
 
     def insert(self, pc: int, entry: E) -> None:
         """Install or replace the entry for block *pc* (LRU victim)."""
-        table_set = self._sets[(pc >> 2) % self.n_sets]
+        table_set = self._set_of(pc)
         if pc in table_set:
             table_set[pc] = entry
             table_set.move_to_end(pc)
@@ -79,7 +82,7 @@ class SetAssocTable(Generic[E]):
         return self.hit_count / self.lookups if self.lookups else 0.0
 
 
-@dataclass(slots=True)
+@dataclass
 class BTBEntry:
     """A conventional BTB entry (Section 5.2 field layout).
 
@@ -96,8 +99,6 @@ class BTBEntry:
 
 class ConventionalBTB(SetAssocTable[BTBEntry]):
     """The baseline/Boomerang 2K-entry basic-block BTB."""
-
-    __slots__ = ()
 
     def insert_branch(self, pc: int, ninstr: int, kind: BranchKind,
                       target: int) -> None:
@@ -116,8 +117,6 @@ class BTBPrefetchBuffer:
     missing branch; a subsequent front-end hit moves the branch into the
     appropriate BTB.
     """
-
-    __slots__ = ("entries", "_buffer", "hits")
 
     def __init__(self, entries: int = 32) -> None:
         if entries <= 0:

@@ -1,11 +1,12 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Set-associative caches and the L1-I prefetch buffer.
 
 Caches are keyed by *line index* (byte address >> log2(line size)); the
-caller performs the shift once.  LRU exploits the insertion-order
-guarantee of Python dicts: a hit deletes and re-inserts the key (moving
-it to the back), so the least-recently-used line is always the first
-key and eviction is O(1) — measurably cheaper in the simulation hot
-loop than the previous per-set access-stamp scan.
+caller performs the shift once.  LRU is tracked with a monotonically
+increasing access stamp per set, which is O(assoc) on eviction — cheap for
+the associativities in play (2-16).
 """
 
 from __future__ import annotations
@@ -25,8 +26,6 @@ class SetAssocCache:
         line_bytes: line size (used only to derive the set count).
     """
 
-    __slots__ = ("n_sets", "assoc", "_set_mask", "_sets", "hits", "misses")
-
     def __init__(self, capacity_bytes: int, assoc: int,
                  line_bytes: int = 64) -> None:
         if capacity_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
@@ -42,18 +41,21 @@ class SetAssocCache:
                               f"got {self.n_sets}")
         self.assoc = assoc
         self._set_mask = self.n_sets - 1
-        # Per set: {line_index: None}, ordered least- to most-recently used.
-        self._sets: List[Dict[int, None]] = [{} for _ in range(self.n_sets)]
+        # Per set: {line_index: last_access_stamp}.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
         self.hits = 0
         self.misses = 0
 
+    def _set_of(self, line: int) -> Dict[int, int]:
+        return self._sets[line & self._set_mask]
+
     def lookup(self, line: int) -> bool:
         """Probe for *line*; updates LRU and hit/miss counters."""
-        cache_set = self._sets[line & self._set_mask]
+        cache_set = self._set_of(line)
+        self._stamp += 1
         if line in cache_set:
-            # Move to the back (most recently used).
-            del cache_set[line]
-            cache_set[line] = None
+            cache_set[line] = self._stamp
             self.hits += 1
             return True
         self.misses += 1
@@ -61,25 +63,25 @@ class SetAssocCache:
 
     def contains(self, line: int) -> bool:
         """Probe without disturbing LRU or counters."""
-        return line in self._sets[line & self._set_mask]
+        return line in self._set_of(line)
 
     def insert(self, line: int) -> Optional[int]:
         """Install *line*; returns the evicted line index, if any."""
-        cache_set = self._sets[line & self._set_mask]
+        cache_set = self._set_of(line)
+        self._stamp += 1
         if line in cache_set:
-            del cache_set[line]
-            cache_set[line] = None
+            cache_set[line] = self._stamp
             return None
         victim = None
         if len(cache_set) >= self.assoc:
-            victim = next(iter(cache_set))
+            victim = min(cache_set, key=cache_set.get)
             del cache_set[victim]
-        cache_set[line] = None
+        cache_set[line] = self._stamp
         return victim
 
     def invalidate(self, line: int) -> bool:
         """Remove *line* if present; returns whether it was present."""
-        cache_set = self._sets[line & self._set_mask]
+        cache_set = self._set_of(line)
         if line in cache_set:
             del cache_set[line]
             return True
@@ -98,8 +100,6 @@ class PrefetchBuffer:
     demand access, so useless prefetches never pollute the cache proper.
     """
 
-    __slots__ = ("entries", "_lines", "evicted_unused")
-
     def __init__(self, entries: int) -> None:
         if entries <= 0:
             raise ConfigError("prefetch buffer needs at least one entry")
@@ -115,20 +115,18 @@ class PrefetchBuffer:
 
     def insert(self, line: int) -> None:
         """Stage a prefetched line, evicting the oldest if full."""
-        lines = self._lines
-        if line in lines:
-            lines.move_to_end(line)
+        if line in self._lines:
+            self._lines.move_to_end(line)
             return
-        if len(lines) >= self.entries:
-            _, used = lines.popitem(last=False)
+        if len(self._lines) >= self.entries:
+            _, used = self._lines.popitem(last=False)
             if not used:
                 self.evicted_unused += 1
-        lines[line] = False
+        self._lines[line] = False
 
     def consume(self, line: int) -> bool:
         """Demand-promote *line* out of the buffer; True if it was staged."""
-        lines = self._lines
-        if line in lines:
-            del lines[line]
+        if line in self._lines:
+            del self._lines[line]
             return True
         return False

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Spatial footprints: encoding, decoding and retire-time recording.
 
 Section 4.2.2 of the paper: a spatial footprint summarises which cache
@@ -52,10 +55,6 @@ class FootprintCodec:
         self.bits = bits
         self.fixed_blocks = fixed_blocks
         self.after_bits, self.before_bits = _split_bits(bits)
-        #: Decoded-offset memo: footprints are short bit masks, so each
-        #: distinct value decodes once (the decode sits on the region-
-        #: prefetch hot path, once per unconditional-branch BTB hit).
-        self._decode_cache: Dict[int, Tuple[int, ...]] = {}
 
     # -- encoding ------------------------------------------------------
 
@@ -97,31 +96,21 @@ class FootprintCodec:
         Offset 0 is always included: the target block itself is prefetched
         on every U-BTB/RIB hit regardless of format.
         """
-        return list(self.decode_offsets(footprint))
-
-    def decode_offsets(self, footprint: int) -> Tuple[int, ...]:
-        """Memoised :meth:`prefetch_offsets` (shared, immutable tuple)."""
-        cached = self._decode_cache.get(footprint)
-        if cached is not None:
-            return cached
         if self.mode == "none":
-            offsets = (0,)
-        elif self.mode == "fixed_blocks":
-            offsets = tuple(range(0, self.fixed_blocks))
-        elif self.mode == "entire_region":
+            return [0]
+        if self.mode == "fixed_blocks":
+            return list(range(0, self.fixed_blocks))
+        if self.mode == "entire_region":
             lo = _sign_extend(footprint & 0xFF)
             hi = _sign_extend((footprint >> 8) & 0xFF)
-            offsets = tuple(range(lo, hi + 1)) or (0,)
-        else:
-            decoded = [0]
-            for bit in range(self.after_bits):
-                if footprint & (1 << bit):
-                    decoded.append(bit + 1)
-            for bit in range(self.before_bits):
-                if footprint & (1 << (self.after_bits + bit)):
-                    decoded.append(-(bit + 1))
-            offsets = tuple(decoded)
-        self._decode_cache[footprint] = offsets
+            return list(range(lo, hi + 1)) or [0]
+        offsets = [0]
+        for bit in range(self.after_bits):
+            if footprint & (1 << bit):
+                offsets.append(bit + 1)
+        for bit in range(self.before_bits):
+            if footprint & (1 << (self.after_bits + bit)):
+                offsets.append(-(bit + 1))
         return offsets
 
     def storage_bits_per_footprint(self) -> int:
@@ -168,20 +157,6 @@ class RegionRecorder:
         offset = line - self._entry_line
         if offset != 0:
             self._offsets[offset] = None
-
-    def access_range(self, first_line: int, last_line: int) -> None:
-        """Record accesses to *first_line*..*last_line* inclusive.
-
-        Hot-path equivalent of calling :meth:`access` per line: one call
-        per retired block instead of one per touched line.
-        """
-        entry_line = self._entry_line
-        if entry_line is None:
-            return
-        offsets = self._offsets
-        for line in range(first_line, last_line + 1):
-            if line != entry_line:
-                offsets[line - entry_line] = None
 
     def close(self) -> None:
         """Finish the active region and store its encoded footprint."""

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Decoupled front-end timing engine.
 
 The engine replays a retire-order basic-block trace (correct path only)
@@ -23,34 +26,23 @@ Mispredictions poison the run-ahead: the BPU parks at the offending
 block, the flush penalty is charged when fetch reaches it, and the BPU
 restarts from the resolve time — so every mispredict also costs prefetch
 lookahead, exactly as in a real decoupled front-end.
-
-Performance notes (DESIGN.md Section 7): the run loops are written for
-CPython throughput.  Trace columns are read from :attr:`Trace.hot`
-(native lists, precomputed line indices and fall-through pcs, shared
-across every scheme simulated on the trace), frequently-called bound
-methods are hoisted into locals outside the loop, and the hottest
-counters accumulate in local variables that are flushed into
-:class:`EngineStats` only at the warm-up boundary and at the end of the
-run.  The in-flight prefetch set is paired with a ready-time-ordered
-heap so draining arrived fills is O(arrived · log n) instead of a full
-scan of the in-flight dict.
 """
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.config import MicroarchParams
 from repro.core.metrics import EngineStats, SimulationResult
 from repro.errors import SimulationError
-from repro.isa import BranchKind
-from repro.prefetch.base import MissPolicy, Scheme
-from repro.uarch.cache import PrefetchBuffer, SetAssocCache
-from repro.uarch.interconnect import NocModel
-from repro.uarch.ras import ReturnAddressStack
-from repro.uarch.tage import PrecomputedHistoryTage, TagePredictor, \
-    precompute_fold_sequences
+from repro.isa import BLOCK_SHIFT, INSTR_BYTES, BranchKind
+from benchmarks._legacy.base import MissPolicy, Scheme
+from benchmarks._legacy.cache import PrefetchBuffer, SetAssocCache
+from benchmarks._legacy.interconnect import NocModel
+from benchmarks._legacy.ras import ReturnAddressStack
+from benchmarks._legacy.tage import TagePredictor
 from repro.workloads.trace import Trace
 
 #: How many in-flight entries may accumulate before arrived lines are
@@ -69,29 +61,6 @@ _KIND_TRAP = int(BranchKind.TRAP)
 _KIND_TRAP_RET = int(BranchKind.TRAP_RET)
 _CALL_KINDS = (_KIND_CALL, _KIND_TRAP)
 _RET_KINDS = (_KIND_RET, _KIND_TRAP_RET)
-
-#: ``BranchKind`` objects indexed by raw kind value, so the loops hand
-#: schemes real enum members without paying ``BranchKind(kind)`` per call.
-_KIND_OBJS: Tuple[BranchKind, ...] = tuple(
-    BranchKind(value) for value in sorted(int(k) for k in BranchKind)
-)
-
-
-def _trace_predictor(trace: Trace) -> TagePredictor:
-    """Default TAGE for *trace*, with trace-derived folded histories.
-
-    The engine trains the direction predictor on every conditional block
-    in retire order, so the folded-history sequences are a pure function
-    of the trace; they are computed once, cached on ``trace.derived``,
-    and shared by every scheme simulated on the trace.  Predictions are
-    bit-identical to a plain :class:`TagePredictor`.
-    """
-    seqs = trace.derived.get("tage_folds")
-    if seqs is None:
-        hot = trace.hot
-        seqs = precompute_fold_sequences(hot.kind, hot.taken, _KIND_COND)
-        trace.derived["tage_folds"] = seqs
-    return PrecomputedHistoryTage(seqs)
 
 
 class FrontEnd:
@@ -124,19 +93,7 @@ class FrontEnd:
         self.scheme = scheme
         self.params = params if params is not None else MicroarchParams()
         self.predictor = predictor if predictor is not None \
-            else _trace_predictor(trace)
-        # Fused predict+train entry point; predictors without one (custom
-        # test doubles) get a thin wrapper with identical semantics.
-        self._predict_update = getattr(self.predictor, "predict_update",
-                                       None)
-        if self._predict_update is None:
-            def _fused(pc: int, taken: bool,
-                       _predict=self.predictor.predict,
-                       _update=self.predictor.update) -> bool:
-                predicted = _predict(pc)
-                _update(pc, taken)
-                return predicted
-            self._predict_update = _fused
+            else TagePredictor()
         self.l1d_rate = l1d_misses_per_kinstr
         self.warmup_fraction = warmup_fraction
 
@@ -148,22 +105,8 @@ class FrontEnd:
         self.ras = ReturnAddressStack(p.ras_size)
         self.stats = EngineStats()
         self._inflight: Dict[int, float] = {}
-        #: Ready-time-ordered view of ``_inflight``; entries whose line
-        #: was demanded (and popped from the dict) or re-issued become
-        #: stale and are skipped on pop.
-        self._inflight_heap: List[Tuple[float, int]] = []
         self._l1d_accum = 0.0
         self._ran = False
-
-        # Hot-path bindings: resolved once so the per-line helpers avoid
-        # repeated attribute chains.  ``_on_fetch_line`` is None when the
-        # scheme keeps the base no-op hook, letting ``_demand_line`` skip
-        # a call (and an empty-list allocation) per fetched line.
-        self._on_prefetch_arrival = scheme.on_prefetch_arrival
-        self._l1i_latency = p.l1i_latency
-        self._on_fetch_line = scheme.on_fetch_line \
-            if type(scheme).on_fetch_line is not Scheme.on_fetch_line \
-            else None
 
         # Static taken-targets from the binary image: a decoder genuinely
         # knows a direct branch's target even when it is not taken, so
@@ -207,106 +150,60 @@ class FrontEnd:
         regions — whose lines never leave the L1-I — would never be
         proactively predecoded and a small C-BTB would thrash.
         """
-        # Inlined ``l1i.contains`` / ``line in pf_buffer`` (no LRU or
-        # counter side effects, same semantics, no method-call round trip
-        # — this runs once per prefetch probe).
-        l1i = self.l1i
-        if line in l1i._sets[line & l1i._set_mask] \
-                or line in self.pf_buffer._lines:
-            self._on_prefetch_arrival(line, now + self._l1i_latency)
+        if self.l1i.contains(line) or line in self.pf_buffer:
+            self.scheme.on_prefetch_arrival(
+                line, now + self.params.l1i_latency
+            )
             return
         if line in self._inflight:
             return
         ready = now + self._hierarchy_fill(line, now)
         self._inflight[line] = ready
-        heap = self._inflight_heap
-        heappush(heap, (ready, line))
         self.stats.prefetch_issued += 1
-        self._on_prefetch_arrival(line, ready)
+        self.scheme.on_prefetch_arrival(line, ready)
         if len(self._inflight) > _INFLIGHT_DRAIN_THRESHOLD:
             self._drain_inflight(now)
-        elif len(heap) > _INFLIGHT_DRAIN_THRESHOLD * 4 \
-                and len(heap) > 4 * len(self._inflight):
-            # Demand promotion pops the dict but leaves the heap tuple;
-            # with timely prefetches the dict stays small while stale
-            # tuples pile up, so rebuild from the live set when stale
-            # entries dominate.  Drain semantics are unchanged: the live
-            # (ready, line) pairs are exactly preserved.
-            heap = [(ready, line)
-                    for line, ready in self._inflight.items()]
-            heapify(heap)
-            self._inflight_heap = heap
 
     def _drain_inflight(self, now: float) -> None:
-        """Move arrived (never-demanded) fills into the prefetch buffer.
-
-        Pops the ready-time heap instead of scanning the whole in-flight
-        dict, so the cost is O(arrived · log n).  Heap entries whose line
-        was already demand-promoted (or superseded by a newer fill of the
-        same line) no longer match the dict and are simply discarded.
-
-        Lines enter the (FIFO) prefetch buffer in *arrival* order —
-        the physically faithful order, and a deliberate refinement over
-        the seed engine's dict scan, which inserted a drained batch in
-        issue order.  Under NoC contention the two orders can pick
-        different FIFO eviction victims, so heavily over-prefetching
-        configurations (e.g. the 5-Blocks footprint ablation) show
-        ulp-level stat differences vs. the seed engine.
-        """
-        heap = self._inflight_heap
-        inflight = self._inflight
-        pf_insert = self.pf_buffer.insert
-        while heap and heap[0][0] <= now:
-            ready, line = heappop(heap)
-            if inflight.get(line) == ready:
-                del inflight[line]
-                pf_insert(line)
+        """Move arrived (never-demanded) fills into the prefetch buffer."""
+        arrived = [l for l, ready in self._inflight.items() if ready <= now]
+        for line in arrived:
+            del self._inflight[line]
+            self.pf_buffer.insert(line)
 
     def _demand_line(self, line: int, now: float) -> float:
         """Fetch-side access to *line*; returns stall cycles."""
         stats = self.stats
         stats.l1i_demand_accesses += 1
-        fetch_hook = self._on_fetch_line
-        # Inlined ``l1i.lookup`` hit path (same LRU move and counters):
-        # the common case is a hit, once per line of every fetched block.
-        l1i = self.l1i
-        cache_set = l1i._sets[line & l1i._set_mask]
-        if line in cache_set:
-            del cache_set[line]
-            cache_set[line] = None
-            l1i.hits += 1
-            if fetch_hook is not None:
-                for req_line, earliest in fetch_hook(line, True, now):
-                    self._issue_prefetch(req_line, max(earliest, now))
+        if self.l1i.lookup(line):
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
             return 0.0
-        l1i.misses += 1
         if self.pf_buffer.consume(line):
-            l1i.insert(line)
+            self.l1i.insert(line)
             stats.prefetch_used += 1
-            if fetch_hook is not None:
-                for req_line, earliest in fetch_hook(line, True, now):
-                    self._issue_prefetch(req_line, max(earliest, now))
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
             return 0.0
         ready = self._inflight.pop(line, None)
         if ready is not None:
-            l1i.insert(line)
+            self.l1i.insert(line)
             stats.prefetch_used += 1
-            residual = ready - now
+            residual = max(0.0, ready - now)
             if residual > 0:
                 stats.l1i_late_prefetches += 1
                 stats.stall_l1i += residual
-            else:
-                residual = 0.0
-            if fetch_hook is not None:
-                for req_line, earliest in fetch_hook(line, True, now):
-                    self._issue_prefetch(req_line, max(earliest, now))
+            for req_line, earliest in self.scheme.on_fetch_line(
+                    line, True, now):
+                self._issue_prefetch(req_line, max(earliest, now))
             return residual
         # Uncovered demand miss.
         stats.l1i_demand_misses += 1
-        requests = fetch_hook(line, False, now) if fetch_hook is not None \
-            else ()
+        requests = self.scheme.on_fetch_line(line, False, now)
         latency = self._hierarchy_fill(line, now)
-        l1i.insert(line)
+        self.l1i.insert(line)
         stats.stall_l1i += latency
         for req_line, earliest in requests:
             self._issue_prefetch(req_line, max(earliest, now))
@@ -324,7 +221,6 @@ class FrontEnd:
         # The fetched line is installed as a prefetch: Boomerang pulls the
         # whole block in, so a later demand access finds it.
         self._inflight[line] = ready
-        heappush(self._inflight_heap, (ready, line))
         self.stats.prefetch_issued += 1
         self.scheme.on_prefetch_arrival(line, ready)
         return ready
@@ -339,17 +235,14 @@ class FrontEnd:
         """
         self._l1d_accum += ninstr * self.l1d_rate / 1000.0
         stall = 0.0
-        noc_request = self.noc.request
-        memory_extra = 0.15 * self.params.memory_latency
-        exposure = self.params.l1d_stall_exposure
-        stats = self.stats
         while self._l1d_accum >= 1.0:
             self._l1d_accum -= 1.0
+            latency = self.noc.request(now)
             # A fixed fraction of data misses falls through to memory.
-            latency = noc_request(now) + memory_extra
-            stats.l1d_misses += 1
-            stats.l1d_fill_cycles += latency
-            stall += latency * exposure
+            latency += 0.15 * self.params.memory_latency
+            self.stats.l1d_misses += 1
+            self.stats.l1d_fill_cycles += latency
+            stall += latency * self.params.l1d_stall_exposure
         return stall
 
     # ------------------------------------------------------------------
@@ -378,63 +271,39 @@ class FrontEnd:
     # ------------------------------------------------------------------
 
     def _run_ideal(self) -> None:
+        trace = self.trace
         params = self.params
+        predictor = self.predictor
         stats = self.stats
         issue_width = params.issue_width
         flush = params.flush_penalty
         warmup = self._warmup_index()
         snapshot = None
 
-        hot = self.trace.hot
         pcs, ninstrs, kinds, takens = \
-            hot.pc, hot.ninstr, hot.kind, hot.taken
-        n = len(pcs)
-        predict_update = self._predict_update
-        l1d_traffic = self._l1d_traffic
-        l1d_rate = self.l1d_rate
-
-        # Hot counters accumulate in locals; flushed at the warm-up
-        # boundary and after the loop.
-        cond_branches = 0
-        dir_mispredicts = 0
-        stall_dir_flush = 0.0
-        instructions = 0
-        l1d_accum = 0.0
-
+            trace.pc, trace.ninstr, trace.kind, trace.taken
         clock = 0.0
-        for i in range(n):
+        for i in range(len(trace)):
             if i == warmup:
                 stats.cycles = clock
-                stats.conditional_branches = cond_branches
-                stats.dir_mispredicts = dir_mispredicts
-                stats.stall_dir_flush = stall_dir_flush
-                stats.blocks = i
-                stats.instructions = instructions
                 snapshot = stats.snapshot()
-            ninstr = ninstrs[i]
-            if kinds[i] == _KIND_COND:
-                pc = pcs[i]
-                cond_branches += 1
-                taken = takens[i]
-                predicted = predict_update(pc, taken)
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            if kind == _KIND_COND:
+                stats.conditional_branches += 1
+                taken = bool(takens[i])
+                predicted = predictor.predict(pc)
+                predictor.update(pc, taken)
                 if predicted != taken:
-                    dir_mispredicts += 1
-                    stall_dir_flush += flush
+                    stats.dir_mispredicts += 1
+                    stats.stall_dir_flush += flush
                     clock += flush
             clock += ninstr / issue_width
-            l1d_accum += ninstr * l1d_rate / 1000.0
-            if l1d_accum >= 1.0:
-                self._l1d_accum = l1d_accum
-                clock += l1d_traffic(0, clock)
-                l1d_accum = self._l1d_accum
-            instructions += ninstr
-        self._l1d_accum = l1d_accum
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
         stats.cycles = clock
-        stats.conditional_branches = cond_branches
-        stats.dir_mispredicts = dir_mispredicts
-        stats.stall_dir_flush = stall_dir_flush
-        stats.blocks = n
-        stats.instructions = instructions
         self._finish(snapshot, warmup, clock)
 
     # ------------------------------------------------------------------
@@ -442,6 +311,7 @@ class FrontEnd:
     # ------------------------------------------------------------------
 
     def _run_demand(self) -> None:
+        trace = self.trace
         params = self.params
         scheme = self.scheme
         predictor = self.predictor
@@ -452,140 +322,91 @@ class FrontEnd:
         warmup = self._warmup_index()
         snapshot = None
 
-        hot = self.trace.hot
         pcs, ninstrs, kinds, takens, targets = (
-            hot.pc, hot.ninstr, hot.kind, hot.taken, hot.target
+            trace.pc, trace.ninstr, trace.kind, trace.taken, trace.target
         )
-        first_lines, last_lines, fallthroughs = (
-            hot.first_line, hot.last_line, hot.fallthrough
-        )
-        n = len(pcs)
-        kind_objs = _KIND_OBJS
-        predict_update = self._predict_update
-        update = predictor.update
-        ras_push = ras.push
-        ras_pop = ras.pop
-        scheme_lookup = scheme.lookup
-        demand_fill = scheme.demand_fill
-        on_retire = scheme.on_retire
-        demand_line = self._demand_line
-        fill_target = self._fill_target
-        l1d_traffic = self._l1d_traffic
-        l1d_rate = self.l1d_rate
-
-        # Hot counters accumulate in plain locals (a closure would turn
-        # them into cell variables and slow every increment); they are
-        # flushed into ``stats`` at the warm-up boundary and at the end.
-        cond_branches = 0
-        dir_mispredicts = 0
-        target_mispredicts = 0
-        btb_misses = 0
-        stall_dir_flush = 0.0
-        stall_target_flush = 0.0
-        stall_btb_flush = 0.0
-        instructions = 0
-        l1d_accum = 0.0
-
         clock = 0.0
-        for i in range(n):
+        for i in range(len(trace)):
             if i == warmup:
                 stats.cycles = clock
-                stats.conditional_branches = cond_branches
-                stats.dir_mispredicts = dir_mispredicts
-                stats.target_mispredicts = target_mispredicts
-                stats.btb_misses = btb_misses
-                stats.stall_dir_flush = stall_dir_flush
-                stats.stall_target_flush = stall_target_flush
-                stats.stall_btb_flush = stall_btb_flush
-                stats.blocks = i
-                stats.instructions = instructions
                 snapshot = stats.snapshot()
-            pc = pcs[i]
-            ninstr = ninstrs[i]
-            kind = kinds[i]
-            taken = takens[i]
-            target = targets[i]
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            taken = bool(takens[i])
+            target = int(targets[i])
+            fallthrough = pc + ninstr * INSTR_BYTES
 
             # L1-I demand accesses for the block's line(s).
-            first_line = first_lines[i]
-            last_line = last_lines[i]
-            stall = demand_line(first_line, clock)
+            first_line = pc >> BLOCK_SHIFT
+            last_line = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+            stall = self._demand_line(first_line, clock)
             if last_line != first_line:
-                stall += demand_line(last_line, clock + stall)
+                stall += self._demand_line(last_line, clock + stall)
 
             # Control-flow delivery at fetch/execute.
-            hit = scheme_lookup(pc, clock)
+            hit = scheme.lookup(pc, clock)
             flush_cycles = 0.0
             if hit is None:
-                btb_misses += 1
+                stats.btb_misses += 1
                 if kind == _KIND_COND:
-                    cond_branches += 1
-                    update(pc, taken)  # cold train
+                    stats.conditional_branches += 1
+                    predictor.update(pc, taken)  # cold train
                 if kind in _CALL_KINDS:
-                    ras_push(fallthroughs[i], pc)
+                    ras.push(fallthrough, pc)
                 elif kind in _RET_KINDS:
-                    ras_pop()
+                    ras.pop()
                 if taken:
                     flush_cycles = flush
-                    stall_btb_flush += flush
-                demand_fill(pc, ninstr, kind_objs[kind],
-                            fill_target(pc, taken, target), clock)
+                    stats.stall_btb_flush += flush
+                scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                   self._fill_target(pc, taken, target),
+                                   clock)
             else:
                 if kind == _KIND_COND:
-                    cond_branches += 1
-                    predicted = predict_update(pc, taken)
+                    stats.conditional_branches += 1
+                    predicted = predictor.predict(pc)
+                    predictor.update(pc, taken)
                     if predicted != taken:
-                        dir_mispredicts += 1
-                        stall_dir_flush += flush
+                        stats.dir_mispredicts += 1
+                        stats.stall_dir_flush += flush
                         flush_cycles = flush
                     elif taken and hit.target != target:
-                        target_mispredicts += 1
-                        stall_target_flush += flush
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
                         flush_cycles = flush
-                        demand_fill(pc, ninstr, kind_objs[kind], target,
-                                    clock)
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
                 elif kind in _CALL_KINDS:
-                    ras_push(fallthroughs[i], pc)
+                    ras.push(fallthrough, pc)
                     if hit.target != target:
-                        target_mispredicts += 1
-                        stall_target_flush += flush
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
                         flush_cycles = flush
-                        demand_fill(pc, ninstr, kind_objs[kind], target,
-                                    clock)
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
                 elif kind in _RET_KINDS:
-                    entry = ras_pop()
+                    entry = ras.pop()
                     predicted_target = entry.return_addr if entry else -1
                     if predicted_target != target:
-                        target_mispredicts += 1
-                        stall_target_flush += flush
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
                         flush_cycles = flush
                 else:  # JUMP
                     if hit.target != target:
-                        target_mispredicts += 1
-                        stall_target_flush += flush
+                        stats.target_mispredicts += 1
+                        stats.stall_target_flush += flush
                         flush_cycles = flush
-                        demand_fill(pc, ninstr, kind_objs[kind], target,
-                                    clock)
+                        scheme.demand_fill(pc, ninstr, BranchKind(kind),
+                                           target, clock)
 
             clock += stall + flush_cycles + ninstr / issue_width
-            on_retire(pc, ninstr, kind_objs[kind], taken, target, clock)
-            l1d_accum += ninstr * l1d_rate / 1000.0
-            if l1d_accum >= 1.0:
-                self._l1d_accum = l1d_accum
-                clock += l1d_traffic(0, clock)
-                l1d_accum = self._l1d_accum
-            instructions += ninstr
-        self._l1d_accum = l1d_accum
+            scheme.on_retire(pc, ninstr, BranchKind(kind), taken, target,
+                             clock)
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
         stats.cycles = clock
-        stats.conditional_branches = cond_branches
-        stats.dir_mispredicts = dir_mispredicts
-        stats.target_mispredicts = target_mispredicts
-        stats.btb_misses = btb_misses
-        stats.stall_dir_flush = stall_dir_flush
-        stats.stall_target_flush = stall_target_flush
-        stats.stall_btb_flush = stall_btb_flush
-        stats.blocks = n
-        stats.instructions = instructions
         self._finish(snapshot, warmup, clock)
 
     # ------------------------------------------------------------------
@@ -593,6 +414,7 @@ class FrontEnd:
     # ------------------------------------------------------------------
 
     def _run_runahead(self) -> None:
+        trace = self.trace
         params = self.params
         scheme = self.scheme
         predictor = self.predictor
@@ -606,47 +428,11 @@ class FrontEnd:
         warmup = self._warmup_index()
         snapshot = None
 
-        hot = self.trace.hot
         pcs, ninstrs, kinds, takens, targets = (
-            hot.pc, hot.ninstr, hot.kind, hot.taken, hot.target
+            trace.pc, trace.ninstr, trace.kind, trace.taken, trace.target
         )
-        first_lines, last_lines, fallthroughs = (
-            hot.first_line, hot.last_line, hot.fallthrough
-        )
-        n = len(pcs)
-        enqueue_time = [0.0] * n
-        kind_objs = _KIND_OBJS
-        predict_update = self._predict_update
-        update = predictor.update
-        ras_push = ras.push
-        ras_pop = ras.pop
-        scheme_lookup = scheme.lookup
-        demand_fill = scheme.demand_fill
-        on_retire = scheme.on_retire
-        region_prefetch = scheme.region_prefetch
-        reactive_fill_install = scheme.reactive_fill_install
-        issue_prefetch = self._issue_prefetch
-        demand_line = self._demand_line
-        line_ready_for_fill = self._line_ready_for_fill
-        fill_target = self._fill_target
-        l1d_traffic = self._l1d_traffic
-        l1d_rate = self.l1d_rate
-
-        # Hot counters accumulate in plain locals (a closure would turn
-        # them into cell variables and slow every increment); they are
-        # flushed into ``stats`` at the warm-up boundary and at the end.
-        cond_branches = 0
-        dir_mispredicts = 0
-        target_mispredicts = 0
-        btb_misses = 0
-        reactive_fills = 0
-        reactive_fill_cycles = 0.0
-        stall_dir_flush = 0.0
-        stall_target_flush = 0.0
-        stall_btb_flush = 0.0
-        stall_ftq = 0.0
-        instructions = 0
-        l1d_accum = 0.0
+        n = len(trace)
+        enqueue_time = np.zeros(n, dtype=np.float64)
 
         clock = 0.0
         t_bpu = 0.0
@@ -659,25 +445,10 @@ class FrontEnd:
         for i in range(n):
             if i == warmup:
                 stats.cycles = clock
-                stats.conditional_branches = cond_branches
-                stats.dir_mispredicts = dir_mispredicts
-                stats.target_mispredicts = target_mispredicts
-                stats.btb_misses = btb_misses
-                stats.reactive_fills = reactive_fills
-                stats.reactive_fill_cycles = reactive_fill_cycles
-                stats.stall_dir_flush = stall_dir_flush
-                stats.stall_target_flush = stall_target_flush
-                stats.stall_btb_flush = stall_btb_flush
-                stats.stall_ftq = stall_ftq
-                stats.blocks = i
-                stats.instructions = instructions
                 snapshot = stats.snapshot()
 
             # -- BPU run-ahead ----------------------------------------
-            bpu_limit = i + ftq_size
-            if bpu_limit > n:
-                bpu_limit = n
-            while j < bpu_limit and diverged < 0:
+            while j < n and (j - i) < ftq_size and diverged < 0:
                 if capacity_blocked:
                     # The BPU was stalled on FTQ space; the slot it now
                     # fills frees as fetch consumes block i.
@@ -685,28 +456,30 @@ class FrontEnd:
                     if t_bpu < clock:
                         t_bpu = clock
                 t_bpu += 1.0
-                pc = pcs[j]
-                ninstr = ninstrs[j]
-                kind = kinds[j]
-                taken = takens[j]
-                target = targets[j]
+                pc = int(pcs[j])
+                ninstr = int(ninstrs[j])
+                kind = int(kinds[j])
+                taken = bool(takens[j])
+                target = int(targets[j])
+                fallthrough = pc + ninstr * INSTR_BYTES
 
-                hit = scheme_lookup(pc, t_bpu)
+                hit = scheme.lookup(pc, t_bpu)
                 if hit is None:
-                    btb_misses += 1
+                    stats.btb_misses += 1
                     if stall_fill:
-                        branch_line = last_lines[j]
-                        ready = line_ready_for_fill(branch_line, t_bpu)
+                        branch_line = (pc + (ninstr - 1) * INSTR_BYTES) \
+                            >> BLOCK_SHIFT
+                        ready = self._line_ready_for_fill(branch_line, t_bpu)
                         fill_done = ready + predecode
-                        reactive_fills += 1
-                        reactive_fill_cycles += fill_done - t_bpu
+                        stats.reactive_fills += 1
+                        stats.reactive_fill_cycles += fill_done - t_bpu
                         t_bpu = fill_done
-                        reactive_fill_install(
-                            pc, ninstr, kind_objs[kind],
-                            fill_target(pc, taken, target),
+                        scheme.reactive_fill_install(
+                            pc, ninstr, BranchKind(kind),
+                            self._fill_target(pc, taken, target),
                             branch_line, t_bpu,
                         )
-                        hit = scheme_lookup(pc, t_bpu)
+                        hit = scheme.lookup(pc, t_bpu)
                         if hit is None:
                             raise SimulationError(
                                 f"reactive fill failed for pc {pc:#x}"
@@ -714,28 +487,28 @@ class FrontEnd:
                     else:
                         # FDIP: speculate straight-line through the miss.
                         enqueue_time[j] = t_bpu
-                        first = first_lines[j]
-                        last = last_lines[j]
-                        issue_prefetch(first, t_bpu)
-                        for line in range(first + 1, last + 1):
-                            issue_prefetch(line, t_bpu)
+                        first = pc >> BLOCK_SHIFT
+                        last = (pc + (ninstr - 1) * INSTR_BYTES) \
+                            >> BLOCK_SHIFT
+                        for line in range(first, last + 1):
+                            self._issue_prefetch(line, t_bpu)
                         if kind == _KIND_COND:
-                            cond_branches += 1
-                            update(pc, taken)  # trained at execute
+                            stats.conditional_branches += 1
+                            predictor.update(pc, taken)  # trained at execute
                         if taken:
                             diverged = j
                             diverge_class = "btbmiss"
                             diverge_fill = (pc, ninstr, kind, target)
                         else:
-                            demand_fill(
-                                pc, ninstr, kind_objs[kind],
-                                fill_target(pc, taken, target), t_bpu,
+                            scheme.demand_fill(
+                                pc, ninstr, BranchKind(kind),
+                                self._fill_target(pc, taken, target), t_bpu,
                             )
                         # RAS stays consistent even through misses.
                         if kind in _CALL_KINDS:
-                            ras_push(fallthroughs[j], pc)
+                            ras.push(fallthrough, pc)
                         elif kind in _RET_KINDS:
-                            ras_pop()
+                            ras.pop()
                         j += 1
                         continue
 
@@ -743,48 +516,48 @@ class FrontEnd:
                 call_block_pc = 0
                 predicted_target = hit.target
                 if kind == _KIND_COND:
-                    cond_branches += 1
-                    predicted_taken = predict_update(pc, taken)
+                    stats.conditional_branches += 1
+                    predicted_taken = predictor.predict(pc)
+                    predictor.update(pc, taken)
                     if predicted_taken != taken:
-                        dir_mispredicts += 1
+                        stats.dir_mispredicts += 1
                         diverged = j
                         diverge_class = "dir"
                     elif taken and hit.target != target:
-                        target_mispredicts += 1
+                        stats.target_mispredicts += 1
                         diverged = j
                         diverge_class = "target"
                         diverge_fill = (pc, ninstr, kind, target)
                 elif kind in _CALL_KINDS:
-                    ras_push(fallthroughs[j], pc)
+                    ras.push(fallthrough, pc)
                     if hit.target != target:
-                        target_mispredicts += 1
+                        stats.target_mispredicts += 1
                         diverged = j
                         diverge_class = "target"
                         diverge_fill = (pc, ninstr, kind, target)
                 elif kind in _RET_KINDS:
-                    entry = ras_pop()
+                    entry = ras.pop()
                     if entry is not None:
                         predicted_target = entry.return_addr
                         call_block_pc = entry.call_block_pc
                     else:
                         predicted_target = -1
                     if predicted_target != target:
-                        target_mispredicts += 1
+                        stats.target_mispredicts += 1
                         diverged = j
                         diverge_class = "target"
                 else:  # JUMP
                     if hit.target != target:
-                        target_mispredicts += 1
+                        stats.target_mispredicts += 1
                         diverged = j
                         diverge_class = "target"
                         diverge_fill = (pc, ninstr, kind, target)
 
                 enqueue_time[j] = t_bpu
-                first = first_lines[j]
-                last = last_lines[j]
-                issue_prefetch(first, t_bpu)
-                for line in range(first + 1, last + 1):
-                    issue_prefetch(line, t_bpu)
+                first = pc >> BLOCK_SHIFT
+                last = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+                for line in range(first, last + 1):
+                    self._issue_prefetch(line, t_bpu)
 
                 # Spatial-footprint bulk prefetch (Shotgun).  Issued from
                 # the *predicted* target, so a mispredicted return wastes
@@ -792,9 +565,9 @@ class FrontEnd:
                 if kind != _KIND_COND:
                     region_target = predicted_target \
                         if predicted_target > 0 else target
-                    for line in region_prefetch(
+                    for line in scheme.region_prefetch(
                             pc, hit, region_target, call_block_pc, t_bpu):
-                        issue_prefetch(line, t_bpu)
+                        self._issue_prefetch(line, t_bpu)
                 j += 1
 
             if j < n and (j - i) >= ftq_size and diverged < 0:
@@ -803,28 +576,28 @@ class FrontEnd:
             # -- fetch block i ----------------------------------------
             start = enqueue_time[i]
             if start > clock:
-                stall_ftq += start - clock
+                stats.stall_ftq += start - clock
             else:
                 start = clock
 
-            pc = pcs[i]
-            ninstr = ninstrs[i]
+            pc = int(pcs[i])
+            ninstr = int(ninstrs[i])
+            kind = int(kinds[i])
+            taken = bool(takens[i])
+            target = int(targets[i])
 
-            first_line = first_lines[i]
-            last_line = last_lines[i]
-            stall = demand_line(first_line, start)
+            first_line = pc >> BLOCK_SHIFT
+            last_line = (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT
+            stall = self._demand_line(first_line, start)
             if last_line != first_line:
-                stall += demand_line(last_line, start + stall)
+                stall += self._demand_line(last_line, start + stall)
 
             clock = start + stall + ninstr / issue_width
-            on_retire(pc, ninstr, kind_objs[kinds[i]], takens[i],
-                      targets[i], clock)
-            l1d_accum += ninstr * l1d_rate / 1000.0
-            if l1d_accum >= 1.0:
-                self._l1d_accum = l1d_accum
-                clock += l1d_traffic(0, clock)
-                l1d_accum = self._l1d_accum
-            instructions += ninstr
+            scheme.on_retire(pc, ninstr, BranchKind(kind), taken, target,
+                             clock)
+            clock += self._l1d_traffic(ninstr, clock)
+            stats.blocks += 1
+            stats.instructions += ninstr
 
             # -- resolve a divergence discovered at this block ---------
             if diverged == i:
@@ -835,33 +608,22 @@ class FrontEnd:
                 t_bpu = clock
                 clock += flush
                 if diverge_class == "dir":
-                    stall_dir_flush += flush
+                    stats.stall_dir_flush += flush
                 elif diverge_class == "btbmiss":
-                    stall_btb_flush += flush
+                    stats.stall_btb_flush += flush
                 else:
-                    stall_target_flush += flush
+                    stats.stall_target_flush += flush
                 if diverge_fill is not None:
-                    fill_pc, fill_ninstr, fill_kind, fill_tgt = diverge_fill
-                    demand_fill(fill_pc, fill_ninstr, kind_objs[fill_kind],
-                                fill_tgt, clock)
+                    fill_pc, fill_ninstr, fill_kind, fill_target = \
+                        diverge_fill
+                    scheme.demand_fill(fill_pc, fill_ninstr,
+                                       BranchKind(fill_kind), fill_target,
+                                       clock)
                 diverged = -1
                 diverge_class = ""
                 diverge_fill = None
 
-        self._l1d_accum = l1d_accum
         stats.cycles = clock
-        stats.conditional_branches = cond_branches
-        stats.dir_mispredicts = dir_mispredicts
-        stats.target_mispredicts = target_mispredicts
-        stats.btb_misses = btb_misses
-        stats.reactive_fills = reactive_fills
-        stats.reactive_fill_cycles = reactive_fill_cycles
-        stats.stall_dir_flush = stall_dir_flush
-        stats.stall_target_flush = stall_target_flush
-        stats.stall_btb_flush = stall_btb_flush
-        stats.stall_ftq = stall_ftq
-        stats.blocks = n
-        stats.instructions = instructions
         self._finish(snapshot, warmup, clock)
 
     # ------------------------------------------------------------------

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Analytical NoC/LLC load model.
 
 The paper's Figure 11 shows that indiscriminate region prefetching
@@ -79,18 +82,7 @@ class NocModel:
         return self.base_latency * (1.0 + self.inflation * load * load)
 
     def request(self, now: float) -> float:
-        """Record a request and return its effective latency.
-
-        Hot-path equivalent of ``latency(now)`` followed by
-        ``record(now)``, draining the window once instead of twice.
-        """
-        requests = self._requests
-        horizon = now - self.window_cycles
-        while requests and requests[0] < horizon:
-            requests.popleft()
-        load = len(requests) / self.capacity
-        if load > 1.0:
-            load = 1.0
-        requests.append(now)
-        self.total_requests += 1
-        return self.base_latency * (1.0 + self.inflation * load * load)
+        """Record a request and return its effective latency."""
+        latency = self.latency(now)
+        self.record(now)
+        return latency

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Predecoder: extract branch metadata from fetched cache lines.
 
 Both Boomerang's reactive BTB fill and Shotgun's proactive C-BTB fill rely
@@ -10,7 +13,7 @@ that line — the same information a hardware scanner would recover.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.cfg.model import StaticBranch
 from repro.errors import ProgramError
@@ -24,14 +27,6 @@ class Predecoder:
         if image is None:
             raise ProgramError("predecoder needs a program image")
         self._image = image
-        #: Per-line conditional branches flattened to
-        #: ``(block_pc, ninstr, target)`` triples.  The image is
-        #: immutable, so the filter runs once per line; Shotgun's
-        #: proactive C-BTB fill hits this on every prefetch, and
-        #: attribute access off the dataclass is the dominant cost once
-        #: the filter itself is cached.
-        self._cond_triple_cache: Dict[int, Tuple[Tuple[int, int, int], ...]] \
-            = {}
         self.lines_decoded = 0
 
     def branches_in_line(self, line: int) -> Sequence[StaticBranch]:
@@ -39,31 +34,12 @@ class Predecoder:
         self.lines_decoded += 1
         return self._image.get(line, ())
 
-    def conditional_branches(self, line: int) -> Sequence[StaticBranch]:
-        """Conditional branches in *line* (convenience view)."""
-        self.lines_decoded += 1
-        return tuple(
-            branch for branch in self._image.get(line, ())
+    def conditional_branches(self, line: int) -> List[StaticBranch]:
+        """Conditional branches in *line* (Shotgun's C-BTB fill path)."""
+        return [
+            branch for branch in self.branches_in_line(line)
             if branch.kind == BranchKind.COND
-        )
-
-    def cond_triples(self, line: int) -> Tuple[Tuple[int, int, int], ...]:
-        """Conditional branches in *line* as (block_pc, ninstr, target).
-
-        Equivalent to :meth:`conditional_branches` with the fields
-        pre-extracted; counts as one decoded line per call, like the
-        other views.
-        """
-        self.lines_decoded += 1
-        cached = self._cond_triple_cache.get(line)
-        if cached is None:
-            cached = tuple(
-                (branch.block_pc, branch.ninstr, branch.target)
-                for branch in self._image.get(line, ())
-                if branch.kind == BranchKind.COND
-            )
-            self._cond_triple_cache[line] = cached
-        return cached
+        ]
 
     def find_block(self, line: int, block_pc: int) -> Optional[StaticBranch]:
         """The static branch terminating the block at *block_pc*, if its

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Return address stack, with Shotgun's call-block extension.
 
 Section 4.2.3: on a call, Shotgun pushes — in addition to the return
@@ -13,18 +16,15 @@ mispredictions — a behaviour tests pin down explicitly.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.errors import ConfigError
 
 
-class RASEntry(NamedTuple):
-    """One RAS entry: predicted return target + Shotgun's call-block pc.
-
-    A ``NamedTuple``: one entry is allocated per retired call in the
-    simulation hot loop, where tuple construction is markedly cheaper
-    than frozen-dataclass init.
-    """
+@dataclass(frozen=True)
+class RASEntry:
+    """One RAS entry: predicted return target + Shotgun's call-block pc."""
 
     return_addr: int
     call_block_pc: int

@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Shotgun: BTB-directed front-end prefetching over a logical code map.
 
 The paper's contribution (Section 4).  Shotgun splits the conventional
@@ -27,12 +30,13 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config.schemes import ShotgunSizes
-from repro.isa import BLOCK_SHIFT, INSTR_BYTES, BranchKind, is_return_kind
-from repro.prefetch.base import LookupHit, MissPolicy, Scheme
-from repro.prefetch.footprint import FootprintCodec, RegionRecorder
-from repro.uarch.btb import BTBEntry, BTBPrefetchBuffer
-from repro.uarch.predecoder import Predecoder
-from repro.uarch.shotgun_btb import CBTB, CBTBEntry, RIB, RIBEntry, UBTB, \
+from repro.isa import BLOCK_SHIFT, BranchKind, is_return_kind, \
+    is_unconditional, lines_touched
+from benchmarks._legacy.base import LookupHit, MissPolicy, Scheme
+from benchmarks._legacy.footprint import FootprintCodec, RegionRecorder
+from benchmarks._legacy.btb import BTBEntry, BTBPrefetchBuffer
+from benchmarks._legacy.predecoder import Predecoder
+from benchmarks._legacy.shotgun_btb import CBTB, CBTBEntry, RIB, RIBEntry, UBTB, \
     UBTBEntry
 
 #: Cap on the retire-side call stack (beyond any real nesting depth).
@@ -82,46 +86,19 @@ class ShotgunScheme(Scheme):
     # -- lookups -------------------------------------------------------
 
     def lookup(self, pc: int, now: float) -> Optional[LookupHit]:
-        """Probe U-BTB, RIB, C-BTB and the prefetch buffer, in that order.
-
-        Hot path (one call per block the BPU walks): the three
-        set-associative probes are inlined — same sets, counters and LRU
-        updates as ``SetAssocTable.lookup``/``CBTB.lookup_at``, without
-        three method-call round trips per block.
-        """
-        key = pc >> 2
-        ubtb = self.ubtb
-        table_set = ubtb._sets[key % ubtb.n_sets]
-        ubtb.lookups += 1
-        if pc in table_set:
-            entry = table_set[pc]
-            table_set.move_to_end(pc)
-            ubtb.hit_count += 1
+        entry = self.ubtb.lookup(pc)
+        if entry is not None:
             target = 0 if is_return_kind(entry.kind) else entry.target
             return LookupHit(ninstr=entry.ninstr, kind=entry.kind,
                              target=target, source="ubtb")
-        rib = self.rib
-        table_set = rib._sets[key % rib.n_sets]
-        rib.lookups += 1
-        if pc in table_set:
-            rib_entry = table_set[pc]
-            table_set.move_to_end(pc)
-            rib.hit_count += 1
+        rib_entry = self.rib.lookup(pc)
+        if rib_entry is not None:
             return LookupHit(ninstr=rib_entry.ninstr, kind=rib_entry.kind,
                              target=0, source="rib")
-        cbtb = self.cbtb
-        table_set = cbtb._sets[key % cbtb.n_sets]
-        cbtb.lookups += 1
-        if pc in table_set:
-            cbtb_entry = table_set[pc]
-            table_set.move_to_end(pc)
-            cbtb.hit_count += 1
-            # An entry still in flight at *now* behaves like a miss and
-            # falls through to the prefetch-buffer probe.
-            if cbtb_entry.valid_from <= now:
-                return LookupHit(ninstr=cbtb_entry.ninstr,
-                                 kind=BranchKind.COND,
-                                 target=cbtb_entry.target, source="cbtb")
+        cbtb_entry = self.cbtb.lookup_at(pc, now)
+        if cbtb_entry is not None:
+            return LookupHit(ninstr=cbtb_entry.ninstr, kind=BranchKind.COND,
+                             target=cbtb_entry.target, source="cbtb")
         staged = self.prefetch_buffer.take(pc)
         if staged is not None:
             self._install(pc, staged.ninstr, staged.kind, staged.target, now)
@@ -177,40 +154,17 @@ class ShotgunScheme(Scheme):
             )
 
     def on_prefetch_arrival(self, line: int, ready: float) -> None:
-        """Predecode an arriving line into the C-BTB (Section 4.2.3).
-
-        Hot path: every issued prefetch probe lands here.  Uses the
-        predecoder's cached per-line (pc, ninstr, target) triples and a
-        single inlined set probe per branch — entries already visible at
-        *ready* are left alone (their validity must not be pushed back),
-        everything else is (re)installed in place, becoming visible
-        after the predecode latency.
-        """
+        """Predecode an arriving line into the C-BTB (Section 4.2.3)."""
         if not self.proactive_cbtb:
             return
-        branches = self.predecoder.cond_triples(line)
-        if not branches:
-            return
-        valid_from = ready + self.predecode_latency
-        cbtb = self.cbtb
-        sets = cbtb._sets
-        n_sets = cbtb.n_sets
-        assoc = cbtb.assoc
-        for block_pc, ninstr, target in branches:
-            table_set = sets[(block_pc >> 2) % n_sets]
-            if block_pc in table_set:
-                entry = table_set[block_pc]
-                if entry.valid_from <= ready:
-                    continue
-                entry.ninstr = ninstr
-                entry.target = target
-                entry.valid_from = valid_from
-                table_set.move_to_end(block_pc)
-                continue
-            if len(table_set) >= assoc:
-                table_set.popitem(last=False)
-            table_set[block_pc] = CBTBEntry(ninstr=ninstr, target=target,
-                                            valid_from=valid_from)
+        for branch in self.predecoder.conditional_branches(line):
+            existing = self.cbtb.peek(branch.block_pc)
+            if existing is not None and existing.valid_from <= ready:
+                continue  # already visible; don't push validity back
+            self.cbtb.insert(branch.block_pc, CBTBEntry(
+                ninstr=branch.ninstr, target=branch.target,
+                valid_from=ready + self.predecode_latency,
+            ))
 
     # -- spatial-footprint prefetching -----------------------------------
 
@@ -237,17 +191,15 @@ class ShotgunScheme(Scheme):
         self.region_prefetches += 1
         target_line = target >> BLOCK_SHIFT
         return [target_line + offset
-                for offset in self.codec.decode_offsets(footprint)]
+                for offset in self.codec.prefetch_offsets(footprint)]
 
     # -- retire-time footprint recording ---------------------------------
 
     def on_retire(self, pc: int, ninstr: int, kind: BranchKind, taken: bool,
                   target: int, now: float) -> None:
-        self.recorder.access_range(
-            pc >> BLOCK_SHIFT,
-            (pc + (ninstr - 1) * INSTR_BYTES) >> BLOCK_SHIFT,
-        )
-        if kind == BranchKind.COND:
+        for line in lines_touched(pc, ninstr):
+            self.recorder.access(line)
+        if not is_unconditional(kind):
             return
         if kind in (BranchKind.CALL, BranchKind.TRAP):
             if len(self._retire_call_stack) < _RETIRE_STACK_LIMIT:

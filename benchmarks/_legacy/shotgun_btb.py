@@ -1,3 +1,6 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
 """Shotgun's specialised BTB organisation (paper Section 4.2.1).
 
 Three structures share the conventional BTB's storage budget:
@@ -26,10 +29,10 @@ from repro.config.schemes import (
     ubtb_entry_bits,
 )
 from repro.isa import BranchKind
-from repro.uarch.btb import SetAssocTable
+from benchmarks._legacy.btb import SetAssocTable
 
 
-@dataclass(slots=True)
+@dataclass
 class UBTBEntry:
     """U-BTB entry: tag/size/type/target plus two spatial footprints.
 
@@ -46,7 +49,7 @@ class UBTBEntry:
     ret_footprint: int = 0
 
 
-@dataclass(slots=True)
+@dataclass
 class RIBEntry:
     """RIB entry: only tag (implicit), size and return-type bit."""
 
@@ -54,7 +57,7 @@ class RIBEntry:
     kind: BranchKind
 
 
-@dataclass(slots=True)
+@dataclass
 class CBTBEntry:
     """C-BTB entry: size, target offset and a proactive-fill timestamp."""
 
@@ -66,8 +69,6 @@ class CBTBEntry:
 
 class UBTB(SetAssocTable[UBTBEntry]):
     """Unconditional-branch BTB, the heart of Shotgun."""
-
-    __slots__ = ("footprint_bits",)
 
     def __init__(self, entries: int, assoc: int = 4,
                  footprint_bits: int = 8) -> None:
@@ -81,16 +82,12 @@ class UBTB(SetAssocTable[UBTBEntry]):
 class RIB(SetAssocTable[RIBEntry]):
     """Return instruction buffer."""
 
-    __slots__ = ()
-
     def storage_bits(self) -> int:
         return self.entries * rib_entry_bits()
 
 
 class CBTB(SetAssocTable[CBTBEntry]):
     """Conditional-branch BTB with arrival-time-gated visibility."""
-
-    __slots__ = ()
 
     def lookup_at(self, pc: int, now: float) -> Optional[CBTBEntry]:
         """Lookup that hides entries still in flight at time *now*.

@@ -1,0 +1,274 @@
+# Vendored verbatim from the seed revision (ea25f9d) with imports
+# rewritten to the _legacy siblings, so the perf smoke benchmark
+# compares the new engine against the true pre-PR engine.
+"""Branch direction predictors: TAGE (paper Table 3) and a bimodal fallback.
+
+The TAGE implementation follows Seznec & Michaud's "A case for (partially)
+tagged geometric history length branch prediction" [16]: a bimodal base
+predictor plus tagged tables indexed by geometrically growing global
+history lengths, with provider/alternate selection, useful counters and
+allocate-on-mispredict.  Folded histories are maintained incrementally so
+a prediction is O(number of tables).
+
+Storage budget: with the default geometry (4K-entry bimodal, four
+1K-entry tagged tables with 9-bit tags, 3-bit counters, 2-bit useful),
+the predictor costs 1KB + 4 * 1.75KB = 8KB, matching Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class _FoldedHistory:
+    """Incrementally folded global history (circular-shift register)."""
+
+    def __init__(self, history_length: int, folded_length: int) -> None:
+        self.history_length = history_length
+        self.folded_length = folded_length
+        self.value = 0
+        self._out_shift = history_length % folded_length
+        self._mask = (1 << folded_length) - 1
+
+    def update(self, new_bit: int, dropped_bit: int) -> None:
+        """Shift in *new_bit*, remove the influence of *dropped_bit*.
+
+        Standard circular-shift-register folding (Michaud/Seznec): the
+        bit shifted out of the fold wraps back to bit 0, and the history
+        bit leaving the window is XOR-cancelled at its folded position
+        ``history_length % folded_length``.
+        """
+        wrap = (self.value >> (self.folded_length - 1)) & 1
+        value = ((self.value << 1) | new_bit) & self._mask
+        value ^= wrap
+        value ^= (dropped_bit << self._out_shift) & self._mask
+        self.value = value
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int
+    counter: int  # 3-bit signed [-4, 3]; >= 0 predicts taken
+    useful: int   # 2-bit
+
+
+class _TaggedTable:
+    """One TAGE component: tagged, useful-managed, history-indexed."""
+
+    def __init__(self, entries: int, tag_bits: int,
+                 history_length: int) -> None:
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self._index_bits = entries.bit_length() - 1
+        if (1 << self._index_bits) != entries:
+            raise ConfigError("tagged table entries must be a power of two")
+        self._table: List[Optional[_TaggedEntry]] = [None] * entries
+        self.index_fold = _FoldedHistory(history_length, self._index_bits)
+        self.tag_fold_a = _FoldedHistory(history_length, tag_bits)
+        self.tag_fold_b = _FoldedHistory(history_length, tag_bits - 1)
+
+    def index(self, pc: int) -> int:
+        pc = pc >> 2
+        return (pc ^ (pc >> self._index_bits)
+                ^ self.index_fold.value) & (self.entries - 1)
+
+    def tag(self, pc: int) -> int:
+        pc = pc >> 2
+        return (pc ^ self.tag_fold_a.value
+                ^ (self.tag_fold_b.value << 1)) & ((1 << self.tag_bits) - 1)
+
+    def get(self, pc: int) -> Optional[_TaggedEntry]:
+        entry = self._table[self.index(pc)]
+        if entry is not None and entry.tag == self.tag(pc):
+            return entry
+        return None
+
+    def allocate(self, pc: int, taken: bool) -> bool:
+        """Try to claim the slot for *pc*; fails if the victim is useful."""
+        idx = self.index(pc)
+        entry = self._table[idx]
+        if entry is not None and entry.useful > 0:
+            entry.useful -= 1
+            return False
+        self._table[idx] = _TaggedEntry(
+            tag=self.tag(pc), counter=0 if taken else -1, useful=0
+        )
+        return True
+
+
+@dataclass
+class _Prediction:
+    """Bookkeeping carried from predict() to update()."""
+
+    taken: bool
+    provider: int          # table index, -1 for bimodal
+    provider_pred: bool
+    alt_pred: bool
+    entry: Optional[_TaggedEntry]
+
+
+class TagePredictor:
+    """TAGE with a 2-bit bimodal base (8KB default budget).
+
+    The public interface is ``predict(pc) -> bool`` followed by
+    ``update(pc, taken)`` for the same branch (in retirement order, as the
+    trace-driven engine naturally does).
+    """
+
+    #: Geometric history lengths of the default 8KB configuration.
+    DEFAULT_HISTORIES: Tuple[int, ...] = (8, 20, 50, 128)
+
+    def __init__(self, bimodal_entries: int = 4096,
+                 tagged_entries: int = 1024, tag_bits: int = 9,
+                 histories: Tuple[int, ...] = DEFAULT_HISTORIES) -> None:
+        if bimodal_entries <= 0 or tagged_entries <= 0:
+            raise ConfigError("predictor table sizes must be positive")
+        if list(histories) != sorted(histories):
+            raise ConfigError("history lengths must be increasing")
+        self._bimodal = [2] * bimodal_entries  # 2-bit, >=2 predicts taken
+        self._bimodal_mask = bimodal_entries - 1
+        if bimodal_entries & self._bimodal_mask:
+            raise ConfigError("bimodal entries must be a power of two")
+        self._tables = [
+            _TaggedTable(tagged_entries, tag_bits, h) for h in histories
+        ]
+        self._max_history = histories[-1]
+        self._history_bits = [0] * self._max_history
+        self._history_pos = 0
+        self._pending: Optional[Tuple[int, _Prediction]] = None
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- prediction ---------------------------------------------------
+
+    def _bimodal_pred(self, pc: int) -> bool:
+        return self._bimodal[(pc >> 2) & self._bimodal_mask] >= 2
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at *pc*."""
+        bimodal_pred = self._bimodal_pred(pc)
+        hits = []
+        for i, table in enumerate(self._tables):
+            candidate = table.get(pc)
+            if candidate is not None:
+                hits.append((i, candidate))
+        if hits:
+            provider, entry = hits[-1]
+            provider_pred = entry.counter >= 0
+            if len(hits) >= 2:
+                alt_pred = hits[-2][1].counter >= 0
+            else:
+                alt_pred = bimodal_pred
+        else:
+            provider, entry = -1, None
+            provider_pred = alt_pred = bimodal_pred
+        prediction = _Prediction(
+            taken=provider_pred, provider=provider,
+            provider_pred=provider_pred, alt_pred=alt_pred, entry=entry,
+        )
+        self._pending = (pc, prediction)
+        self.predictions += 1
+        return prediction.taken
+
+    # -- update -------------------------------------------------------
+
+    @staticmethod
+    def _bump(value: int, taken: bool, low: int, high: int) -> int:
+        return min(high, value + 1) if taken else max(low, value - 1)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome of the branch at *pc*.
+
+        Must follow the ``predict`` call for the same pc (the engine
+        predicts and resolves in trace order).
+        """
+        if self._pending is None or self._pending[0] != pc:
+            # Cold update (e.g. a branch resolved without a prediction,
+            # as happens on the baseline's BTB-miss path): train bimodal.
+            idx = (pc >> 2) & self._bimodal_mask
+            self._bimodal[idx] = self._bump(self._bimodal[idx], taken, 0, 3)
+            self._push_history(taken)
+            return
+        _, pred = self._pending
+        self._pending = None
+        if pred.taken != taken:
+            self.mispredictions += 1
+
+        if pred.entry is not None:
+            pred.entry.counter = self._bump(pred.entry.counter, taken, -4, 3)
+            if pred.provider_pred != pred.alt_pred:
+                pred.entry.useful = self._bump(
+                    pred.entry.useful, pred.provider_pred == taken, 0, 3
+                )
+        else:
+            idx = (pc >> 2) & self._bimodal_mask
+            self._bimodal[idx] = self._bump(self._bimodal[idx], taken, 0, 3)
+
+        # Allocate a longer-history entry on a misprediction.
+        if pred.taken != taken and pred.provider < len(self._tables) - 1:
+            for table in self._tables[pred.provider + 1:]:
+                if table.allocate(pc, taken):
+                    break
+
+        self._push_history(taken)
+
+    def _push_history(self, taken: bool) -> None:
+        new_bit = 1 if taken else 0
+        pos = self._history_pos
+        history = self._history_bits
+        max_history = self._max_history
+        for table in self._tables:
+            drop_pos = (pos - table.history_length) % max_history
+            dropped = history[drop_pos]
+            table.index_fold.update(new_bit, dropped)
+            table.tag_fold_a.update(new_bit, dropped)
+            table.tag_fold_b.update(new_bit, dropped)
+        history[pos] = new_bit
+        self._history_pos = (pos + 1) % max_history
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def storage_bits(self) -> int:
+        """Approximate storage: bimodal counters + tagged entries."""
+        tagged_bits = sum(
+            t.entries * (t.tag_bits + 3 + 2) for t in self._tables
+        )
+        return len(self._bimodal) * 2 + tagged_bits
+
+
+class BimodalPredictor:
+    """Plain 2-bit bimodal predictor (test baseline and ablations)."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError("bimodal entries must be a positive power of 2")
+        self._table = [2] * entries
+        self._mask = entries - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        self.predictions += 1
+        return self._table[(pc >> 2) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._mask
+        value = self._table[idx]
+        predicted = value >= 2
+        if predicted != taken:
+            self.mispredictions += 1
+        self._table[idx] = min(3, value + 1) if taken else max(0, value - 1)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -10,7 +10,7 @@ documents the timing model in full.
 from repro.core.metrics import EngineStats, SimulationResult, \
     frontend_stall_coverage, speedup
 from repro.core.frontend import FrontEnd, simulate
-from repro.core.sweep import run_schemes
+from repro.core.sweep import run_grid, run_scheme, run_schemes
 
 __all__ = [
     "EngineStats",
@@ -19,5 +19,7 @@ __all__ = [
     "speedup",
     "FrontEnd",
     "simulate",
+    "run_grid",
+    "run_scheme",
     "run_schemes",
 ]

@@ -1,0 +1,219 @@
+"""Persistent, content-addressed simulation-result cache.
+
+Simulation results are pure functions of (workload, trace length, trace
+seed, scheme configuration, microarchitectural parameters, engine
+version).  This module hashes that tuple into a content address and
+stores the measured :class:`~repro.core.metrics.SimulationResult` as
+JSON, so repeated benchmark invocations *across processes* skip
+simulation entirely — the in-process memo in :mod:`repro.core.sweep`
+only helps within one interpreter.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json``, one file per result, with
+the key material stored alongside the stats for debuggability.  Writes
+are atomic (temp file + ``os.replace``), so concurrent sweep workers
+racing on the same cell are harmless — both write identical bytes.
+
+Environment:
+
+* ``REPRO_DISK_CACHE=0`` disables the cache entirely (opt-out).
+* ``REPRO_CACHE_DIR`` overrides the cache directory (default
+  ``~/.cache/repro-sim``).
+
+Two stamps protect against stale entries: ``ENGINE_VERSION`` (a manual
+coarse revision, bump on intentional output changes) and an automatic
+fingerprint hashing the source of every simulation-affecting module in
+the package — so editing engine code invalidates the cache without any
+manual step, while unchanged builds keep sharing entries across
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import asdict, fields
+from typing import Optional
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.core.metrics import EngineStats, SimulationResult
+
+#: Timing-model revision stamp.  Part of every cache key alongside the
+#: automatic source fingerprint; bump on intentional output changes.
+ENGINE_VERSION = 2
+
+#: Package subtrees whose source does not affect simulation output and
+#: is therefore excluded from the fingerprint (reporting/plotting only).
+_FINGERPRINT_EXCLUDE = ("experiments",)
+
+_fingerprint_cache: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of every simulation-affecting source file in the package.
+
+    Computed once per process.  Any edit to the engine, schemes,
+    structures, workload generators or configs yields a different
+    fingerprint, so previously cached results miss automatically — no
+    manual version bump needed during development.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None:
+        return _fingerprint_cache
+    import repro
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    try:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__"
+                and os.path.relpath(os.path.join(dirpath, d), root)
+                not in _FINGERPRINT_EXCLUDE
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+    except OSError:
+        # Unreadable sources (zipapp, odd installs): fall back to a
+        # constant so the manual ENGINE_VERSION is the only stamp.
+        _fingerprint_cache = "unreadable"
+        return _fingerprint_cache
+    _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+_ENV_DISABLE = "REPRO_DISK_CACHE"
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+#: Process-local counters (observability, used by tests and benchmarks).
+hits = 0
+misses = 0
+stores = 0
+
+
+def enabled() -> bool:
+    """Whether the on-disk cache is active (``REPRO_DISK_CACHE=0`` off)."""
+    return os.environ.get(_ENV_DISABLE, "1") not in ("0", "false", "no")
+
+
+def cache_dir() -> str:
+    """Resolved cache directory (not created until first store)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sim")
+
+
+def result_key(workload: str, scheme_name: str, n_blocks: int, seed: int,
+               config: SchemeConfig, params: MicroarchParams) -> str:
+    """Content address of one simulation cell.
+
+    Every input that can change the simulation's output contributes:
+    the workload (which fixes the generated program and trace stream),
+    trace length and seed, the full scheme configuration and
+    microarchitectural parameter sets (as sorted field dicts, so adding
+    a field changes keys only when its value differs from nothing —
+    i.e. always, which is the safe direction), the engine version, and
+    the automatic source fingerprint.
+    """
+    material = {
+        "engine_version": ENGINE_VERSION,
+        "engine_fingerprint": engine_fingerprint(),
+        "workload": workload.lower(),
+        "scheme": scheme_name.lower(),
+        "n_blocks": n_blocks,
+        "seed": seed,
+        "config": asdict(config),
+        "params": asdict(params),
+    }
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), key[:2], key + ".json")
+
+
+def load(key: str) -> Optional[SimulationResult]:
+    """Fetch a cached result, or None on miss/corruption/disabled."""
+    global hits, misses
+    if not enabled():
+        return None
+    try:
+        with open(_entry_path(key), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        stat_fields = {f.name for f in fields(EngineStats)}
+        raw = payload["stats"]
+        if set(raw) != stat_fields:
+            # Written by a build with a different stats layout but the
+            # same engine version — treat as a miss rather than erroring.
+            misses += 1
+            return None
+        result = SimulationResult(scheme=payload["scheme"],
+                                  stats=EngineStats(**raw))
+    except (OSError, ValueError, KeyError, TypeError):
+        misses += 1
+        return None
+    hits += 1
+    return result
+
+
+def store(key: str, result: SimulationResult) -> None:
+    """Persist *result* under *key* (atomic; no-op when disabled)."""
+    global stores
+    if not enabled():
+        return
+    path = _entry_path(key)
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "scheme": result.scheme,
+            "stats": asdict(result.stats),
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory must never fail a run.
+        return
+    stores += 1
+
+
+def clear() -> int:
+    """Delete every cached entry; returns the number of files removed."""
+    root = cache_dir()
+    removed = 0
+    if not os.path.isdir(root):
+        return 0
+    for name in os.listdir(root):
+        shard = os.path.join(root, name)
+        if os.path.isdir(shard) and len(name) == 2:
+            removed += sum(
+                1 for entry in os.listdir(shard) if entry.endswith(".json")
+            )
+            shutil.rmtree(shard, ignore_errors=True)
+    return removed
+
+
+def reset_counters() -> None:
+    """Zero the process-local hit/miss/store counters (tests)."""
+    global hits, misses, stores
+    hits = misses = stores = 0

@@ -1,21 +1,40 @@
-"""Shared experiment running: one trace, many schemes.
+"""Shared experiment running: traces × schemes × configurations.
 
-Every figure in the paper compares several control-flow delivery
-mechanisms on the same workloads.  ``run_schemes`` builds the reference
-trace for a workload once, constructs each scheme against the workload's
-program image and simulates them all, returning results keyed by scheme
-name.  A module-level result cache keyed by the full configuration keeps
-repeated benchmark invocations cheap.
+Every figure in the paper is a grid of (workload, scheme, config)
+simulations.  This module provides the three layers that make those
+grids cheap (DESIGN.md Section 7):
+
+* :func:`run_scheme` — one cell, memoised twice: an in-process result
+  cache keyed by the full configuration, backed by the persistent
+  content-addressed disk cache (:mod:`repro.core.diskcache`) so repeated
+  invocations across processes skip simulation entirely.
+* :func:`run_schemes` — several schemes on one workload's reference
+  trace (the trace and generated program are built once and shared).
+* :func:`run_grid` — a full (workload × scheme) grid fanned across
+  cores with a :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells
+  are independent, deterministic simulations, so parallel results are
+  bit-identical to the serial path; each worker process keeps warm
+  program/trace caches between the cells it executes.
+
+Grid cells are labelled: a label that names a scheme builds that scheme
+(with ``configs[label]`` as its configuration, exactly like
+``run_schemes``), while any other hashable label resolves through
+``configs[label].name`` — which is how the figure experiments sweep
+configuration variants ("8_bit_vector", C-BTB sizes, storage budgets)
+through one grid call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 from repro.config import MicroarchParams, SchemeConfig
+from repro.core import diskcache
 from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
-from repro.prefetch.factory import build_scheme
+from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
 from repro.workloads.profiles import build_program, build_trace, get_profile
 
 #: Default trace length (dynamic basic blocks) for experiment runs.
@@ -23,6 +42,10 @@ from repro.workloads.profiles import build_program, build_trace, get_profile
 #: in minutes on a laptop while statistics are stable (DESIGN.md:
 #: "reduced traces").
 DEFAULT_TRACE_BLOCKS = 120_000
+
+#: Environment switch for the grid runner: ``REPRO_PARALLEL=0`` forces
+#: serial execution, any other value (or unset) allows fan-out.
+_ENV_PARALLEL = "REPRO_PARALLEL"
 
 _RESULT_CACHE: Dict[Tuple, SimulationResult] = {}
 
@@ -43,20 +66,36 @@ def run_scheme(workload: str, scheme_name: str,
                n_blocks: int = DEFAULT_TRACE_BLOCKS,
                config: Optional[SchemeConfig] = None,
                params: Optional[MicroarchParams] = None,
+               seed: int = 0,
                use_cache: bool = True) -> SimulationResult:
-    """Simulate one scheme on one workload's reference trace."""
+    """Simulate one scheme on one workload's reference trace.
+
+    ``seed=0`` selects the workload profile's reference trace seed;
+    other values derive independent trace streams.  With ``use_cache``
+    the in-process memo is consulted first, then the persistent disk
+    cache; a simulated result is written back to both.
+    """
     if config is None:
         config = SchemeConfig(name=scheme_name)
     if params is None:
         params = MicroarchParams()
-    cache_key = (workload, scheme_name, n_blocks, _config_key(config),
-                 params)
+    cache_key = (workload, scheme_name, n_blocks, seed,
+                 _config_key(config), params)
     if use_cache and cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
 
+    disk_key = None
+    if use_cache and diskcache.enabled():
+        disk_key = diskcache.result_key(workload, scheme_name, n_blocks,
+                                        seed, config, params)
+        cached = diskcache.load(disk_key)
+        if cached is not None:
+            _RESULT_CACHE[cache_key] = cached
+            return cached
+
     profile = get_profile(workload)
     generated = build_program(workload)
-    trace = build_trace(workload, n_blocks)
+    trace = build_trace(workload, n_blocks, seed=seed)
     scheme = build_scheme(scheme_name, params, generated, config)
     result = simulate(
         trace, scheme, params=params,
@@ -64,19 +103,154 @@ def run_scheme(workload: str, scheme_name: str,
     )
     if use_cache:
         _RESULT_CACHE[cache_key] = result
+        if disk_key is not None:
+            diskcache.store(disk_key, result)
     return result
+
+
+def _cell_scheme_name(label: Hashable,
+                      configs: Optional[Dict] = None) -> str:
+    """Scheme to build for a grid *label* (see module docstring).
+
+    A label that names a scheme always builds that scheme — matching
+    ``run_schemes``' serial semantics, where the configs dict is keyed
+    by scheme name — and only non-scheme labels ("8_bit_vector",
+    "boomerang@512", a C-BTB size) resolve through their config's
+    ``name``.
+    """
+    if isinstance(label, str) and label.lower() in SCHEME_FACTORIES:
+        return label
+    if configs is not None:
+        config = configs.get(label)
+        if config is not None:
+            return config.name
+    if isinstance(label, str):
+        return label  # unknown scheme: build_scheme raises with choices
+    raise TypeError(
+        f"grid label {label!r} is not a scheme name and has no "
+        "entry in configs"
+    )
+
+
+def _run_cell(cell: Tuple) -> SimulationResult:
+    """Worker entry point: one (workload, label) grid cell.
+
+    Runs inside a pool worker process; ``run_scheme`` gives the worker
+    warm program/trace caches across the cells it executes and persists
+    each result to the shared disk cache.
+    """
+    workload, scheme_name, n_blocks, config, params, seed = cell
+    return run_scheme(workload, scheme_name, n_blocks=n_blocks,
+                      config=config, params=params, seed=seed)
+
+
+def _parallel_allowed() -> bool:
+    return os.environ.get(_ENV_PARALLEL, "1") not in ("0", "false", "no")
+
+
+def run_grid(workloads: Sequence[str], schemes: Sequence[Hashable],
+             n_blocks: int = DEFAULT_TRACE_BLOCKS,
+             configs: Optional[Dict] = None,
+             params: Optional[MicroarchParams] = None,
+             seed: int = 0,
+             parallel: Optional[bool] = None,
+             max_workers: Optional[int] = None,
+             ) -> Dict[str, Dict[Hashable, SimulationResult]]:
+    """Simulate a full (workload × scheme/config) grid, fanned across cores.
+
+    Args:
+        workloads: workload names (rows).
+        schemes: cell labels (columns) — scheme names, or arbitrary
+            labels resolved through ``configs`` (the built scheme is
+            ``configs[label].name``).
+        configs: optional per-label :class:`SchemeConfig` overrides.
+        params: microarchitectural parameters for every cell.
+        seed: trace seed selector (0 = each profile's reference seed).
+        parallel: force parallel (True) or serial (False) execution;
+            default decides from ``REPRO_PARALLEL``, the cell count and
+            the machine's core count.
+        max_workers: pool size cap (default: ``os.cpu_count()``).
+
+    Returns:
+        ``{workload: {label: SimulationResult}}``.  Cells are
+        independent deterministic simulations, so results are
+        bit-identical whichever path executes them.
+    """
+    workloads = list(workloads)
+    schemes = list(schemes)
+    if params is None:
+        params = MicroarchParams()
+
+    grid: Dict[str, Dict[Hashable, SimulationResult]] = {
+        workload: {} for workload in workloads
+    }
+    pending = []  # (workload, label, cell) tuples still to simulate
+    for workload in workloads:
+        for label in schemes:
+            config = configs.get(label) if configs else None
+            scheme_name = _cell_scheme_name(label, configs)
+            resolved = config if config is not None \
+                else SchemeConfig(name=scheme_name)
+            cache_key = (workload, scheme_name, n_blocks, seed,
+                         _config_key(resolved), params)
+            hit = _RESULT_CACHE.get(cache_key)
+            if hit is not None:
+                grid[workload][label] = hit
+            else:
+                pending.append((workload, label,
+                                (workload, scheme_name, n_blocks, resolved,
+                                 params, seed)))
+
+    if not pending:
+        return grid
+
+    cpu_count = os.cpu_count() or 1
+    if parallel is None:
+        parallel = _parallel_allowed() and len(pending) > 1 and cpu_count > 1
+    if max_workers is None:
+        max_workers = cpu_count
+    max_workers = max(1, min(max_workers, len(pending)))
+
+    if not parallel or max_workers == 1:
+        for workload, label, cell in pending:
+            grid[workload][label] = _run_cell(cell)
+        return grid
+
+    # Cells are submitted grouped by workload so a worker's warm
+    # program/trace caches get reused by consecutive cells of the same
+    # workload where scheduling allows.
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [(workload, label, cell, pool.submit(_run_cell, cell))
+                   for workload, label, cell in pending]
+        for workload, label, cell, future in futures:
+            result = future.result()
+            grid[workload][label] = result
+            # Mirror into the parent memo so later serial calls hit.
+            _, scheme_name, blocks, resolved, cell_params, cell_seed = cell
+            _RESULT_CACHE[(workload, scheme_name, blocks, cell_seed,
+                           _config_key(resolved), cell_params)] = result
+    return grid
 
 
 def run_schemes(workload: str, scheme_names: Iterable[str],
                 n_blocks: int = DEFAULT_TRACE_BLOCKS,
                 configs: Optional[Dict[str, SchemeConfig]] = None,
                 params: Optional[MicroarchParams] = None,
+                parallel: bool = False,
+                max_workers: Optional[int] = None,
                 ) -> Dict[str, SimulationResult]:
     """Simulate several schemes on the same workload trace.
 
     ``configs`` optionally overrides the per-scheme configuration (keyed
-    by scheme name); missing keys get defaults.
+    by scheme name); missing keys get defaults.  With ``parallel`` the
+    schemes fan out as a one-row :func:`run_grid`.
     """
+    scheme_names = list(scheme_names)
+    if parallel:
+        grid = run_grid([workload], scheme_names, n_blocks=n_blocks,
+                        configs=configs, params=params,
+                        parallel=True, max_workers=max_workers)
+        return grid[workload]
     results: Dict[str, SimulationResult] = {}
     for name in scheme_names:
         config = configs.get(name) if configs else None

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Hashable, Optional, Sequence
 
 from repro.config.schemes import (
     REFERENCE_SIZES,
@@ -11,6 +11,8 @@ from repro.config.schemes import (
     shotgun_budget_split,
     ubtb_entry_bits,
 )
+from repro.core.metrics import SimulationResult
+from repro.core.sweep import run_grid
 from repro.errors import ExperimentError
 from repro.workloads.profiles import WORKLOAD_NAMES
 
@@ -87,6 +89,21 @@ def cbtb_variant_config(cbtb_entries: int) -> SchemeConfig:
     return SchemeConfig(name="shotgun", shotgun_sizes=sizes)
 
 
+def figure_grid(labels: Sequence[Hashable], n_blocks: int,
+                configs: Optional[Dict] = None,
+                workloads: Sequence[str] = WORKLOAD_NAMES,
+                ) -> Dict[str, Dict[Hashable, SimulationResult]]:
+    """All (workload × label) results a figure needs, via the grid runner.
+
+    Thin wrapper over :func:`repro.core.sweep.run_grid` so every figure
+    fans its cells across cores (and shares the persistent result cache)
+    through one entry point; labels follow run_grid's convention (scheme
+    names, or config-dict keys whose ``SchemeConfig.name`` is the scheme
+    to build).
+    """
+    return run_grid(workloads, labels, n_blocks=n_blocks, configs=configs)
+
+
 def budget_configs(boomerang_entries: int) -> Dict[str, SchemeConfig]:
     """Equal-storage Boomerang and Shotgun configurations (Figure 13)."""
     return {
@@ -104,6 +121,7 @@ __all__ = [
     "DISPLAY_NAMES",
     "FOOTPRINT_VARIANTS",
     "FOOTPRINT_LABELS",
+    "figure_grid",
     "footprint_variant_config",
     "cbtb_variant_config",
     "budget_configs",

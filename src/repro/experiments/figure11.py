@@ -8,11 +8,11 @@ misses — the collateral-damage experiment of Section 6.3.
 from __future__ import annotations
 
 from repro.core.metrics import arithmetic_mean
-from repro.core.sweep import run_scheme
 from repro.experiments.common import (
     DISPLAY_NAMES,
     FOOTPRINT_LABELS,
     WORKLOAD_NAMES,
+    figure_grid,
     footprint_variant_config,
 )
 from repro.experiments.reporting import ExperimentResult
@@ -32,11 +32,14 @@ def run(n_blocks: int = 60_000) -> ExperimentResult:
                "traffic, most visibly on DB2/Streaming."),
     )
     per_variant = {v: [] for v in VARIANTS}
+    grid = figure_grid(
+        VARIANTS, n_blocks,
+        configs={v: footprint_variant_config(v) for v in VARIANTS},
+    )
     for workload in WORKLOAD_NAMES:
         row = []
         for variant in VARIANTS:
-            res = run_scheme(workload, "shotgun", n_blocks=n_blocks,
-                             config=footprint_variant_config(variant))
+            res = grid[workload][variant]
             row.append(res.l1d_fill_latency)
             per_variant[variant].append(res.l1d_fill_latency)
         result.add_row(DISPLAY_NAMES[workload], row)

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from repro.core.metrics import geometric_mean, speedup
-from repro.core.sweep import run_scheme
 from repro.experiments.common import (
     DISPLAY_NAMES,
     WORKLOAD_NAMES,
     cbtb_variant_config,
+    figure_grid,
 )
 from repro.experiments.reporting import ExperimentResult
 
@@ -26,12 +26,15 @@ def run(n_blocks: int = 60_000) -> ExperimentResult:
                "most on Streaming/DB2."),
     )
     per_size = {s: [] for s in CBTB_SIZES}
+    grid = figure_grid(
+        ("baseline",) + CBTB_SIZES, n_blocks,
+        configs={s: cbtb_variant_config(s) for s in CBTB_SIZES},
+    )
     for workload in WORKLOAD_NAMES:
-        base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+        base = grid[workload]["baseline"]
         row = []
         for size in CBTB_SIZES:
-            res = run_scheme(workload, "shotgun", n_blocks=n_blocks,
-                             config=cbtb_variant_config(size))
+            res = grid[workload][size]
             value = speedup(base, res)
             row.append(value)
             per_size[size].append(value)

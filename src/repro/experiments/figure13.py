@@ -8,8 +8,7 @@ uses the equivalent storage budget split across its three structures
 from __future__ import annotations
 
 from repro.core.metrics import speedup
-from repro.core.sweep import run_scheme
-from repro.experiments.common import budget_configs
+from repro.experiments.common import budget_configs, figure_grid
 from repro.experiments.reporting import ExperimentResult
 
 BUDGETS = (512, 1024, 2048, 4096, 8192)
@@ -28,14 +27,18 @@ def run(n_blocks: int = 60_000) -> ExperimentResult:
                "Shotgun at budget B roughly matches Boomerang at 2B or "
                "more."),
     )
+    configs = {
+        f"{scheme}@{budget}": budget_configs(budget)[scheme]
+        for scheme in ("boomerang", "shotgun") for budget in BUDGETS
+    }
+    grid = figure_grid(("baseline",) + tuple(configs), n_blocks,
+                       configs=configs, workloads=WORKLOADS)
     for workload in WORKLOADS:
-        base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+        base = grid[workload]["baseline"]
         for scheme in ("boomerang", "shotgun"):
             row = []
             for budget in BUDGETS:
-                config = budget_configs(budget)[scheme]
-                res = run_scheme(workload, scheme, n_blocks=n_blocks,
-                                 config=config)
+                res = grid[workload][f"{scheme}@{budget}"]
                 row.append(speedup(base, res))
             result.add_row(
                 f"{workload.capitalize()} {scheme.capitalize()}", row

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from repro.core.metrics import geometric_mean, speedup
-from repro.core.sweep import run_schemes
-from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES
+from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES, \
+    figure_grid
 from repro.experiments.reporting import ExperimentResult
 
 SCHEMES = ("confluence", "boomerang", "shotgun")
@@ -21,9 +21,9 @@ def run(n_blocks: int = 60_000) -> ExperimentResult:
                "the web workloads."),
     )
     per_scheme = {name: [] for name in SCHEMES}
+    grid = figure_grid(("baseline",) + SCHEMES, n_blocks)
     for workload in WORKLOAD_NAMES:
-        results = run_schemes(workload, ("baseline",) + SCHEMES,
-                              n_blocks=n_blocks)
+        results = grid[workload]
         base = results["baseline"]
         row = [speedup(base, results[name]) for name in SCHEMES]
         for name, value in zip(SCHEMES, row):

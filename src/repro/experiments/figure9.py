@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 from repro.core.metrics import geometric_mean, speedup
-from repro.core.sweep import run_scheme
 from repro.experiments.common import (
     DISPLAY_NAMES,
     FOOTPRINT_LABELS,
     FOOTPRINT_VARIANTS,
     WORKLOAD_NAMES,
+    figure_grid,
     footprint_variant_config,
 )
 from repro.experiments.reporting import ExperimentResult
@@ -26,12 +26,15 @@ def run(n_blocks: int = 60_000) -> ExperimentResult:
         columns=[FOOTPRINT_LABELS[v] for v in FOOTPRINT_VARIANTS],
     )
     per_variant = {v: [] for v in FOOTPRINT_VARIANTS}
+    grid = figure_grid(
+        ("baseline",) + FOOTPRINT_VARIANTS, n_blocks,
+        configs={v: footprint_variant_config(v) for v in FOOTPRINT_VARIANTS},
+    )
     for workload in WORKLOAD_NAMES:
-        base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+        base = grid[workload]["baseline"]
         row = []
         for variant in FOOTPRINT_VARIANTS:
-            res = run_scheme(workload, "shotgun", n_blocks=n_blocks,
-                             config=footprint_variant_config(variant))
+            res = grid[workload][variant]
             value = speedup(base, res)
             row.append(value)
             per_variant[variant].append(value)

@@ -10,18 +10,49 @@ a prediction is O(number of tables).
 Storage budget: with the default geometry (4K-entry bimodal, four
 1K-entry tagged tables with 9-bit tags, 3-bit counters, 2-bit useful),
 the predictor costs 1KB + 4 * 1.75KB = 8KB, matching Table 3.
+
+Performance notes (DESIGN.md Section 7): ``predict``/``update`` sit in
+the innermost simulation loop (one pair per conditional branch), so the
+hot state is flat.  Tagged entries are 3-element lists
+``[tag, counter, useful]`` in dense per-table lists, folded histories
+are plain integers in parallel arrays updated inline (no per-fold method
+calls), and provider/alternate selection walks the tables once without
+building intermediate hit lists.  ``predict_update`` fuses the
+predict/train pair the engine always issues into one call, sharing the
+table walk and skipping the pending-prediction hand-off.  The arithmetic
+is unchanged from the reference formulation — predictions are
+bit-identical.
+
+:class:`PrecomputedHistoryTage` goes one step further for trace-driven
+simulation: because the engine trains the predictor on every conditional
+branch in retire order, the global-history bit stream — and therefore
+every folded-history value — is a pure function of the trace.
+:func:`precompute_fold_sequences` replays the fold recurrence once per
+trace (cached on the :class:`~repro.workloads.trace.Trace`, shared by
+every scheme simulated on it) and packs each table's index fold and
+combined tag fold into one integer per step, so the per-branch cost
+drops from twelve shift/xor/mask updates to a single list index.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.errors import ConfigError
 
+#: Tagged-entry slots (dense lists instead of objects).
+_TAG = 0
+_CTR = 1
+_USEFUL = 2
+
 
 class _FoldedHistory:
-    """Incrementally folded global history (circular-shift register)."""
+    """Incrementally folded global history (circular-shift register).
+
+    Retained as the reference formulation (and for the property tests);
+    :class:`TagePredictor` keeps its folds inline as plain integers using
+    the same recurrence.
+    """
 
     def __init__(self, history_length: int, folded_length: int) -> None:
         self.history_length = history_length
@@ -43,69 +74,6 @@ class _FoldedHistory:
         value ^= wrap
         value ^= (dropped_bit << self._out_shift) & self._mask
         self.value = value
-
-
-@dataclass
-class _TaggedEntry:
-    tag: int
-    counter: int  # 3-bit signed [-4, 3]; >= 0 predicts taken
-    useful: int   # 2-bit
-
-
-class _TaggedTable:
-    """One TAGE component: tagged, useful-managed, history-indexed."""
-
-    def __init__(self, entries: int, tag_bits: int,
-                 history_length: int) -> None:
-        self.entries = entries
-        self.tag_bits = tag_bits
-        self.history_length = history_length
-        self._index_bits = entries.bit_length() - 1
-        if (1 << self._index_bits) != entries:
-            raise ConfigError("tagged table entries must be a power of two")
-        self._table: List[Optional[_TaggedEntry]] = [None] * entries
-        self.index_fold = _FoldedHistory(history_length, self._index_bits)
-        self.tag_fold_a = _FoldedHistory(history_length, tag_bits)
-        self.tag_fold_b = _FoldedHistory(history_length, tag_bits - 1)
-
-    def index(self, pc: int) -> int:
-        pc = pc >> 2
-        return (pc ^ (pc >> self._index_bits)
-                ^ self.index_fold.value) & (self.entries - 1)
-
-    def tag(self, pc: int) -> int:
-        pc = pc >> 2
-        return (pc ^ self.tag_fold_a.value
-                ^ (self.tag_fold_b.value << 1)) & ((1 << self.tag_bits) - 1)
-
-    def get(self, pc: int) -> Optional[_TaggedEntry]:
-        entry = self._table[self.index(pc)]
-        if entry is not None and entry.tag == self.tag(pc):
-            return entry
-        return None
-
-    def allocate(self, pc: int, taken: bool) -> bool:
-        """Try to claim the slot for *pc*; fails if the victim is useful."""
-        idx = self.index(pc)
-        entry = self._table[idx]
-        if entry is not None and entry.useful > 0:
-            entry.useful -= 1
-            return False
-        self._table[idx] = _TaggedEntry(
-            tag=self.tag(pc), counter=0 if taken else -1, useful=0
-        )
-        return True
-
-
-@dataclass
-class _Prediction:
-    """Bookkeeping carried from predict() to update()."""
-
-    taken: bool
-    provider: int          # table index, -1 for bimodal
-    provider_pred: bool
-    alt_pred: bool
-    entry: Optional[_TaggedEntry]
 
 
 class TagePredictor:
@@ -130,52 +98,151 @@ class TagePredictor:
         self._bimodal_mask = bimodal_entries - 1
         if bimodal_entries & self._bimodal_mask:
             raise ConfigError("bimodal entries must be a power of two")
-        self._tables = [
-            _TaggedTable(tagged_entries, tag_bits, h) for h in histories
+        index_bits = tagged_entries.bit_length() - 1
+        if (1 << index_bits) != tagged_entries:
+            raise ConfigError("tagged table entries must be a power of two")
+        self.tagged_entries = tagged_entries
+        self.tag_bits = tag_bits
+        self.histories = tuple(histories)
+        n_tables = len(self.histories)
+        self._n_tables = n_tables
+        self._index_bits = index_bits
+        self._index_mask = tagged_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+
+        # Per-table dense entry storage: None or [tag, counter, useful].
+        self._tables: List[List[Optional[list]]] = [
+            [None] * tagged_entries for _ in range(n_tables)
         ]
-        self._max_history = histories[-1]
+        # Inline folded histories, one mutable [index, tagA, tagB] triple
+        # per table, with the fold geometry precomputed alongside:
+        # (history_length, index_out_shift, tagA_out_shift, tagB_out_shift).
+        self._folds: List[List[int]] = [[0, 0, 0] for _ in range(n_tables)]
+        self._fold_geom: List[Tuple[int, int, int, int]] = [
+            (h, h % index_bits, h % tag_bits, h % (tag_bits - 1))
+            for h in self.histories
+        ]
+        # Fold A shares the lookup tag's width; fold B is one bit
+        # narrower (the << 1 in the tag hash keeps the xor full-width).
+        self._tag_b_mask = (1 << (tag_bits - 1)) - 1
+
+        self._max_history = self.histories[-1]
         self._history_bits = [0] * self._max_history
         self._history_pos = 0
-        self._pending: Optional[Tuple[int, _Prediction]] = None
+        self._pending: Optional[tuple] = None
         self.predictions = 0
         self.mispredictions = 0
 
     # -- prediction ---------------------------------------------------
 
-    def _bimodal_pred(self, pc: int) -> bool:
-        return self._bimodal[(pc >> 2) & self._bimodal_mask] >= 2
-
     def predict(self, pc: int) -> bool:
         """Predict the direction of the conditional branch at *pc*."""
-        bimodal_pred = self._bimodal_pred(pc)
-        hits = []
-        for i, table in enumerate(self._tables):
-            candidate = table.get(pc)
-            if candidate is not None:
-                hits.append((i, candidate))
-        if hits:
-            provider, entry = hits[-1]
-            provider_pred = entry.counter >= 0
-            if len(hits) >= 2:
-                alt_pred = hits[-2][1].counter >= 0
+        key = pc >> 2
+        bimodal_pred = self._bimodal[key & self._bimodal_mask] >= 2
+        index_mask = self._index_mask
+        tag_mask = self._tag_mask
+        pc_idx = key ^ (key >> self._index_bits)
+
+        provider = -1
+        provider_entry = None
+        alt_entry = None
+        i = 0
+        for table, fold in zip(self._tables, self._folds):
+            entry = table[(pc_idx ^ fold[0]) & index_mask]
+            if entry is not None and entry[_TAG] == (
+                    (key ^ fold[1] ^ (fold[2] << 1)) & tag_mask):
+                alt_entry = provider_entry
+                provider_entry = entry
+                provider = i
+            i += 1
+
+        if provider_entry is not None:
+            provider_pred = provider_entry[_CTR] >= 0
+            if alt_entry is not None:
+                alt_pred = alt_entry[_CTR] >= 0
             else:
                 alt_pred = bimodal_pred
         else:
-            provider, entry = -1, None
             provider_pred = alt_pred = bimodal_pred
-        prediction = _Prediction(
-            taken=provider_pred, provider=provider,
-            provider_pred=provider_pred, alt_pred=alt_pred, entry=entry,
-        )
-        self._pending = (pc, prediction)
+        self._pending = (pc, provider, provider_pred, alt_pred,
+                         provider_entry)
         self.predictions += 1
-        return prediction.taken
+        return provider_pred
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update`` for the engine's hot loop.
+
+        The engine always resolves a prediction immediately (trace
+        order), so the split predict/update protocol only exists for
+        callers that interleave branches.  Fusing shares the table walk's
+        index/tag computations with the allocate path and avoids the
+        pending-prediction tuple.  Bit-identical to ``predict`` followed
+        by ``update`` for the same pc.
+        """
+        self._pending = None
+        key = pc >> 2
+        bimodal = self._bimodal
+        bimodal_idx = key & self._bimodal_mask
+        index_mask = self._index_mask
+        tag_mask = self._tag_mask
+        pc_idx = key ^ (key >> self._index_bits)
+
+        provider = -1
+        provider_entry = None
+        alt_entry = None
+        i = 0
+        for table, fold in zip(self._tables, self._folds):
+            entry = table[(pc_idx ^ fold[0]) & index_mask]
+            if entry is not None and entry[_TAG] == (
+                    (key ^ fold[1] ^ (fold[2] << 1)) & tag_mask):
+                alt_entry = provider_entry
+                provider_entry = entry
+                provider = i
+            i += 1
+
+        if provider_entry is not None:
+            provider_pred = provider_entry[_CTR] >= 0
+            if alt_entry is not None:
+                alt_pred = alt_entry[_CTR] >= 0
+            else:
+                alt_pred = bimodal[bimodal_idx] >= 2
+            ctr = provider_entry[_CTR]
+            provider_entry[_CTR] = (ctr + 1 if ctr < 3 else 3) if taken \
+                else (ctr - 1 if ctr > -4 else -4)
+            if provider_pred != alt_pred:
+                useful = provider_entry[_USEFUL]
+                if provider_pred == taken:
+                    provider_entry[_USEFUL] = useful + 1 if useful < 3 else 3
+                elif useful > 0:
+                    provider_entry[_USEFUL] = useful - 1
+        else:
+            provider_pred = alt_pred = bimodal[bimodal_idx] >= 2
+            value = bimodal[bimodal_idx]
+            bimodal[bimodal_idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
+        self.predictions += 1
+
+        if provider_pred != taken:
+            self.mispredictions += 1
+            if provider < self._n_tables - 1:
+                folds = self._folds
+                tables = self._tables
+                for i in range(provider + 1, self._n_tables):
+                    fold = folds[i]
+                    idx = (pc_idx ^ fold[0]) & index_mask
+                    table = tables[i]
+                    victim = table[idx]
+                    if victim is not None and victim[_USEFUL] > 0:
+                        victim[_USEFUL] -= 1
+                        continue
+                    tag = (key ^ fold[1] ^ (fold[2] << 1)) & tag_mask
+                    table[idx] = [tag, 0 if taken else -1, 0]
+                    break
+
+        self._push_history(taken)
+        return provider_pred
 
     # -- update -------------------------------------------------------
-
-    @staticmethod
-    def _bump(value: int, taken: bool, low: int, high: int) -> int:
-        return min(high, value + 1) if taken else max(low, value - 1)
 
     def update(self, pc: int, taken: bool) -> None:
         """Train with the resolved outcome of the branch at *pc*.
@@ -183,49 +250,95 @@ class TagePredictor:
         Must follow the ``predict`` call for the same pc (the engine
         predicts and resolves in trace order).
         """
-        if self._pending is None or self._pending[0] != pc:
+        pending = self._pending
+        if pending is None or pending[0] != pc:
             # Cold update (e.g. a branch resolved without a prediction,
             # as happens on the baseline's BTB-miss path): train bimodal.
+            bimodal = self._bimodal
             idx = (pc >> 2) & self._bimodal_mask
-            self._bimodal[idx] = self._bump(self._bimodal[idx], taken, 0, 3)
+            value = bimodal[idx]
+            bimodal[idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
             self._push_history(taken)
             return
-        _, pred = self._pending
+        _, provider, provider_pred, alt_pred, entry = pending
         self._pending = None
-        if pred.taken != taken:
+        if provider_pred != taken:
             self.mispredictions += 1
 
-        if pred.entry is not None:
-            pred.entry.counter = self._bump(pred.entry.counter, taken, -4, 3)
-            if pred.provider_pred != pred.alt_pred:
-                pred.entry.useful = self._bump(
-                    pred.entry.useful, pred.provider_pred == taken, 0, 3
-                )
+        if entry is not None:
+            ctr = entry[_CTR]
+            entry[_CTR] = (ctr + 1 if ctr < 3 else 3) if taken \
+                else (ctr - 1 if ctr > -4 else -4)
+            if provider_pred != alt_pred:
+                useful = entry[_USEFUL]
+                if provider_pred == taken:
+                    entry[_USEFUL] = useful + 1 if useful < 3 else 3
+                elif useful > 0:
+                    entry[_USEFUL] = useful - 1
         else:
+            bimodal = self._bimodal
             idx = (pc >> 2) & self._bimodal_mask
-            self._bimodal[idx] = self._bump(self._bimodal[idx], taken, 0, 3)
+            value = bimodal[idx]
+            bimodal[idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
 
         # Allocate a longer-history entry on a misprediction.
-        if pred.taken != taken and pred.provider < len(self._tables) - 1:
-            for table in self._tables[pred.provider + 1:]:
-                if table.allocate(pc, taken):
-                    break
+        if provider_pred != taken and provider < self._n_tables - 1:
+            key = pc >> 2
+            pc_idx = key ^ (key >> self._index_bits)
+            index_mask = self._index_mask
+            tag_mask = self._tag_mask
+            folds = self._folds
+            tables = self._tables
+            for i in range(provider + 1, self._n_tables):
+                fold = folds[i]
+                idx = (pc_idx ^ fold[0]) & index_mask
+                table = tables[i]
+                victim = table[idx]
+                if victim is not None and victim[_USEFUL] > 0:
+                    victim[_USEFUL] -= 1
+                    continue
+                tag = (key ^ fold[1] ^ (fold[2] << 1)) & tag_mask
+                table[idx] = [tag, 0 if taken else -1, 0]
+                break
 
         self._push_history(taken)
 
     def _push_history(self, taken: bool) -> None:
+        """Shift one outcome into every fold (inline, no method calls)."""
         new_bit = 1 if taken else 0
         pos = self._history_pos
         history = self._history_bits
         max_history = self._max_history
-        for table in self._tables:
-            drop_pos = (pos - table.history_length) % max_history
+        index_bits_1 = self._index_bits - 1
+        index_mask = self._index_mask
+        tag_a_mask = self._tag_mask
+        tag_b_mask = self._tag_b_mask
+        tag_bits_1 = self.tag_bits - 1
+        tag_bits_2 = self.tag_bits - 2
+
+        for fold, (hist, idx_out, a_out, b_out) in \
+                zip(self._folds, self._fold_geom):
+            drop_pos = pos - hist
+            if drop_pos < 0:
+                drop_pos += max_history
             dropped = history[drop_pos]
-            table.index_fold.update(new_bit, dropped)
-            table.tag_fold_a.update(new_bit, dropped)
-            table.tag_fold_b.update(new_bit, dropped)
+            value = fold[0]
+            fold[0] = (((value << 1) | new_bit) & index_mask) \
+                ^ ((value >> index_bits_1) & 1) \
+                ^ ((dropped << idx_out) & index_mask)
+            value = fold[1]
+            fold[1] = (((value << 1) | new_bit) & tag_a_mask) \
+                ^ ((value >> tag_bits_1) & 1) \
+                ^ ((dropped << a_out) & tag_a_mask)
+            value = fold[2]
+            fold[2] = (((value << 1) | new_bit) & tag_b_mask) \
+                ^ ((value >> tag_bits_2) & 1) \
+                ^ ((dropped << b_out) & tag_b_mask)
         history[pos] = new_bit
-        self._history_pos = (pos + 1) % max_history
+        pos += 1
+        self._history_pos = 0 if pos == max_history else pos
 
     @property
     def accuracy(self) -> float:
@@ -235,10 +348,290 @@ class TagePredictor:
 
     def storage_bits(self) -> int:
         """Approximate storage: bimodal counters + tagged entries."""
-        tagged_bits = sum(
-            t.entries * (t.tag_bits + 3 + 2) for t in self._tables
-        )
+        tagged_bits = self._n_tables * self.tagged_entries \
+            * (self.tag_bits + 3 + 2)
         return len(self._bimodal) * 2 + tagged_bits
+
+
+class FoldSequences(NamedTuple):
+    """Packed per-table fold sequences plus the geometry they encode.
+
+    Carrying the geometry lets :class:`PrecomputedHistoryTage` verify
+    that the sequences were produced for *its* table layout — unpacking
+    with mismatched index/tag widths would silently yield garbage
+    lookups rather than an error.
+    """
+
+    seqs: List[List[int]]
+    histories: Tuple[int, ...]
+    index_bits: int
+    tag_bits: int
+
+
+def precompute_fold_sequences(
+    kinds: List[int], takens: List[bool],
+    cond_kind: int,
+    histories: Tuple[int, ...] = TagePredictor.DEFAULT_HISTORIES,
+    index_bits: int = 10, tag_bits: int = 9,
+) -> FoldSequences:
+    """Replay the folded-history recurrence over a trace's branch stream.
+
+    The engine trains TAGE on every conditional block in retire order, so
+    the predictor's global-history stream equals the trace's conditional
+    outcomes — a pure trace property.  This computes, for each tagged
+    table, the packed fold value *before* each training step ``s``::
+
+        packed = index_fold | (tag_fold_a ^ (tag_fold_b << 1)) << index_bits
+
+    i.e. exactly the two quantities a lookup needs (the index xor-term
+    and the combined tag xor-term), one list entry per conditional plus
+    the initial state.  The recurrence is the same circular-shift folding
+    as :meth:`TagePredictor._push_history`, so replaying it yields
+    bit-identical predictions.
+    """
+    n_tables = len(histories)
+    index_mask = (1 << index_bits) - 1
+    tag_a_mask = (1 << tag_bits) - 1
+    tag_b_mask = (1 << (tag_bits - 1)) - 1
+    index_bits_1 = index_bits - 1
+    tag_bits_1 = tag_bits - 1
+    tag_bits_2 = tag_bits - 2
+    max_history = histories[-1]
+    geom = [(h, h % index_bits, h % tag_bits, h % (tag_bits - 1))
+            for h in histories]
+    folds = [[0, 0, 0] for _ in range(n_tables)]
+    seqs: List[List[int]] = [[0] for _ in range(n_tables)]
+    appends = [seq.append for seq in seqs]
+    history = [0] * max_history
+    pos = 0
+
+    for kind, taken in zip(kinds, takens):
+        if kind != cond_kind:
+            continue
+        new_bit = 1 if taken else 0
+        for t in range(n_tables):
+            hist, idx_out, a_out, b_out = geom[t]
+            fold = folds[t]
+            drop_pos = pos - hist
+            if drop_pos < 0:
+                drop_pos += max_history
+            dropped = history[drop_pos]
+            value = fold[0]
+            fold[0] = f0 = (((value << 1) | new_bit) & index_mask) \
+                ^ ((value >> index_bits_1) & 1) \
+                ^ ((dropped << idx_out) & index_mask)
+            value = fold[1]
+            fold[1] = f1 = (((value << 1) | new_bit) & tag_a_mask) \
+                ^ ((value >> tag_bits_1) & 1) \
+                ^ ((dropped << a_out) & tag_a_mask)
+            value = fold[2]
+            fold[2] = f2 = (((value << 1) | new_bit) & tag_b_mask) \
+                ^ ((value >> tag_bits_2) & 1) \
+                ^ ((dropped << b_out) & tag_b_mask)
+            appends[t](f0 | ((f1 ^ (f2 << 1)) << index_bits))
+        history[pos] = new_bit
+        pos += 1
+        if pos == max_history:
+            pos = 0
+    return FoldSequences(seqs=seqs, histories=tuple(histories),
+                         index_bits=index_bits, tag_bits=tag_bits)
+
+
+class PrecomputedHistoryTage(TagePredictor):
+    """TAGE replaying trace-derived fold sequences (bit-identical).
+
+    Built by the engine when no explicit predictor is supplied and the
+    trace's fold sequences are available (see
+    ``FrontEnd``/:func:`precompute_fold_sequences`).  Each training step
+    advances an index into the packed per-table sequences instead of
+    updating twelve fold registers, and lookups unpack the index/tag
+    xor-terms with one shift each.
+
+    The counter/useful/allocate logic here intentionally mirrors
+    :class:`TagePredictor`'s (fused and split paths); the equivalence
+    tests in ``tests/test_tage.py`` pin all copies together and fail on
+    any drift.
+    """
+
+    def __init__(self, fold_sequences: FoldSequences,
+                 bimodal_entries: int = 4096, tagged_entries: int = 1024,
+                 tag_bits: int = 9,
+                 histories: Tuple[int, ...] = TagePredictor.DEFAULT_HISTORIES,
+                 ) -> None:
+        super().__init__(bimodal_entries=bimodal_entries,
+                         tagged_entries=tagged_entries, tag_bits=tag_bits,
+                         histories=histories)
+        if (tuple(fold_sequences.histories) != self.histories
+                or fold_sequences.index_bits != self._index_bits
+                or fold_sequences.tag_bits != self.tag_bits
+                or len(fold_sequences.seqs) != self._n_tables):
+            raise ConfigError(
+                "fold sequences were precomputed for a different TAGE "
+                f"geometry (sequences: {len(fold_sequences.seqs)} tables, "
+                f"histories {fold_sequences.histories}, "
+                f"index_bits {fold_sequences.index_bits}, "
+                f"tag_bits {fold_sequences.tag_bits}; predictor: "
+                f"{self._n_tables} tables, histories {self.histories}, "
+                f"index_bits {self._index_bits}, tag_bits {self.tag_bits})"
+            )
+        self._seqs = fold_sequences.seqs
+        self._step = 0
+
+    def predict(self, pc: int) -> bool:
+        key = pc >> 2
+        index_bits = self._index_bits
+        index_mask = self._index_mask
+        tag_mask = self._tag_mask
+        pc_idx = key ^ (key >> index_bits)
+        step = self._step
+
+        provider = -1
+        provider_entry = None
+        alt_entry = None
+        i = 0
+        for table, seq in zip(self._tables, self._seqs):
+            packed = seq[step]
+            entry = table[(pc_idx ^ packed) & index_mask]
+            if entry is not None and entry[_TAG] == (
+                    (key ^ (packed >> index_bits)) & tag_mask):
+                alt_entry = provider_entry
+                provider_entry = entry
+                provider = i
+            i += 1
+
+        bimodal_pred = self._bimodal[key & self._bimodal_mask] >= 2
+        if provider_entry is not None:
+            provider_pred = provider_entry[_CTR] >= 0
+            alt_pred = alt_entry[_CTR] >= 0 if alt_entry is not None \
+                else bimodal_pred
+        else:
+            provider_pred = alt_pred = bimodal_pred
+        self._pending = (pc, provider, provider_pred, alt_pred,
+                         provider_entry)
+        self.predictions += 1
+        return provider_pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        pending = self._pending
+        if pending is None or pending[0] != pc:
+            bimodal = self._bimodal
+            idx = (pc >> 2) & self._bimodal_mask
+            value = bimodal[idx]
+            bimodal[idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
+            self._step += 1
+            return
+        _, provider, provider_pred, alt_pred, entry = pending
+        self._pending = None
+        if provider_pred != taken:
+            self.mispredictions += 1
+
+        if entry is not None:
+            ctr = entry[_CTR]
+            entry[_CTR] = (ctr + 1 if ctr < 3 else 3) if taken \
+                else (ctr - 1 if ctr > -4 else -4)
+            if provider_pred != alt_pred:
+                useful = entry[_USEFUL]
+                if provider_pred == taken:
+                    entry[_USEFUL] = useful + 1 if useful < 3 else 3
+                elif useful > 0:
+                    entry[_USEFUL] = useful - 1
+        else:
+            bimodal = self._bimodal
+            idx = (pc >> 2) & self._bimodal_mask
+            value = bimodal[idx]
+            bimodal[idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
+
+        if provider_pred != taken and provider < self._n_tables - 1:
+            key = pc >> 2
+            index_bits = self._index_bits
+            pc_idx = key ^ (key >> index_bits)
+            index_mask = self._index_mask
+            tag_mask = self._tag_mask
+            step = self._step
+            seqs = self._seqs
+            tables = self._tables
+            for i in range(provider + 1, self._n_tables):
+                packed = seqs[i][step]
+                idx = (pc_idx ^ packed) & index_mask
+                table = tables[i]
+                victim = table[idx]
+                if victim is not None and victim[_USEFUL] > 0:
+                    victim[_USEFUL] -= 1
+                    continue
+                tag = (key ^ (packed >> index_bits)) & tag_mask
+                table[idx] = [tag, 0 if taken else -1, 0]
+                break
+
+        self._step += 1
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        self._pending = None
+        key = pc >> 2
+        bimodal = self._bimodal
+        bimodal_idx = key & self._bimodal_mask
+        index_bits = self._index_bits
+        index_mask = self._index_mask
+        tag_mask = self._tag_mask
+        pc_idx = key ^ (key >> index_bits)
+        step = self._step
+
+        provider = -1
+        provider_entry = None
+        alt_entry = None
+        i = 0
+        for table, seq in zip(self._tables, self._seqs):
+            packed = seq[step]
+            entry = table[(pc_idx ^ packed) & index_mask]
+            if entry is not None and entry[_TAG] == (
+                    (key ^ (packed >> index_bits)) & tag_mask):
+                alt_entry = provider_entry
+                provider_entry = entry
+                provider = i
+            i += 1
+
+        if provider_entry is not None:
+            provider_pred = provider_entry[_CTR] >= 0
+            if alt_entry is not None:
+                alt_pred = alt_entry[_CTR] >= 0
+            else:
+                alt_pred = bimodal[bimodal_idx] >= 2
+            ctr = provider_entry[_CTR]
+            provider_entry[_CTR] = (ctr + 1 if ctr < 3 else 3) if taken \
+                else (ctr - 1 if ctr > -4 else -4)
+            if provider_pred != alt_pred:
+                useful = provider_entry[_USEFUL]
+                if provider_pred == taken:
+                    provider_entry[_USEFUL] = useful + 1 if useful < 3 else 3
+                elif useful > 0:
+                    provider_entry[_USEFUL] = useful - 1
+        else:
+            provider_pred = alt_pred = bimodal[bimodal_idx] >= 2
+            value = bimodal[bimodal_idx]
+            bimodal[bimodal_idx] = (value + 1 if value < 3 else 3) if taken \
+                else (value - 1 if value > 0 else 0)
+        self.predictions += 1
+
+        if provider_pred != taken:
+            self.mispredictions += 1
+            if provider < self._n_tables - 1:
+                seqs = self._seqs
+                tables = self._tables
+                for i in range(provider + 1, self._n_tables):
+                    packed = seqs[i][step]
+                    idx = (pc_idx ^ packed) & index_mask
+                    table = tables[i]
+                    victim = table[idx]
+                    if victim is not None and victim[_USEFUL] > 0:
+                        victim[_USEFUL] -= 1
+                        continue
+                    tag = (key ^ (packed >> index_bits)) & tag_mask
+                    table[idx] = [tag, 0 if taken else -1, 0]
+                    break
+
+        self._step = step + 1
+        return provider_pred
 
 
 class BimodalPredictor:
@@ -263,6 +656,17 @@ class BimodalPredictor:
         if predicted != taken:
             self.mispredictions += 1
         self._table[idx] = min(3, value + 1) if taken else max(0, value - 1)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update`` (same protocol as TAGE's)."""
+        self.predictions += 1
+        idx = (pc >> 2) & self._mask
+        value = self._table[idx]
+        predicted = value >= 2
+        if predicted != taken:
+            self.mispredictions += 1
+        self._table[idx] = min(3, value + 1) if taken else max(0, value - 1)
+        return predicted
 
     @property
     def accuracy(self) -> float:

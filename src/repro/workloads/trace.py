@@ -10,15 +10,41 @@ control flow actually continued at.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterator, List, NamedTuple, Optional
 
 import numpy as np
 
 from repro.errors import TraceError
-from repro.isa import BlockRecord, BranchKind
+from repro.isa import BLOCK_SHIFT, INSTR_BYTES, BlockRecord, BranchKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.cfg.generator import GeneratedProgram
+
+
+class TraceHotColumns(NamedTuple):
+    """Per-block columns materialised as native Python lists.
+
+    The simulation engine's inner loop indexes these instead of the numpy
+    arrays: element access on a ``list`` of native ints/bools is several
+    times cheaper than numpy scalar indexing plus ``int()`` unboxing, and
+    the derived columns (cache-line indices, fall-through pcs) are
+    vectorised once here rather than recomputed per block per scheme.
+    Computed lazily and cached on the :class:`Trace`, so all schemes
+    simulated against the same trace share one copy.
+    """
+
+    pc: List[int]
+    ninstr: List[int]
+    kind: List[int]
+    taken: List[bool]
+    target: List[int]
+    #: Cache-line index of each block's first instruction.
+    first_line: List[int]
+    #: Cache-line index of each block's terminating branch.
+    last_line: List[int]
+    #: Not-taken successor address (``pc + ninstr * INSTR_BYTES``).
+    fallthrough: List[int]
 
 
 class Trace:
@@ -52,6 +78,38 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.pc)
+
+    @cached_property
+    def hot(self) -> TraceHotColumns:
+        """Native-list columns plus precomputed per-block line geometry.
+
+        First access pays one vectorised pass over the trace; subsequent
+        accesses (every further scheme simulated on this trace) are free.
+        """
+        pc = self.pc
+        ninstr_wide = self.ninstr.astype(np.int64)
+        branch_pc = pc + (ninstr_wide - 1) * INSTR_BYTES
+        return TraceHotColumns(
+            pc=pc.tolist(),
+            ninstr=self.ninstr.tolist(),
+            kind=self.kind.tolist(),
+            taken=self.taken.tolist(),
+            target=self.target.tolist(),
+            first_line=(pc >> BLOCK_SHIFT).tolist(),
+            last_line=(branch_pc >> BLOCK_SHIFT).tolist(),
+            fallthrough=(pc + ninstr_wide * INSTR_BYTES).tolist(),
+        )
+
+    @cached_property
+    def derived(self) -> dict:
+        """Memo for trace-derived preprocessing shared across schemes.
+
+        Keyed by the deriving component (e.g. the engine caches TAGE
+        folded-history sequences here); lives with the trace so every
+        scheme simulated on it — and every simulation of the same cached
+        trace — pays the derivation once.
+        """
+        return {}
 
     @property
     def instruction_count(self) -> int:

@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cfg.generator import GeneratorParams, generate_program
 from repro.config import MicroarchParams
 from repro.workloads.tracegen import generate_trace
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session scratch dir.
+
+    Unit tests must not read results a previous (possibly different)
+    build wrote to the user's real cache, nor litter it.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-disk-cache")
+    )
+    yield
 
 #: Small generator configuration used across the unit tests: big enough
 #: to exercise every branch kind, small enough to build in milliseconds.

@@ -1,0 +1,155 @@
+"""Tests for the persistent content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.core import diskcache
+from repro.core.metrics import EngineStats, SimulationResult
+from repro.core.sweep import clear_result_cache, run_scheme
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """An empty cache directory private to one test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    diskcache.reset_counters()
+    clear_result_cache()
+    yield tmp_path / "cache"
+    clear_result_cache()
+
+
+def _result(cycles: float = 123.5) -> SimulationResult:
+    stats = EngineStats(cycles=cycles, instructions=1000, blocks=100,
+                        stall_l1i=7.25, dir_mispredicts=3)
+    return SimulationResult(scheme="shotgun", stats=stats)
+
+
+def _key(**overrides) -> str:
+    material = dict(workload="nutch", scheme_name="shotgun",
+                    n_blocks=3000, seed=0,
+                    config=SchemeConfig(name="shotgun"),
+                    params=MicroarchParams())
+    material.update(overrides)
+    return diskcache.result_key(**material)
+
+
+class TestStoreLoad:
+    def test_round_trip_equality(self, fresh_cache):
+        key = _key()
+        stored = _result()
+        diskcache.store(key, stored)
+        loaded = diskcache.load(key)
+        assert loaded is not None
+        assert loaded.scheme == stored.scheme
+        # Field-exact, including float bit patterns through JSON.
+        assert loaded.stats == stored.stats
+
+    def test_miss_returns_none(self, fresh_cache):
+        assert diskcache.load(_key()) is None
+        assert diskcache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, fresh_cache):
+        key = _key()
+        diskcache.store(key, _result())
+        path = os.path.join(diskcache.cache_dir(), key[:2], key + ".json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert diskcache.load(key) is None
+
+    def test_stale_stats_layout_is_a_miss(self, fresh_cache):
+        key = _key()
+        diskcache.store(key, _result())
+        path = os.path.join(diskcache.cache_dir(), key[:2], key + ".json")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["stats"].pop("cycles")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert diskcache.load(key) is None
+
+    def test_clear_removes_entries(self, fresh_cache):
+        keys = [_key(), _key(n_blocks=6000)]
+        for key in keys:
+            diskcache.store(key, _result())
+        assert diskcache.clear() == 2
+        assert all(diskcache.load(key) is None for key in keys)
+
+
+class TestKeySensitivity:
+    def test_stable_for_identical_inputs(self):
+        assert _key() == _key()
+
+    def test_config_changes_key(self):
+        assert _key() != _key(
+            config=SchemeConfig(name="shotgun", footprint_bits=32)
+        )
+
+    def test_params_change_key(self):
+        assert _key() != _key(
+            params=MicroarchParams().with_overrides(ftq_size=16)
+        )
+
+    def test_seed_changes_key(self):
+        assert _key() != _key(seed=7)
+
+    def test_blocks_change_key(self):
+        assert _key() != _key(n_blocks=6000)
+
+    def test_workload_and_scheme_change_key(self):
+        assert _key() != _key(workload="oracle")
+        assert _key() != _key(scheme_name="fdip")
+
+    def test_engine_version_changes_key(self, monkeypatch):
+        before = _key()
+        monkeypatch.setattr(diskcache, "ENGINE_VERSION",
+                            diskcache.ENGINE_VERSION + 1)
+        assert _key() != before
+
+    def test_source_fingerprint_changes_key(self, monkeypatch):
+        # Simulates editing engine source: a different fingerprint must
+        # invalidate every existing entry without a manual version bump.
+        before = _key()
+        monkeypatch.setattr(diskcache, "_fingerprint_cache", "edited-build")
+        assert _key() != before
+
+    def test_fingerprint_is_stable_within_a_build(self):
+        assert diskcache.engine_fingerprint() \
+            == diskcache.engine_fingerprint()
+        assert diskcache.engine_fingerprint() != "unreadable"
+
+
+class TestOptOut:
+    def test_disable_env(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert not diskcache.enabled()
+        key = _key()
+        diskcache.store(key, _result())
+        assert diskcache.load(key) is None
+        assert not os.path.isdir(str(fresh_cache))
+
+    def test_cache_dir_override(self, fresh_cache):
+        assert diskcache.cache_dir() == str(fresh_cache)
+
+
+class TestRunSchemeIntegration:
+    def test_disk_hit_equals_simulated_result(self, fresh_cache):
+        first = run_scheme("nutch", "baseline", n_blocks=2000)
+        assert diskcache.stores == 1
+        # Drop the in-process memo: the next call must come from disk
+        # and be field-identical to the simulated result.
+        clear_result_cache()
+        second = run_scheme("nutch", "baseline", n_blocks=2000)
+        assert diskcache.hits == 1
+        assert second is not first
+        assert second.stats == first.stats
+
+    def test_use_cache_false_skips_disk(self, fresh_cache):
+        run_scheme("nutch", "baseline", n_blocks=2000, use_cache=False)
+        assert diskcache.stores == 0
+        assert diskcache.hits == 0

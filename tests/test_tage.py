@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
-from repro.uarch.tage import BimodalPredictor, TagePredictor, _FoldedHistory
+from repro.isa import BranchKind
+from repro.uarch.tage import BimodalPredictor, PrecomputedHistoryTage, \
+    TagePredictor, _FoldedHistory, precompute_fold_sequences
 
 
 def _run(predictor, outcomes, pc=0x4000):
@@ -108,6 +110,70 @@ class TestTagePatterns:
             TagePredictor(bimodal_entries=1000)  # not a power of two
         with pytest.raises(ConfigError):
             TagePredictor(histories=(50, 20, 8, 5))  # not increasing
+
+
+class TestFusedAndPrecomputed:
+    """The fused and trace-replay paths are bit-identical to the split
+    predict/update protocol."""
+
+    COND = int(BranchKind.COND)
+    JUMP = int(BranchKind.JUMP)
+
+    def _stream(self, n=4000, seed=9):
+        rng = np.random.default_rng(seed)
+        pcs = [0x4000 + int(i) * 4 for i in rng.integers(0, 96, size=n)]
+        kinds = [self.COND if r < 0.8 else self.JUMP
+                 for r in rng.random(n)]
+        takens = [bool((pc >> 4) % 3 != 0) ^ bool(rng.random() < 0.05)
+                  for pc in pcs]
+        return pcs, kinds, takens
+
+    def test_predict_update_matches_split_protocol(self):
+        pcs, kinds, takens = self._stream()
+        split, fused = TagePredictor(), TagePredictor()
+        for pc, kind, taken in zip(pcs, kinds, takens):
+            if kind != self.COND:
+                continue
+            expected = split.predict(pc)
+            split.update(pc, taken)
+            assert fused.predict_update(pc, taken) == expected
+        assert fused.mispredictions == split.mispredictions
+
+    def test_precomputed_history_matches_dynamic(self):
+        pcs, kinds, takens = self._stream()
+        seqs = precompute_fold_sequences(kinds, takens, self.COND)
+        dynamic = TagePredictor()
+        replay = PrecomputedHistoryTage(seqs)
+        for pc, kind, taken in zip(pcs, kinds, takens):
+            if kind != self.COND:
+                continue
+            expected = dynamic.predict(pc)
+            dynamic.update(pc, taken)
+            assert replay.predict_update(pc, taken) == expected
+        assert replay.mispredictions == dynamic.mispredictions
+
+    def test_precomputed_split_protocol_matches_dynamic(self):
+        pcs, kinds, takens = self._stream(seed=11)
+        seqs = precompute_fold_sequences(kinds, takens, self.COND)
+        dynamic = TagePredictor()
+        replay = PrecomputedHistoryTage(seqs)
+        for pc, kind, taken in zip(pcs, kinds, takens):
+            if kind != self.COND:
+                continue
+            expected = dynamic.predict(pc)
+            dynamic.update(pc, taken)
+            assert replay.predict(pc) == expected
+            replay.update(pc, taken)
+
+    def test_rejects_mismatched_sequences(self):
+        pcs, kinds, takens = self._stream()
+        seqs = precompute_fold_sequences(kinds, takens, self.COND)
+        with pytest.raises(ConfigError):
+            # Same table count, different unpack geometry: must refuse
+            # rather than silently mis-unpack every packed fold.
+            PrecomputedHistoryTage(seqs, tagged_entries=2048)
+        with pytest.raises(ConfigError):
+            PrecomputedHistoryTage(seqs._replace(seqs=seqs.seqs[:2]))
 
 
 class TestBimodal:
