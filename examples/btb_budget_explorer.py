@@ -5,6 +5,10 @@ Shotgun's three structures to the equivalent storage at every point
 (Section 6.5), and reports where Shotgun at budget B overtakes Boomerang
 at 2B — the paper's "half the storage for the same performance" claim.
 
+The sweep is declared as a :class:`~repro.experiments.spec.GridSpec`
+(rows: budgets, columns: schemes, shared no-prefetch baseline), so all
+cells fan across cores and land in the persistent result cache.
+
 Run with::
 
     python examples/btb_budget_explorer.py [workload]
@@ -12,33 +16,48 @@ Run with::
 
 import sys
 
-from repro.config.schemes import shotgun_budget_split, shotgun_storage_bits
-from repro.core.metrics import speedup
-from repro.core.sweep import run_scheme
 from repro.experiments.common import budget_configs
 from repro.experiments.reporting import format_table
+from repro.experiments.spec import Cell, GridSpec, RunSpec, run_grid_spec
 
 BUDGETS = (512, 1024, 2048, 4096, 8192)
+SCHEMES = ("boomerang", "shotgun")
+
+
+def budget_spec(workload: str) -> GridSpec:
+    """The budget sweep as a declarative grid for *workload*."""
+    base = RunSpec(workload=workload, scheme="baseline")
+    cells = tuple(
+        Cell(row=f"{budget} entries", col=scheme,
+             spec=RunSpec(workload=workload, scheme=scheme,
+                          config=budget_configs(budget)[scheme]),
+             baseline=base)
+        for budget in BUDGETS for scheme in SCHEMES
+    )
+    return GridSpec(
+        experiment_id="btb_budget",
+        title=f"BTB budget sweep on {workload} (speedup over no-prefetch)",
+        columns=SCHEMES,
+        cells=cells,
+        metric="speedup",
+        chart_baseline=1.0,
+    )
 
 
 def main(workload: str = "db2", n_blocks: int = 25_000) -> None:
-    base = run_scheme(workload, "baseline", n_blocks=n_blocks)
+    result = run_grid_spec(budget_spec(workload), n_blocks=n_blocks)
+
     rows = []
-    curves = {"boomerang": {}, "shotgun": {}}
     for budget in BUDGETS:
-        configs = budget_configs(budget)
-        sizes = configs["shotgun"].shotgun_sizes
-        row = [f"{budget} entries",
-               f"{budget * 93 / 8 / 1024:.1f} KB",
-               f"{sizes.ubtb_entries}/{sizes.cbtb_entries}"
-               f"/{sizes.rib_entries}"]
-        for scheme in ("boomerang", "shotgun"):
-            result = run_scheme(workload, scheme, n_blocks=n_blocks,
-                                config=configs[scheme])
-            value = speedup(base, result)
-            curves[scheme][budget] = value
-            row.append(f"{value:.3f}")
-        rows.append(row)
+        sizes = budget_configs(budget)["shotgun"].shotgun_sizes
+        rows.append([
+            f"{budget} entries",
+            f"{budget * 93 / 8 / 1024:.1f} KB",
+            f"{sizes.ubtb_entries}/{sizes.cbtb_entries}"
+            f"/{sizes.rib_entries}",
+            f"{result.value(f'{budget} entries', 'boomerang'):.3f}",
+            f"{result.value(f'{budget} entries', 'shotgun'):.3f}",
+        ])
 
     print(f"BTB budget sweep on {workload} "
           f"(Shotgun split U-BTB/C-BTB/RIB at equal storage):\n")
@@ -51,11 +70,12 @@ def main(workload: str = "db2", n_blocks: int = 25_000) -> None:
     print()
     for budget in BUDGETS[:-1]:
         doubled = budget * 2
-        if curves["shotgun"][budget] >= curves["boomerang"][doubled]:
+        shotgun = result.value(f"{budget} entries", "shotgun")
+        boomerang = result.value(f"{doubled} entries", "boomerang")
+        if shotgun >= boomerang:
             print(f"Shotgun @ {budget} entries >= "
                   f"Boomerang @ {doubled} entries "
-                  f"({curves['shotgun'][budget]:.3f} vs "
-                  f"{curves['boomerang'][doubled]:.3f})")
+                  f"({shotgun:.3f} vs {boomerang:.3f})")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,22 @@
 """Quickstart: simulate Shotgun vs the no-prefetch baseline.
 
-Builds the calibrated DB2 (TPC-C) workload, runs the no-prefetch
-baseline and Shotgun through the front-end engine and reports the
-paper's headline metrics: speedup and front-end stall-cycle coverage.
+Builds the calibrated DB2 (TPC-C) workload, declares the comparison as
+a RunSpec/GridSpec experiment and runs it through the shared
+cached/parallel sweep path, reporting the paper's headline metrics:
+speedup and front-end stall-cycle coverage.
 
 Run with::
 
     python examples/quickstart.py
+
+(For the paper's full tables and figures, use ``python -m repro run``.)
 """
 
-from repro import MicroarchParams, build_scheme, simulate
-from repro.core.metrics import frontend_stall_coverage, speedup
+from repro.core.sweep import run_specs
+from repro.experiments.spec import Cell, GridSpec, RunSpec, run_grid_spec
 from repro.workloads.profiles import build_program, build_trace, get_profile
+
+N_BLOCKS = 30_000
 
 
 def main() -> None:
@@ -21,31 +26,45 @@ def main() -> None:
 
     # 1. Build the synthetic program and a reduced retire-order trace.
     generated = build_program(workload)
-    trace = build_trace(workload, n_blocks=30_000)
+    trace = build_trace(workload, n_blocks=N_BLOCKS)
     print(f"Program: {generated.program.nfunctions} functions, "
           f"{generated.program.footprint_bytes // 1024} KB of code")
     print(f"Trace: {len(trace)} basic blocks, "
           f"{trace.instruction_count} instructions")
 
-    # 2. Simulate the no-prefetch baseline and Shotgun.
-    params = MicroarchParams()
-    results = {}
-    for name in ("baseline", "shotgun"):
-        scheme = build_scheme(name, params, generated)
-        results[name] = simulate(
-            trace, scheme, params=params,
-            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
-        )
+    # 2. Declare the two simulations as RunSpecs and run them through
+    #    the cached (and, for larger grids, parallel) sweep path.
+    base_spec = RunSpec(workload=workload, scheme="baseline",
+                        n_blocks=N_BLOCKS)
+    shotgun_spec = RunSpec(workload=workload, scheme="shotgun",
+                           n_blocks=N_BLOCKS)
+    results = run_specs([base_spec, shotgun_spec])
+    base = results[base_spec.canonical()]
+    shotgun = results[shotgun_spec.canonical()]
 
-    # 3. Report.
-    base, shotgun = results["baseline"], results["shotgun"]
+    # 3. Report the raw per-scheme metrics.
     print(f"\nBaseline: IPC {base.ipc:.2f}, "
           f"L1-I MPKI {base.l1i_mpki:.1f}, BTB MPKI {base.btb_mpki:.1f}")
     print(f"Shotgun:  IPC {shotgun.ipc:.2f}, "
           f"prefetch accuracy {shotgun.prefetch_accuracy:.0%}")
-    print(f"\nSpeedup over baseline:      {speedup(base, shotgun):.3f}x")
-    print(f"Front-end stall coverage:   "
-          f"{frontend_stall_coverage(base, shotgun):.0%}")
+
+    # 4. The same comparison as a declarative grid: one cell per derived
+    #    metric table, rendered like the paper's figures.  The cells
+    #    reuse the cached simulations from step 2 — nothing reruns.
+    for metric, title in (("speedup", "Speedup over no-prefetch"),
+                          ("stall_coverage",
+                           "Front-end stall cycle coverage")):
+        grid = GridSpec(
+            experiment_id=f"quickstart_{metric}",
+            title=title,
+            columns=("Shotgun",),
+            cells=(Cell(row="DB2", col="Shotgun", spec=shotgun_spec,
+                        baseline=base_spec),),
+            metric=metric,
+            chart_baseline=1.0 if metric == "speedup" else None,
+        )
+        print()
+        print(run_grid_spec(grid).render())
 
 
 if __name__ == "__main__":

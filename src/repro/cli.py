@@ -1,0 +1,288 @@
+"""Unified command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``list``
+    Every registered experiment id with a one-line description.
+``run``
+    Regenerate one or more experiments (or ``all``), rendered as the
+    paper's tables, as ASCII bar charts (``--chart``) or as JSON
+    (``--json``); ``--out`` writes to a file (one experiment) or a
+    directory (several).
+``sweep``
+    A raw (workload × scheme) grid through the cached/parallel sweep
+    path, emitted as machine-readable JSONL — one line per cell with
+    the headline metrics (plus speedup when a ``baseline`` column is
+    part of the sweep).
+``report``
+    Run a set of experiments (default: all) and write rendered + JSON
+    results into an output directory.
+
+Shared flags: ``--blocks`` (trace length), ``--parallel``/``--serial``
+(force the grid fan-out), ``--no-cache`` (disable the persistent disk
+cache for this invocation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+_EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL")
+
+
+def _apply_execution_flags(args) -> None:
+    """Translate CLI execution flags into the sweep layer's env switches.
+
+    ``main`` restores the previous environment afterwards, so invoking
+    the CLI in-process (tests, notebooks) does not leak the overrides.
+    """
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_DISK_CACHE"] = "0"
+    if getattr(args, "parallel", None) is True:
+        os.environ["REPRO_PARALLEL"] = "1"
+    elif getattr(args, "parallel", None) is False:
+        os.environ["REPRO_PARALLEL"] = "0"
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--blocks", type=int, default=60_000,
+        help="trace length in dynamic basic blocks (default 60000)",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--parallel", dest="parallel", action="store_true", default=None,
+        help="force parallel grid execution",
+    )
+    mode.add_argument(
+        "--serial", dest="parallel", action="store_false",
+        help="force serial grid execution",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent disk result cache for this run",
+    )
+
+
+def _resolve_ids(requested: List[str]) -> List[str]:
+    from repro.experiments.registry import EXPERIMENTS, get_experiment
+    if "all" in requested:
+        return list(EXPERIMENTS)
+    for experiment_id in requested:
+        get_experiment(experiment_id)  # validates, raises with choices
+    return [experiment_id.lower() for experiment_id in requested]
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments.registry import DESCRIPTIONS, EXPERIMENTS
+    width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
+    for experiment_id in EXPERIMENTS:
+        print(f"{experiment_id.ljust(width)}  "
+              f"{DESCRIPTIONS.get(experiment_id, '')}")
+    return 0
+
+
+def _write_results(results, args) -> None:
+    """Write results to ``--out``: a file for one, a directory for many."""
+    suffix = ".json" if args.json else ".txt"
+    encode = (lambda r: r.to_json(indent=2)) if args.json \
+        else (lambda r: r.render())
+    if len(results) == 1 and not os.path.isdir(args.out):
+        payloads = {args.out: encode(results[0])}
+    else:
+        os.makedirs(args.out, exist_ok=True)
+        payloads = {
+            os.path.join(args.out, result.experiment_id + suffix):
+                encode(result)
+            for result in results
+        }
+    for path, payload in payloads.items():
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"[wrote {path}]", file=sys.stderr)
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.registry import get_experiment
+    ids = _resolve_ids(args.experiments)
+    results = []
+    for experiment_id in ids:
+        runner = get_experiment(experiment_id)
+        started = time.time()
+        result = runner(n_blocks=args.blocks)
+        elapsed = time.time() - started
+        results.append(result)
+        if args.json:
+            print(result.to_json(indent=2))
+        else:
+            print(result.render())
+            if args.chart:
+                from repro.experiments.charts import render_bar_chart
+                print()
+                print(render_bar_chart(result))
+            print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+            print()
+    if args.out:
+        _write_results(results, args)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.metrics import speedup
+    from repro.core.sweep import run_grid
+    workloads = [w.strip().lower()
+                 for w in args.workloads.split(",") if w.strip()]
+    schemes = [s.strip().lower()
+               for s in args.schemes.split(",") if s.strip()]
+    if not workloads or not schemes:
+        raise ReproError("sweep needs at least one workload and one scheme")
+    grid = run_grid(workloads, schemes, n_blocks=args.blocks,
+                    seed=args.seed, parallel=args.parallel)
+    lines = []
+    for workload in workloads:
+        base = grid[workload].get("baseline")
+        for scheme in schemes:
+            result = grid[workload][scheme]
+            record = {
+                "workload": workload,
+                "scheme": scheme,
+                "n_blocks": args.blocks,
+                "seed": args.seed,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "ipc": result.ipc,
+                "l1i_mpki": result.l1i_mpki,
+                "btb_mpki": result.btb_mpki,
+                "prefetch_accuracy": result.prefetch_accuracy,
+                "l1d_fill_latency": result.l1d_fill_latency,
+            }
+            if base is not None and scheme != "baseline":
+                record["speedup"] = speedup(base, result)
+            lines.append(json.dumps(record, sort_keys=False))
+    payload = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"[wrote {len(lines)} cells to {args.out}]", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.registry import get_experiment
+    ids = _resolve_ids(args.experiments or ["all"])
+    os.makedirs(args.out, exist_ok=True)
+    for experiment_id in ids:
+        started = time.time()
+        result = get_experiment(experiment_id)(n_blocks=args.blocks)
+        elapsed = time.time() - started
+        for suffix, payload in ((".txt", result.render()),
+                                (".json", result.to_json(indent=2))):
+            path = os.path.join(args.out, experiment_id + suffix)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+        print(f"[{experiment_id} written to {args.out} "
+              f"in {elapsed:.1f}s]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=("Declarative experiment pipeline for the Shotgun "
+                     "reproduction: list, run and sweep the paper's "
+                     "experiments."),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = commands.add_parser(
+        "run", help="regenerate experiments (tables/figures)")
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids (see 'list') or 'all'",
+    )
+    _add_execution_flags(run_parser)
+    run_parser.add_argument(
+        "--chart", action="store_true",
+        help="also render each result as an ASCII bar chart",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+    run_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write results to a file (one experiment) or directory",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a raw workload × scheme grid, emit JSONL")
+    sweep_parser.add_argument(
+        "--workloads", required=True,
+        help="comma-separated workload names",
+    )
+    sweep_parser.add_argument(
+        "--schemes", required=True,
+        help="comma-separated scheme names (include 'baseline' to get "
+             "per-cell speedups)",
+    )
+    _add_execution_flags(sweep_parser)
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="trace seed selector (0 = reference seeds)",
+    )
+    sweep_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the JSONL grid to a file instead of stdout",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = commands.add_parser(
+        "report", help="run experiments and write rendered + JSON files")
+    report_parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: all)",
+    )
+    _add_execution_flags(report_parser)
+    report_parser.add_argument(
+        "--out", metavar="DIR", default="results",
+        help="output directory (default ./results)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    saved = {name: os.environ.get(name) for name in _EXECUTION_ENV}
+    try:
+        _apply_execution_flags(args)
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+if __name__ == "__main__":
+    sys.exit(main())

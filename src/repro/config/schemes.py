@@ -165,6 +165,10 @@ class SchemeConfig:
         confluence_history_entries: temporal-streaming history capacity.
         confluence_index_entries: index table capacity.
         confluence_stream_lookahead: blocks prefetched ahead per stream read.
+        confluence_metadata_contention: multiplier on Confluence's
+            LLC-metadata access latency, modelling contention from
+            colocated sharers (1.0 = sole owner; the colocation study
+            uses ``1 + 0.25 * (degree - 1)``).
     """
 
     name: str = "shotgun"
@@ -176,6 +180,7 @@ class SchemeConfig:
     confluence_history_entries: int = 32 * 1024
     confluence_index_entries: int = 8 * 1024
     confluence_stream_lookahead: int = 12
+    confluence_metadata_contention: float = 1.0
 
     def __post_init__(self) -> None:
         valid_modes = {"none", "bitvector", "entire_region", "fixed_blocks"}
@@ -190,3 +195,8 @@ class SchemeConfig:
             )
         if self.fixed_blocks <= 0:
             raise ConfigError("fixed_blocks must be positive")
+        if self.confluence_metadata_contention < 1.0:
+            raise ConfigError(
+                "confluence_metadata_contention must be >= 1.0, got "
+                f"{self.confluence_metadata_contention}"
+            )

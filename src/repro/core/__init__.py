@@ -10,7 +10,13 @@ documents the timing model in full.
 from repro.core.metrics import EngineStats, SimulationResult, \
     frontend_stall_coverage, speedup
 from repro.core.frontend import FrontEnd, simulate
-from repro.core.sweep import run_grid, run_scheme, run_schemes
+from repro.core.sweep import (
+    run_grid,
+    run_scheme,
+    run_schemes,
+    run_spec,
+    run_specs,
+)
 
 __all__ = [
     "EngineStats",
@@ -22,4 +28,6 @@ __all__ = [
     "run_grid",
     "run_scheme",
     "run_schemes",
+    "run_spec",
+    "run_specs",
 ]

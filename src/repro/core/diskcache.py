@@ -138,6 +138,19 @@ def result_key(workload: str, scheme_name: str, n_blocks: int, seed: int,
     return digest
 
 
+def spec_key(spec) -> str:
+    """Content address of a canonical :class:`RunSpec` cell.
+
+    Delegates to :func:`result_key` with the spec's resolved fields, so
+    the key material (and therefore every existing cache entry) is
+    identical whether a caller arrives with a RunSpec or the unpacked
+    tuple.
+    """
+    spec = spec.canonical()
+    return result_key(spec.workload, spec.scheme, spec.n_blocks,
+                      spec.seed, spec.config, spec.params)
+
+
 def _entry_path(key: str) -> str:
     return os.path.join(cache_dir(), key[:2], key + ".json")
 

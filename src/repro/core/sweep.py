@@ -1,20 +1,23 @@
 """Shared experiment running: traces × schemes × configurations.
 
 Every figure in the paper is a grid of (workload, scheme, config)
-simulations.  This module provides the three layers that make those
-grids cheap (DESIGN.md Section 7):
+simulations.  This module provides the layers that make those grids
+cheap (DESIGN.md Section 7), all keyed off one canonical cell identity —
+the :class:`~repro.experiments.spec.RunSpec`:
 
-* :func:`run_scheme` — one cell, memoised twice: an in-process result
-  cache keyed by the full configuration, backed by the persistent
+* :func:`run_spec` — one cell, memoised twice: an in-process result
+  cache keyed by the canonical RunSpec, backed by the persistent
   content-addressed disk cache (:mod:`repro.core.diskcache`) so repeated
   invocations across processes skip simulation entirely.
-* :func:`run_schemes` — several schemes on one workload's reference
-  trace (the trace and generated program are built once and shared).
-* :func:`run_grid` — a full (workload × scheme) grid fanned across
-  cores with a :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells
-  are independent, deterministic simulations, so parallel results are
+* :func:`run_specs` — any collection of cells, deduplicated on their
+  canonical form and fanned across cores with a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells are
+  independent, deterministic simulations, so parallel results are
   bit-identical to the serial path; each worker process keeps warm
   program/trace caches between the cells it executes.
+* :func:`run_scheme` / :func:`run_schemes` / :func:`run_grid` — the
+  label-oriented conveniences built on top (one cell, one workload row,
+  a full workload × scheme grid).
 
 Grid cells are labelled: a label that names a scheme builds that scheme
 (with ``configs[label]`` as its configuration, exactly like
@@ -28,38 +31,55 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.core import diskcache
 from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
+from repro.experiments.spec import DEFAULT_TRACE_BLOCKS, RunSpec
 from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
 from repro.workloads.profiles import build_program, build_trace, get_profile
-
-#: Default trace length (dynamic basic blocks) for experiment runs.
-#: Chosen so that a full six-workload, three-scheme comparison finishes
-#: in minutes on a laptop while statistics are stable (DESIGN.md:
-#: "reduced traces").
-DEFAULT_TRACE_BLOCKS = 120_000
 
 #: Environment switch for the grid runner: ``REPRO_PARALLEL=0`` forces
 #: serial execution, any other value (or unset) allows fan-out.
 _ENV_PARALLEL = "REPRO_PARALLEL"
 
-_RESULT_CACHE: Dict[Tuple, SimulationResult] = {}
+#: In-process result memo, keyed by canonical :class:`RunSpec`.
+_RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 
 
-def _config_key(config: SchemeConfig) -> Tuple:
-    return (
-        config.name, config.btb_entries,
-        config.shotgun_sizes.ubtb_entries,
-        config.shotgun_sizes.cbtb_entries,
-        config.shotgun_sizes.rib_entries,
-        config.footprint_mode, config.footprint_bits, config.fixed_blocks,
-        config.confluence_history_entries, config.confluence_index_entries,
-        config.confluence_stream_lookahead,
+def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
+    """Simulate one canonical cell (the primitive everything builds on).
+
+    With ``use_cache`` the in-process memo is consulted first, then the
+    persistent disk cache; a simulated result is written back to both.
+    """
+    spec = spec.canonical()
+    if use_cache and spec in _RESULT_CACHE:
+        return _RESULT_CACHE[spec]
+
+    disk_key = None
+    if use_cache and diskcache.enabled():
+        disk_key = diskcache.spec_key(spec)
+        cached = diskcache.load(disk_key)
+        if cached is not None:
+            _RESULT_CACHE[spec] = cached
+            return cached
+
+    profile = get_profile(spec.workload)
+    generated = build_program(spec.workload)
+    trace = build_trace(spec.workload, spec.n_blocks, seed=spec.seed)
+    scheme = build_scheme(spec.scheme, spec.params, generated, spec.config)
+    result = simulate(
+        trace, scheme, params=spec.params,
+        l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
     )
+    if use_cache:
+        _RESULT_CACHE[spec] = result
+        if disk_key is not None:
+            diskcache.store(disk_key, result)
+    return result
 
 
 def run_scheme(workload: str, scheme_name: str,
@@ -71,41 +91,14 @@ def run_scheme(workload: str, scheme_name: str,
     """Simulate one scheme on one workload's reference trace.
 
     ``seed=0`` selects the workload profile's reference trace seed;
-    other values derive independent trace streams.  With ``use_cache``
-    the in-process memo is consulted first, then the persistent disk
-    cache; a simulated result is written back to both.
+    other values derive independent trace streams.  Thin wrapper over
+    :func:`run_spec`.
     """
-    if config is None:
-        config = SchemeConfig(name=scheme_name)
-    if params is None:
-        params = MicroarchParams()
-    cache_key = (workload, scheme_name, n_blocks, seed,
-                 _config_key(config), params)
-    if use_cache and cache_key in _RESULT_CACHE:
-        return _RESULT_CACHE[cache_key]
-
-    disk_key = None
-    if use_cache and diskcache.enabled():
-        disk_key = diskcache.result_key(workload, scheme_name, n_blocks,
-                                        seed, config, params)
-        cached = diskcache.load(disk_key)
-        if cached is not None:
-            _RESULT_CACHE[cache_key] = cached
-            return cached
-
-    profile = get_profile(workload)
-    generated = build_program(workload)
-    trace = build_trace(workload, n_blocks, seed=seed)
-    scheme = build_scheme(scheme_name, params, generated, config)
-    result = simulate(
-        trace, scheme, params=params,
-        l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+    return run_spec(
+        RunSpec(workload=workload, scheme=scheme_name, config=config,
+                params=params, n_blocks=n_blocks, seed=seed),
+        use_cache=use_cache,
     )
-    if use_cache:
-        _RESULT_CACHE[cache_key] = result
-        if disk_key is not None:
-            diskcache.store(disk_key, result)
-    return result
 
 
 def _cell_scheme_name(label: Hashable,
@@ -132,20 +125,75 @@ def _cell_scheme_name(label: Hashable,
     )
 
 
-def _run_cell(cell: Tuple) -> SimulationResult:
-    """Worker entry point: one (workload, label) grid cell.
+def _run_spec_cell(spec: RunSpec,
+                   use_cache: bool = True) -> SimulationResult:
+    """Worker entry point: one canonical cell.
 
-    Runs inside a pool worker process; ``run_scheme`` gives the worker
+    Runs inside a pool worker process; ``run_spec`` gives the worker
     warm program/trace caches across the cells it executes and persists
-    each result to the shared disk cache.
+    each result to the shared disk cache (unless caching is off).
     """
-    workload, scheme_name, n_blocks, config, params, seed = cell
-    return run_scheme(workload, scheme_name, n_blocks=n_blocks,
-                      config=config, params=params, seed=seed)
+    return run_spec(spec, use_cache=use_cache)
 
 
 def _parallel_allowed() -> bool:
     return os.environ.get(_ENV_PARALLEL, "1") not in ("0", "false", "no")
+
+
+def run_specs(specs: Iterable[RunSpec],
+              parallel: Optional[bool] = None,
+              max_workers: Optional[int] = None,
+              use_cache: bool = True,
+              ) -> Dict[RunSpec, SimulationResult]:
+    """Simulate a collection of cells, fanned across cores.
+
+    Cells are deduplicated on their canonical form, so a grid whose
+    rows share one baseline simulates it once.  Returns a mapping from
+    canonical spec to result (look up with ``spec.canonical()``).
+    Cells are independent deterministic simulations, so results are
+    bit-identical whichever path executes them.
+    """
+    ordered: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        canonical = spec.canonical()
+        if canonical not in seen:
+            seen.add(canonical)
+            ordered.append(canonical)
+
+    results: Dict[RunSpec, SimulationResult] = {}
+    pending: List[RunSpec] = []
+    for spec in ordered:
+        hit = _RESULT_CACHE.get(spec) if use_cache else None
+        if hit is not None:
+            results[spec] = hit
+        else:
+            pending.append(spec)
+    if not pending:
+        return results
+
+    cpu_count = os.cpu_count() or 1
+    if parallel is None:
+        parallel = _parallel_allowed() and len(pending) > 1 and cpu_count > 1
+    if max_workers is None:
+        max_workers = cpu_count
+    max_workers = max(1, min(max_workers, len(pending)))
+
+    if not parallel or max_workers == 1:
+        for spec in pending:
+            results[spec] = run_spec(spec, use_cache=use_cache)
+        return results
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [(spec, pool.submit(_run_spec_cell, spec, use_cache))
+                   for spec in pending]
+        for spec, future in futures:
+            result = future.result()
+            results[spec] = result
+            if use_cache:
+                # Mirror into the parent memo so later serial calls hit.
+                _RESULT_CACHE[spec] = result
+    return results
 
 
 def run_grid(workloads: Sequence[str], schemes: Sequence[Hashable],
@@ -172,64 +220,28 @@ def run_grid(workloads: Sequence[str], schemes: Sequence[Hashable],
         max_workers: pool size cap (default: ``os.cpu_count()``).
 
     Returns:
-        ``{workload: {label: SimulationResult}}``.  Cells are
-        independent deterministic simulations, so results are
-        bit-identical whichever path executes them.
+        ``{workload: {label: SimulationResult}}``.
     """
     workloads = list(workloads)
     schemes = list(schemes)
-    if params is None:
-        params = MicroarchParams()
-
-    grid: Dict[str, Dict[Hashable, SimulationResult]] = {
-        workload: {} for workload in workloads
-    }
-    pending = []  # (workload, label, cell) tuples still to simulate
+    cell_specs: Dict[tuple, RunSpec] = {}
     for workload in workloads:
         for label in schemes:
             config = configs.get(label) if configs else None
             scheme_name = _cell_scheme_name(label, configs)
-            resolved = config if config is not None \
-                else SchemeConfig(name=scheme_name)
-            cache_key = (workload, scheme_name, n_blocks, seed,
-                         _config_key(resolved), params)
-            hit = _RESULT_CACHE.get(cache_key)
-            if hit is not None:
-                grid[workload][label] = hit
-            else:
-                pending.append((workload, label,
-                                (workload, scheme_name, n_blocks, resolved,
-                                 params, seed)))
-
-    if not pending:
-        return grid
-
-    cpu_count = os.cpu_count() or 1
-    if parallel is None:
-        parallel = _parallel_allowed() and len(pending) > 1 and cpu_count > 1
-    if max_workers is None:
-        max_workers = cpu_count
-    max_workers = max(1, min(max_workers, len(pending)))
-
-    if not parallel or max_workers == 1:
-        for workload, label, cell in pending:
-            grid[workload][label] = _run_cell(cell)
-        return grid
-
-    # Cells are submitted grouped by workload so a worker's warm
-    # program/trace caches get reused by consecutive cells of the same
-    # workload where scheduling allows.
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [(workload, label, cell, pool.submit(_run_cell, cell))
-                   for workload, label, cell in pending]
-        for workload, label, cell, future in futures:
-            result = future.result()
-            grid[workload][label] = result
-            # Mirror into the parent memo so later serial calls hit.
-            _, scheme_name, blocks, resolved, cell_params, cell_seed = cell
-            _RESULT_CACHE[(workload, scheme_name, blocks, cell_seed,
-                           _config_key(resolved), cell_params)] = result
-    return grid
+            cell_specs[(workload, label)] = RunSpec(
+                workload=workload, scheme=scheme_name, config=config,
+                params=params, n_blocks=n_blocks, seed=seed,
+            )
+    results = run_specs(cell_specs.values(), parallel=parallel,
+                        max_workers=max_workers)
+    return {
+        workload: {
+            label: results[cell_specs[(workload, label)].canonical()]
+            for label in schemes
+        }
+        for workload in workloads
+    }
 
 
 def run_schemes(workload: str, scheme_names: Iterable[str],

@@ -1,15 +1,32 @@
 """Experiment runners: one per table/figure of the paper's evaluation.
 
-Each module exposes ``run(n_blocks=...) -> ExperimentResult``; the
-registry maps experiment ids ("table1", "figure7", ...) to runners.  Run
-from the command line with::
+Each experiment is declared as a :mod:`repro.experiments.spec`
+specification (``SPEC``) plus a ``run(n_blocks=...) -> ExperimentResult``
+entry point; the registry maps experiment ids ("table1", "figure7",
+"colocation", ...) to runners.  Run from the command line with::
 
-    python -m repro.experiments figure7
-    python -m repro.experiments all --blocks 60000
+    python -m repro list
+    python -m repro run figure7
+    python -m repro run all --blocks 60000
+
+The registry (and through it every experiment module) is loaded lazily
+so that importing :mod:`repro.experiments.spec` from the core sweep
+layer does not drag the whole experiment suite in.
 """
 
 from repro.experiments.reporting import ExperimentResult, format_table
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+_REGISTRY_EXPORTS = ("EXPERIMENTS", "get_experiment", "run_all")
+
+
+def __getattr__(name):
+    if name in _REGISTRY_EXPORTS:
+        from repro.experiments import registry
+        return getattr(registry, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 
 __all__ = [
     "ExperimentResult",

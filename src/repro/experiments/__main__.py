@@ -1,56 +1,25 @@
-"""Command-line entry point: regenerate paper tables/figures.
+"""Legacy entry point: regenerate paper tables/figures.
 
-Usage::
+Kept as a thin wrapper over the unified CLI so existing invocations
+keep working; prefer::
 
-    python -m repro.experiments figure7
-    python -m repro.experiments table1 figure6 --blocks 40000
-    python -m repro.experiments all
+    python -m repro run figure7
+    python -m repro run table1 figure6 --blocks 40000
+    python -m repro run all
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
+from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.cli import main as cli_main
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "experiments", nargs="+",
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
-    )
-    parser.add_argument(
-        "--blocks", type=int, default=60_000,
-        help="trace length in dynamic basic blocks (default 60000)",
-    )
-    parser.add_argument(
-        "--chart", action="store_true",
-        help="also render each result as an ASCII bar chart",
-    )
-    args = parser.parse_args(argv)
-
-    ids = list(EXPERIMENTS) if "all" in args.experiments \
-        else args.experiments
-    for experiment_id in ids:
-        runner = get_experiment(experiment_id)
-        started = time.time()
-        result = runner(n_blocks=args.blocks)
-        elapsed = time.time() - started
-        print(result.render())
-        if args.chart:
-            from repro.experiments.charts import render_bar_chart
-            baseline = 1.0 if "speedup" in result.title.lower() else None
-            print()
-            print(render_bar_chart(result, baseline=baseline))
-        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
-        print()
-    return 0
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    return cli_main(["run", *argv])
 
 
 if __name__ == "__main__":

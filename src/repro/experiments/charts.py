@@ -8,25 +8,30 @@ log, without plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import ExperimentError
 from repro.experiments.reporting import ExperimentResult
 
 #: Glyph used for bar bodies.
 _BAR = "#"
 
+#: Sentinel: take the origin from the result's structured baseline field.
+_AUTO = object()
+
 
 def render_bar_chart(result: ExperimentResult, width: int = 48,
-                     baseline: Optional[float] = None) -> str:
+                     baseline=_AUTO) -> str:
     """Render grouped horizontal bars for *result*.
 
     Args:
         result: the experiment to draw.
         width: character width of the longest bar.
         baseline: value the bars start from (e.g. 1.0 for speedups so a
-            bar's length shows the *gain*); defaults to 0.
+            bar's length shows the *gain*).  By default the result's
+            structured ``baseline`` field is used; pass ``None`` to
+            force an absolute (zero-origin) chart.
     """
+    if baseline is _AUTO:
+        baseline = result.baseline
     if not result.rows:
         raise ExperimentError("cannot chart an empty result")
     start = 0.0 if baseline is None else baseline

@@ -10,25 +10,29 @@ BTB budget, so colocation costs it only its fair LLC share.
 Model: with colocation degree ``d``, every scheme sees an LLC of
 ``8MB / d``; Confluence additionally loses ``d`` copies of its ~204KB
 history (carved out of its share) and its metadata accesses contend with
-``d`` sharers (scaled restart latency).
+``d`` sharers (scaled restart latency, the
+``confluence_metadata_contention`` configuration axis).
+
+The study is a :class:`~repro.experiments.spec.GridSpec` whose row axis
+transforms the microarchitectural parameters (shrinking LLC share per
+degree), so it flows through the shared cached/parallel sweep path like
+every figure.
 """
 
 from __future__ import annotations
 
 from repro.config import MicroarchParams, SchemeConfig
-from repro.core.frontend import simulate
-from repro.core.metrics import speedup
 from repro.errors import ExperimentError
 from repro.experiments.reporting import ExperimentResult
-from repro.prefetch.confluence import ConfluenceScheme
-from repro.prefetch.factory import build_scheme
-from repro.uarch.predecoder import Predecoder
-from repro.workloads.profiles import build_program, build_trace, get_profile
+from repro.experiments.spec import Cell, GridSpec, RunSpec, run_grid_spec
 
 #: Per-workload Confluence history footprint in the LLC (Section 5.2).
 HISTORY_BYTES = 204 * 1024
 
 DEGREES = (1, 2, 4)
+
+#: Default workload for the study (the paper argues over OLTP).
+DEFAULT_WORKLOAD = "db2"
 
 
 def _params_for_degree(degree: int) -> MicroarchParams:
@@ -51,52 +55,59 @@ def _confluence_llc_bytes(degree: int) -> int:
     return power * line_assoc
 
 
-def run(n_blocks: int = 40_000, workload: str = "db2") -> ExperimentResult:
-    """Confluence vs Shotgun speedup across colocation degrees."""
-    result = ExperimentResult(
+def spec_for(workload: str = DEFAULT_WORKLOAD) -> GridSpec:
+    """The colocation study as a declarative grid for *workload*.
+
+    Rows are colocation degrees; each row's cells share a
+    degree-transformed parameter set (fair LLC share), with Confluence
+    additionally losing history capacity and gaining metadata-access
+    contention.
+    """
+    cells = []
+    for degree in DEGREES:
+        params = _params_for_degree(degree)
+        base = RunSpec(workload=workload, scheme="baseline", params=params)
+        row = f"degree {degree}"
+        cells.append(Cell(
+            row=row, col="Confluence",
+            spec=RunSpec(
+                workload=workload, scheme="confluence",
+                config=SchemeConfig(
+                    name="confluence",
+                    confluence_metadata_contention=1.0 + 0.25 * (degree - 1),
+                ),
+                # Metadata carve-out: Confluence's effective LLC share.
+                params=params.with_overrides(
+                    llc_bytes=_confluence_llc_bytes(degree)
+                ),
+            ),
+            baseline=base,
+        ))
+        cells.append(Cell(
+            row=row, col="Shotgun",
+            spec=RunSpec(workload=workload, scheme="shotgun", params=params),
+            baseline=base,
+        ))
+    return GridSpec(
         experiment_id="colocation",
         title=(f"Colocation study on {workload}: speedup vs degree "
                "(Section 2.1)"),
-        columns=["Confluence", "Shotgun"],
+        columns=("Confluence", "Shotgun"),
+        cells=tuple(cells),
+        metric="speedup",
         notes=("Shape target: Shotgun's margin over Confluence grows "
                "with the colocation degree, because Confluence's "
                "per-workload metadata eats the shrinking LLC."),
+        chart_baseline=1.0,
     )
-    profile = get_profile(workload)
-    generated = build_program(workload)
-    trace = build_trace(workload, n_blocks)
 
-    for degree in DEGREES:
-        params = _params_for_degree(degree)
-        base = simulate(
-            trace, build_scheme("baseline", params, generated),
-            params=params,
-            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
-        )
-        config = SchemeConfig(name="confluence")
-        confluence = ConfluenceScheme(
-            predecoder=Predecoder(generated.program.image),
-            btb_entries=16384,
-            history_entries=config.confluence_history_entries,
-            index_entries=config.confluence_index_entries,
-            lookahead=config.confluence_stream_lookahead,
-            # Metadata accesses contend with the other sharers.
-            metadata_latency=2.0 * params.llc_latency
-            * (1.0 + 0.25 * (degree - 1)),
-        )
-        confluence_params = params.with_overrides(
-            llc_bytes=_confluence_llc_bytes(degree)
-        )
-        conf_result = simulate(
-            trace, confluence, params=confluence_params,
-            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
-        )
-        shotgun = simulate(
-            trace, build_scheme("shotgun", params, generated),
-            params=params,
-            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
-        )
-        result.add_row(f"degree {degree}", [
-            speedup(base, conf_result), speedup(base, shotgun),
-        ])
-    return result
+
+#: The default study grid (used by the registry/CLI).
+SPEC = spec_for(DEFAULT_WORKLOAD)
+
+
+def run(n_blocks: int = 40_000,
+        workload: str = DEFAULT_WORKLOAD) -> ExperimentResult:
+    """Confluence vs Shotgun speedup across colocation degrees."""
+    spec = SPEC if workload == DEFAULT_WORKLOAD else spec_for(workload)
+    return run_grid_spec(spec, n_blocks=n_blocks)

@@ -1,8 +1,8 @@
-"""Shared configuration helpers for the experiment runners."""
+"""Shared configuration helpers and spec builders for the experiments."""
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.config.schemes import (
     REFERENCE_SIZES,
@@ -14,6 +14,7 @@ from repro.config.schemes import (
 from repro.core.metrics import SimulationResult
 from repro.core.sweep import run_grid
 from repro.errors import ExperimentError
+from repro.experiments.spec import Cell, GridSpec, RunSpec
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 #: Display names used in tables (paper capitalisation).
@@ -104,6 +105,56 @@ def figure_grid(labels: Sequence[Hashable], n_blocks: int,
     return run_grid(workloads, labels, n_blocks=n_blocks, configs=configs)
 
 
+#: One column of a workload grid: (column name, scheme, optional config).
+Variant = Tuple[str, str, Optional[SchemeConfig]]
+
+
+def workload_grid(experiment_id: str, title: str,
+                  variants: Sequence[Variant],
+                  *,
+                  metric: str,
+                  workloads: Sequence[str] = WORKLOAD_NAMES,
+                  baseline: Optional[str] = None,
+                  summary: Optional[str] = None,
+                  summary_label: str = "",
+                  value_format: str = "{:.3f}",
+                  notes: str = "",
+                  chart_baseline: Optional[float] = None) -> GridSpec:
+    """Declare the paper's standard figure shape as a :class:`GridSpec`.
+
+    Rows are workloads (paper display names), columns are scheme/config
+    *variants*; with *baseline* every cell is paired with that scheme's
+    run on the same workload, deduplicated across columns by the sweep
+    layer.  Everything else (trace length, parallel fan-out, caching)
+    is decided at execution time by :func:`~repro.experiments.spec.
+    run_grid_spec`.
+    """
+    cells = []
+    for workload in workloads:
+        base = RunSpec(workload=workload, scheme=baseline) \
+            if baseline is not None else None
+        row = DISPLAY_NAMES.get(workload, workload)
+        for column, scheme, config in variants:
+            cells.append(Cell(
+                row=row, col=column,
+                spec=RunSpec(workload=workload, scheme=scheme,
+                             config=config),
+                baseline=base,
+            ))
+    return GridSpec(
+        experiment_id=experiment_id,
+        title=title,
+        columns=tuple(column for column, _, _ in variants),
+        cells=tuple(cells),
+        metric=metric,
+        summary=summary,
+        summary_label=summary_label,
+        value_format=value_format,
+        notes=notes,
+        chart_baseline=chart_baseline,
+    )
+
+
 def budget_configs(boomerang_entries: int) -> Dict[str, SchemeConfig]:
     """Equal-storage Boomerang and Shotgun configurations (Figure 13)."""
     return {
@@ -122,6 +173,7 @@ __all__ = [
     "FOOTPRINT_VARIANTS",
     "FOOTPRINT_LABELS",
     "figure_grid",
+    "workload_grid",
     "footprint_variant_config",
     "cbtb_variant_config",
     "budget_configs",

@@ -2,44 +2,34 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import arithmetic_mean
 from repro.experiments.common import (
-    DISPLAY_NAMES,
     FOOTPRINT_LABELS,
-    WORKLOAD_NAMES,
-    figure_grid,
     footprint_variant_config,
+    workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
 
 #: The paper's Figure 10 compares these three mechanisms.
 VARIANTS = ("8_bit_vector", "entire_region", "5_blocks")
 
+SPEC = workload_grid(
+    experiment_id="figure10",
+    title="Figure 10: Shotgun prefetch accuracy by footprint mechanism",
+    variants=tuple(
+        (FOOTPRINT_LABELS[v], "shotgun", footprint_variant_config(v))
+        for v in VARIANTS
+    ),
+    metric="prefetch_accuracy",
+    summary="avg",
+    summary_label="Avg",
+    value_format="{:.2f}",
+    notes=("Shape target: 8-bit vector most accurate, Entire Region "
+           "in between, 5-Blocks worst (indiscriminate region "
+           "prefetching)."),
+)
+
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Fraction of issued prefetches that were demanded before eviction."""
-    result = ExperimentResult(
-        experiment_id="figure10",
-        title="Figure 10: Shotgun prefetch accuracy by footprint mechanism",
-        columns=[FOOTPRINT_LABELS[v] for v in VARIANTS],
-        value_format="{:.2f}",
-        notes=("Shape target: 8-bit vector most accurate, Entire Region "
-               "in between, 5-Blocks worst (indiscriminate region "
-               "prefetching)."),
-    )
-    per_variant = {v: [] for v in VARIANTS}
-    grid = figure_grid(
-        VARIANTS, n_blocks,
-        configs={v: footprint_variant_config(v) for v in VARIANTS},
-    )
-    for workload in WORKLOAD_NAMES:
-        row = []
-        for variant in VARIANTS:
-            res = grid[workload][variant]
-            row.append(res.prefetch_accuracy)
-            per_variant[variant].append(res.prefetch_accuracy)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Avg", [arithmetic_mean(per_variant[v]) for v in VARIANTS]
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

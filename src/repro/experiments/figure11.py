@@ -7,43 +7,33 @@ misses — the collateral-damage experiment of Section 6.3.
 
 from __future__ import annotations
 
-from repro.core.metrics import arithmetic_mean
 from repro.experiments.common import (
-    DISPLAY_NAMES,
     FOOTPRINT_LABELS,
-    WORKLOAD_NAMES,
-    figure_grid,
     footprint_variant_config,
+    workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
 
 VARIANTS = ("8_bit_vector", "entire_region", "5_blocks")
+
+SPEC = workload_grid(
+    experiment_id="figure11",
+    title="Figure 11: cycles to fill an L1-D miss",
+    variants=tuple(
+        (FOOTPRINT_LABELS[v], "shotgun", footprint_variant_config(v))
+        for v in VARIANTS
+    ),
+    metric="l1d_fill_latency",
+    summary="avg",
+    summary_label="Avg",
+    value_format="{:.1f}",
+    notes=("Shape target: 8-bit vector lowest; Entire Region and "
+           "5-Blocks inflate data fill latency via useless prefetch "
+           "traffic, most visibly on DB2/Streaming."),
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Average L1-D miss fill latency under each footprint mechanism."""
-    result = ExperimentResult(
-        experiment_id="figure11",
-        title="Figure 11: cycles to fill an L1-D miss",
-        columns=[FOOTPRINT_LABELS[v] for v in VARIANTS],
-        value_format="{:.1f}",
-        notes=("Shape target: 8-bit vector lowest; Entire Region and "
-               "5-Blocks inflate data fill latency via useless prefetch "
-               "traffic, most visibly on DB2/Streaming."),
-    )
-    per_variant = {v: [] for v in VARIANTS}
-    grid = figure_grid(
-        VARIANTS, n_blocks,
-        configs={v: footprint_variant_config(v) for v in VARIANTS},
-    )
-    for workload in WORKLOAD_NAMES:
-        row = []
-        for variant in VARIANTS:
-            res = grid[workload][variant]
-            row.append(res.l1d_fill_latency)
-            per_variant[variant].append(res.l1d_fill_latency)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Avg", [arithmetic_mean(per_variant[v]) for v in VARIANTS]
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

@@ -2,44 +2,31 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import geometric_mean, speedup
-from repro.experiments.common import (
-    DISPLAY_NAMES,
-    WORKLOAD_NAMES,
-    cbtb_variant_config,
-    figure_grid,
-)
+from repro.experiments.common import cbtb_variant_config, workload_grid
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
 
 CBTB_SIZES = (64, 128, 1024)
+
+SPEC = workload_grid(
+    experiment_id="figure12",
+    title="Figure 12: Shotgun speedup vs C-BTB size",
+    variants=tuple(
+        (f"{s} Entry" if s < 1024 else "1K Entry", "shotgun",
+         cbtb_variant_config(s))
+        for s in CBTB_SIZES
+    ),
+    metric="speedup",
+    baseline="baseline",
+    summary="gmean",
+    summary_label="Gmean",
+    notes=("Shape target: 1K-entry C-BTB adds under ~1% over the "
+           "128-entry design; 64 entries loses a few percent, "
+           "most on Streaming/DB2."),
+    chart_baseline=1.0,
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Speedup with 64-, 128- and 1K-entry C-BTBs."""
-    result = ExperimentResult(
-        experiment_id="figure12",
-        title="Figure 12: Shotgun speedup vs C-BTB size",
-        columns=[f"{s} Entry" if s < 1024 else "1K Entry"
-                 for s in CBTB_SIZES],
-        notes=("Shape target: 1K-entry C-BTB adds under ~1% over the "
-               "128-entry design; 64 entries loses a few percent, "
-               "most on Streaming/DB2."),
-    )
-    per_size = {s: [] for s in CBTB_SIZES}
-    grid = figure_grid(
-        ("baseline",) + CBTB_SIZES, n_blocks,
-        configs={s: cbtb_variant_config(s) for s in CBTB_SIZES},
-    )
-    for workload in WORKLOAD_NAMES:
-        base = grid[workload]["baseline"]
-        row = []
-        for size in CBTB_SIZES:
-            res = grid[workload][size]
-            value = speedup(base, res)
-            row.append(value)
-            per_size[size].append(value)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Gmean", [geometric_mean(per_size[s]) for s in CBTB_SIZES]
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

@@ -7,40 +7,46 @@ uses the equivalent storage budget split across its three structures
 
 from __future__ import annotations
 
-from repro.core.metrics import speedup
-from repro.experiments.common import budget_configs, figure_grid
+from repro.experiments.common import budget_configs
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import Cell, GridSpec, RunSpec, run_grid_spec
 
 BUDGETS = (512, 1024, 2048, 4096, 8192)
 WORKLOADS = ("oracle", "db2")
 
 
+def _cells():
+    cells = []
+    for workload in WORKLOADS:
+        base = RunSpec(workload=workload, scheme="baseline")
+        for scheme in ("boomerang", "shotgun"):
+            row = f"{workload.capitalize()} {scheme.capitalize()}"
+            for budget in BUDGETS:
+                column = f"{budget // 1024}K" if budget >= 1024 else str(budget)
+                cells.append(Cell(
+                    row=row, col=column,
+                    spec=RunSpec(workload=workload, scheme=scheme,
+                                 config=budget_configs(budget)[scheme]),
+                    baseline=base,
+                ))
+    return tuple(cells)
+
+
+SPEC = GridSpec(
+    experiment_id="figure13",
+    title=("Figure 13: speedup vs BTB storage budget "
+           "(Boomerang entries; Shotgun at equal storage)"),
+    columns=tuple((f"{b // 1024}K" if b >= 1024 else str(b))
+                  for b in BUDGETS),
+    cells=_cells(),
+    metric="speedup",
+    notes=("Shape target: Shotgun above Boomerang at every budget; "
+           "Shotgun at budget B roughly matches Boomerang at 2B or "
+           "more."),
+    chart_baseline=1.0,
+)
+
+
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Speedup at equal storage budgets on the two OLTP workloads."""
-    result = ExperimentResult(
-        experiment_id="figure13",
-        title=("Figure 13: speedup vs BTB storage budget "
-               "(Boomerang entries; Shotgun at equal storage)"),
-        columns=[(f"{b // 1024}K" if b >= 1024 else str(b))
-                 for b in BUDGETS],
-        notes=("Shape target: Shotgun above Boomerang at every budget; "
-               "Shotgun at budget B roughly matches Boomerang at 2B or "
-               "more."),
-    )
-    configs = {
-        f"{scheme}@{budget}": budget_configs(budget)[scheme]
-        for scheme in ("boomerang", "shotgun") for budget in BUDGETS
-    }
-    grid = figure_grid(("baseline",) + tuple(configs), n_blocks,
-                       configs=configs, workloads=WORKLOADS)
-    for workload in WORKLOADS:
-        base = grid[workload]["baseline"]
-        for scheme in ("boomerang", "shotgun"):
-            row = []
-            for budget in BUDGETS:
-                res = grid[workload][f"{scheme}@{budget}"]
-                row.append(speedup(base, res))
-            result.add_row(
-                f"{workload.capitalize()} {scheme.capitalize()}", row
-            )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

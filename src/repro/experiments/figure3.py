@@ -4,27 +4,28 @@ from __future__ import annotations
 
 from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES
 from repro.experiments.reporting import ExperimentResult
-from repro.workloads.analysis import region_access_distribution
-from repro.workloads.profiles import build_trace
+from repro.experiments.spec import TableSpec, TraceRow, run_table_spec
 
 #: Distances reported (the paper plots 0..16 and a ">16" bucket).
 DISTANCES = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
 
+SPEC = TableSpec(
+    experiment_id="figure3",
+    title=("Figure 3: cumulative access probability vs distance "
+           "from region entry (cache blocks)"),
+    columns=tuple(f"d<={d}" for d in DISTANCES),
+    rows=tuple(
+        TraceRow(row=DISPLAY_NAMES[w], workload=w,
+                 analysis="region_cdf",
+                 args=(("distances", DISTANCES), ("max_distance", 16)))
+        for w in WORKLOAD_NAMES
+    ),
+    value_format="{:.2f}",
+    notes=("Shape target: ~90% of accesses within 10 blocks of the "
+           "region entry point on every workload."),
+)
+
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Cumulative access probability vs distance from region entry."""
-    result = ExperimentResult(
-        experiment_id="figure3",
-        title=("Figure 3: cumulative access probability vs distance "
-               "from region entry (cache blocks)"),
-        columns=[f"d<={d}" for d in DISTANCES],
-        value_format="{:.2f}",
-        notes=("Shape target: ~90% of accesses within 10 blocks of the "
-               "region entry point on every workload."),
-    )
-    for workload in WORKLOAD_NAMES:
-        trace = build_trace(workload, n_blocks)
-        cdf = region_access_distribution(trace, max_distance=16)
-        result.add_row(DISPLAY_NAMES[workload],
-                       [float(cdf[d]) for d in DISTANCES])
-    return result
+    return run_table_spec(SPEC, n_blocks=n_blocks)

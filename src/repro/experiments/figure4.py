@@ -3,32 +3,31 @@
 from __future__ import annotations
 
 from repro.experiments.reporting import ExperimentResult
-from repro.workloads.analysis import branch_coverage_curve
-from repro.workloads.profiles import build_trace
+from repro.experiments.spec import TableSpec, TraceRow, run_table_spec
 
 POINTS = (1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192)
 WORKLOADS = ("oracle", "db2")
 
+SPEC = TableSpec(
+    experiment_id="figure4",
+    title=("Figure 4: dynamic branch coverage vs hottest static "
+           "branches"),
+    columns=tuple(f"{p // 1024}K" for p in POINTS),
+    rows=tuple(
+        TraceRow(row=f"{w.capitalize()} ({kind})", workload=w,
+                 analysis="branch_coverage",
+                 args=(("points", POINTS),
+                       ("unconditional_only", kind == "uncond")))
+        for w in WORKLOADS for kind in ("all", "uncond")
+    ),
+    value_format="{:.2f}",
+    notes=("Shape target: unconditional-branch curves saturate far "
+           "earlier than all-branch curves; a 2K BTB covers well "
+           "under 80% of all dynamic branches on Oracle but most of "
+           "the unconditional working set."),
+)
+
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """All-branch vs unconditional-branch coverage curves (Oracle, DB2)."""
-    result = ExperimentResult(
-        experiment_id="figure4",
-        title=("Figure 4: dynamic branch coverage vs hottest static "
-               "branches"),
-        columns=[f"{p // 1024}K" for p in POINTS],
-        value_format="{:.2f}",
-        notes=("Shape target: unconditional-branch curves saturate far "
-               "earlier than all-branch curves; a 2K BTB covers well "
-               "under 80% of all dynamic branches on Oracle but most of "
-               "the unconditional working set."),
-    )
-    for workload in WORKLOADS:
-        trace = build_trace(workload, n_blocks)
-        _, all_cov = branch_coverage_curve(trace, POINTS,
-                                           unconditional_only=False)
-        _, unc_cov = branch_coverage_curve(trace, POINTS,
-                                           unconditional_only=True)
-        result.add_row(f"{workload.capitalize()} (all)", list(all_cov))
-        result.add_row(f"{workload.capitalize()} (uncond)", list(unc_cov))
-    return result
+    return run_table_spec(SPEC, n_blocks=n_blocks)

@@ -2,36 +2,29 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import arithmetic_mean, frontend_stall_coverage
-from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES, \
-    figure_grid
+from repro.experiments.common import workload_grid
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
 
-SCHEMES = ("confluence", "boomerang", "shotgun")
+SPEC = workload_grid(
+    experiment_id="figure6",
+    title="Figure 6: front-end stall cycle coverage",
+    variants=(
+        ("Confluence", "confluence", None),
+        ("Boomerang", "boomerang", None),
+        ("Shotgun", "shotgun", None),
+    ),
+    metric="stall_coverage",
+    baseline="baseline",
+    summary="avg",
+    summary_label="Avg",
+    value_format="{:.2f}",
+    notes=("Shape target: Shotgun >= Boomerang on every workload, "
+           "largest gaps on the high-BTB-MPKI workloads (Oracle, DB2, "
+           "Streaming); Confluence weak on Nutch/Apache/Streaming."),
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Stall-cycle coverage over the no-prefetch baseline."""
-    result = ExperimentResult(
-        experiment_id="figure6",
-        title="Figure 6: front-end stall cycle coverage",
-        columns=["Confluence", "Boomerang", "Shotgun"],
-        value_format="{:.2f}",
-        notes=("Shape target: Shotgun >= Boomerang on every workload, "
-               "largest gaps on the high-BTB-MPKI workloads (Oracle, DB2, "
-               "Streaming); Confluence weak on Nutch/Apache/Streaming."),
-    )
-    per_scheme = {name: [] for name in SCHEMES}
-    grid = figure_grid(("baseline",) + SCHEMES, n_blocks)
-    for workload in WORKLOAD_NAMES:
-        results = grid[workload]
-        base = results["baseline"]
-        row = [frontend_stall_coverage(base, results[name])
-               for name in SCHEMES]
-        for name, value in zip(SCHEMES, row):
-            per_scheme[name].append(value)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Avg", [arithmetic_mean(per_scheme[name]) for name in SCHEMES]
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

@@ -2,34 +2,29 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import geometric_mean, speedup
-from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES, \
-    figure_grid
+from repro.experiments.common import workload_grid
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
 
-SCHEMES = ("confluence", "boomerang", "shotgun")
+SPEC = workload_grid(
+    experiment_id="figure7",
+    title="Figure 7: speedup over no-prefetch baseline",
+    variants=(
+        ("Confluence", "confluence", None),
+        ("Boomerang", "boomerang", None),
+        ("Shotgun", "shotgun", None),
+    ),
+    metric="speedup",
+    baseline="baseline",
+    summary="gmean",
+    summary_label="Gmean",
+    notes=("Shape target: Shotgun > Boomerang everywhere, with the "
+           "largest margins on Oracle/DB2; Shotgun >= Confluence on "
+           "the web workloads."),
+    chart_baseline=1.0,
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Speedups over the no-prefetch baseline (paper's headline figure)."""
-    result = ExperimentResult(
-        experiment_id="figure7",
-        title="Figure 7: speedup over no-prefetch baseline",
-        columns=["Confluence", "Boomerang", "Shotgun"],
-        notes=("Shape target: Shotgun > Boomerang everywhere, with the "
-               "largest margins on Oracle/DB2; Shotgun >= Confluence on "
-               "the web workloads."),
-    )
-    per_scheme = {name: [] for name in SCHEMES}
-    grid = figure_grid(("baseline",) + SCHEMES, n_blocks)
-    for workload in WORKLOAD_NAMES:
-        results = grid[workload]
-        base = results["baseline"]
-        row = [speedup(base, results[name]) for name in SCHEMES]
-        for name, value in zip(SCHEMES, row):
-            per_scheme[name].append(value)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Gmean", [geometric_mean(per_scheme[name]) for name in SCHEMES]
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

@@ -2,45 +2,33 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import arithmetic_mean, frontend_stall_coverage
 from repro.experiments.common import (
-    DISPLAY_NAMES,
     FOOTPRINT_LABELS,
     FOOTPRINT_VARIANTS,
-    WORKLOAD_NAMES,
-    figure_grid,
     footprint_variant_config,
+    workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
+
+SPEC = workload_grid(
+    experiment_id="figure8",
+    title=("Figure 8: Shotgun stall-cycle coverage by spatial-region "
+           "prefetching mechanism"),
+    variants=tuple(
+        (FOOTPRINT_LABELS[v], "shotgun", footprint_variant_config(v))
+        for v in FOOTPRINT_VARIANTS
+    ),
+    metric="stall_coverage",
+    baseline="baseline",
+    summary="avg",
+    summary_label="Avg",
+    value_format="{:.2f}",
+    notes=("Shape target: 8-bit vector clearly above 'No bit vector'; "
+           "32-bit only marginally above 8-bit."),
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Coverage of each Section 6.3 spatial-footprint mechanism."""
-    result = ExperimentResult(
-        experiment_id="figure8",
-        title=("Figure 8: Shotgun stall-cycle coverage by spatial-region "
-               "prefetching mechanism"),
-        columns=[FOOTPRINT_LABELS[v] for v in FOOTPRINT_VARIANTS],
-        value_format="{:.2f}",
-        notes=("Shape target: 8-bit vector clearly above 'No bit vector'; "
-               "32-bit only marginally above 8-bit."),
-    )
-    per_variant = {v: [] for v in FOOTPRINT_VARIANTS}
-    grid = figure_grid(
-        ("baseline",) + FOOTPRINT_VARIANTS, n_blocks,
-        configs={v: footprint_variant_config(v) for v in FOOTPRINT_VARIANTS},
-    )
-    for workload in WORKLOAD_NAMES:
-        base = grid[workload]["baseline"]
-        row = []
-        for variant in FOOTPRINT_VARIANTS:
-            res = grid[workload][variant]
-            value = frontend_stall_coverage(base, res)
-            row.append(value)
-            per_variant[variant].append(value)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Avg",
-        [arithmetic_mean(per_variant[v]) for v in FOOTPRINT_VARIANTS],
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

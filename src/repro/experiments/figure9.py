@@ -2,45 +2,34 @@
 
 from __future__ import annotations
 
-from repro.core.metrics import geometric_mean, speedup
 from repro.experiments.common import (
-    DISPLAY_NAMES,
     FOOTPRINT_LABELS,
     FOOTPRINT_VARIANTS,
-    WORKLOAD_NAMES,
-    figure_grid,
     footprint_variant_config,
+    workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import run_grid_spec
+
+SPEC = workload_grid(
+    experiment_id="figure9",
+    title=("Figure 9: Shotgun speedup by spatial-region prefetching "
+           "mechanism"),
+    variants=tuple(
+        (FOOTPRINT_LABELS[v], "shotgun", footprint_variant_config(v))
+        for v in FOOTPRINT_VARIANTS
+    ),
+    metric="speedup",
+    baseline="baseline",
+    summary="gmean",
+    summary_label="Gmean",
+    notes=("Shape target: 8-bit vector beats 'No bit vector' on every "
+           "workload; Entire Region and 5-Blocks fall below 8-bit "
+           "due to over-prefetching; 32-bit adds almost nothing."),
+    chart_baseline=1.0,
+)
 
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Speedup of each Section 6.3 spatial-footprint mechanism."""
-    result = ExperimentResult(
-        experiment_id="figure9",
-        title=("Figure 9: Shotgun speedup by spatial-region prefetching "
-               "mechanism"),
-        notes=("Shape target: 8-bit vector beats 'No bit vector' on every "
-               "workload; Entire Region and 5-Blocks fall below 8-bit "
-               "due to over-prefetching; 32-bit adds almost nothing."),
-        columns=[FOOTPRINT_LABELS[v] for v in FOOTPRINT_VARIANTS],
-    )
-    per_variant = {v: [] for v in FOOTPRINT_VARIANTS}
-    grid = figure_grid(
-        ("baseline",) + FOOTPRINT_VARIANTS, n_blocks,
-        configs={v: footprint_variant_config(v) for v in FOOTPRINT_VARIANTS},
-    )
-    for workload in WORKLOAD_NAMES:
-        base = grid[workload]["baseline"]
-        row = []
-        for variant in FOOTPRINT_VARIANTS:
-            res = grid[workload][variant]
-            value = speedup(base, res)
-            row.append(value)
-            per_variant[variant].append(value)
-        result.add_row(DISPLAY_NAMES[workload], row)
-    result.set_summary(
-        "Gmean",
-        [geometric_mean(per_variant[v]) for v in FOOTPRINT_VARIANTS],
-    )
-    return result
+    return run_grid_spec(SPEC, n_blocks=n_blocks)

@@ -1,11 +1,17 @@
-"""Registry of all experiment runners, keyed by paper table/figure id."""
+"""Registry of all experiment runners, keyed by paper table/figure id.
+
+Every experiment module declares a spec (``SPEC``) and a
+``run(n_blocks=...)`` entry point; the registry exposes them uniformly
+to the ``python -m repro`` CLI and to programmatic callers.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    colocation,
     figure1,
     figure3,
     figure4,
@@ -21,19 +27,21 @@ from repro.experiments import (
 )
 from repro.experiments.reporting import ExperimentResult
 
+#: Experiment modules in presentation order (tables, figures, studies).
+_MODULES = (
+    table1, figure1, figure3, figure4, figure6, figure7, figure8,
+    figure9, figure10, figure11, figure12, figure13, colocation,
+)
+
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1.run,
-    "figure1": figure1.run,
-    "figure3": figure3.run,
-    "figure4": figure4.run,
-    "figure6": figure6.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "figure9": figure9.run,
-    "figure10": figure10.run,
-    "figure11": figure11.run,
-    "figure12": figure12.run,
-    "figure13": figure13.run,
+    module.__name__.rsplit(".", 1)[-1]: module.run for module in _MODULES
+}
+
+#: One-line description per experiment id (the module docstring's head).
+DESCRIPTIONS: Dict[str, str] = {
+    module.__name__.rsplit(".", 1)[-1]:
+        (module.__doc__ or "").strip().splitlines()[0].rstrip(".")
+    for module in _MODULES
 }
 
 
@@ -48,6 +56,18 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     return EXPERIMENTS[key]
 
 
-def run_all(n_blocks: int = 60_000) -> List[ExperimentResult]:
+def get_spec(experiment_id: str):
+    """Declared spec (GridSpec/TableSpec) for one experiment id."""
+    key = experiment_id.lower()
+    get_experiment(key)  # validates the id
+    for module in _MODULES:
+        if module.__name__.rsplit(".", 1)[-1] == key:
+            return module.SPEC
+    raise ExperimentError(f"no spec for {experiment_id!r}")  # unreachable
+
+
+def run_all(n_blocks: int = 60_000,
+            ids: Optional[List[str]] = None) -> List[ExperimentResult]:
     """Run every experiment (shared simulations are cached)."""
-    return [run(n_blocks=n_blocks) for run in EXPERIMENTS.values()]
+    selected = list(EXPERIMENTS) if ids is None else list(ids)
+    return [get_experiment(i)(n_blocks=n_blocks) for i in selected]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 
@@ -46,7 +47,10 @@ class ExperimentResult:
 
     ``rows`` maps a row label (workload or x-axis point) to one value per
     column; ``summary`` optionally appends an aggregate row (the paper's
-    Avg/Gmean column).
+    Avg/Gmean column).  ``baseline`` is the structured chart origin: the
+    value every cell is measured against (1.0 for speedup tables, None
+    when values are absolute), consumed by chart rendering instead of
+    guessing from the title.
     """
 
     experiment_id: str
@@ -56,6 +60,7 @@ class ExperimentResult:
     summary: Tuple[str, List[float]] = None
     value_format: str = "{:.3f}"
     notes: str = ""
+    baseline: Optional[float] = None
 
     def add_row(self, label: str, values: Sequence[float]) -> None:
         values = list(values)
@@ -92,6 +97,47 @@ class ExperimentResult:
         raise ExperimentError(
             f"{self.experiment_id}: no row {row_label!r}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable representation of the rendered table."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {"label": label, "values": list(values)}
+                for label, values in self.rows
+            ],
+            "summary": {
+                "label": self.summary[0],
+                "values": list(self.summary[1]),
+            } if self.summary is not None else None,
+            "value_format": self.value_format,
+            "notes": self.notes,
+            "baseline": self.baseline,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        result = ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            value_format=payload.get("value_format", "{:.3f}"),
+            notes=payload.get("notes", ""),
+            baseline=payload.get("baseline"),
+        )
+        for row in payload["rows"]:
+            result.add_row(row["label"], row["values"])
+        summary = payload.get("summary")
+        if summary is not None:
+            result.set_summary(summary["label"], summary["values"])
+        return result
 
     def render(self) -> str:
         """Plain-text rendering in the paper's row/column layout."""

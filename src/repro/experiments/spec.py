@@ -1,0 +1,457 @@
+"""Declarative experiment specifications: the RunSpec/GridSpec layer.
+
+Every experiment in the paper is a grid of simulations plus a little
+arithmetic on the results.  This module makes that structure *data*:
+
+* :class:`RunSpec` — one simulation cell (workload × scheme/config ×
+  params × trace length/seed), frozen and hashable.  Its canonical form
+  is the key for the in-process memo in :mod:`repro.core.sweep` and for
+  the persistent disk cache (:mod:`repro.core.diskcache`), so any two
+  paths that describe the same simulation share one result.
+* :class:`GridSpec` — a labelled (row × column) grid of cells, each
+  optionally paired with a baseline cell, plus a named derived-metric
+  reducer (speedup-over-baseline, stall coverage, MPKI, ...) and an
+  optional geomean/avg summary row.  :func:`run_grid_spec` turns a
+  GridSpec into a rendered :class:`ExperimentResult` through the shared
+  cached/parallel sweep path.
+* :class:`TableSpec` — trace-analysis experiments (Table 1, Figures 3
+  and 4) that characterise traces without running the timing engine,
+  expressed as rows of named analyses.
+
+Experiment modules declare a spec and (at most) a small post-processing
+hook; the registry and the ``python -m repro`` CLI run them uniformly.
+DESIGN.md Section 8 documents the layer and how to add an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.config.schemes import ShotgunSizes
+from repro.core.metrics import (
+    SimulationResult,
+    arithmetic_mean,
+    frontend_stall_coverage,
+    geometric_mean,
+    speedup,
+)
+from repro.errors import ExperimentError
+from repro.experiments.reporting import ExperimentResult
+
+#: Default trace length (dynamic basic blocks) for experiment runs.
+#: Chosen so that a full six-workload, three-scheme comparison finishes
+#: in minutes on a laptop while statistics are stable (DESIGN.md:
+#: "reduced traces").
+DEFAULT_TRACE_BLOCKS = 120_000
+
+
+# ---------------------------------------------------------------------------
+# RunSpec: one simulation cell
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation: workload × scheme/config × params × length/seed.
+
+    ``config``/``params`` default to the scheme's/machine's reference
+    configuration; ``n_blocks=None`` is a placeholder filled in when the
+    owning spec is executed (so experiment specs stay static data while
+    the CLI's ``--blocks`` still applies).  :meth:`canonical` resolves
+    every default, yielding the unique hashable form that cache layers
+    key off.
+    """
+
+    workload: str
+    scheme: str
+    config: Optional[SchemeConfig] = None
+    params: Optional[MicroarchParams] = None
+    n_blocks: Optional[int] = None
+    seed: int = 0
+
+    def canonical(self, n_blocks: Optional[int] = None) -> "RunSpec":
+        """The fully-resolved, normalised form of this spec.
+
+        Defaults are filled (workload and scheme names lowered — both
+        are case-insensitive downstream — reference config and params
+        substituted, trace length resolved), so two specs that describe
+        the same simulation canonicalise to equal — and equally
+        hashable — values.  Idempotent.
+        """
+        scheme = self.scheme.lower()
+        blocks = self.n_blocks
+        if blocks is None:
+            blocks = n_blocks if n_blocks is not None else DEFAULT_TRACE_BLOCKS
+        return RunSpec(
+            workload=self.workload.lower(),
+            scheme=scheme,
+            config=self.config if self.config is not None
+            else SchemeConfig(name=scheme),
+            params=self.params if self.params is not None
+            else MicroarchParams(),
+            n_blocks=blocks,
+            seed=self.seed,
+        )
+
+    def disk_key(self) -> str:
+        """Content address of this cell in the persistent disk cache."""
+        from repro.core import diskcache
+        return diskcache.spec_key(self.canonical())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (round-trips via from_dict).
+
+        Defaults resolve through :meth:`canonical`, but an
+        ``n_blocks=None`` placeholder is preserved so serialised specs
+        stay parametric in the trace length.
+        """
+        spec = self.canonical()
+        return {
+            "workload": spec.workload,
+            "scheme": spec.scheme,
+            "config": asdict(spec.config),
+            "params": asdict(spec.params),
+            "n_blocks": self.n_blocks,
+            "seed": spec.seed,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        config = dict(payload["config"])
+        config["shotgun_sizes"] = ShotgunSizes(**config["shotgun_sizes"])
+        return RunSpec(
+            workload=payload["workload"],
+            scheme=payload["scheme"],
+            config=SchemeConfig(**config),
+            params=MicroarchParams(**payload["params"]),
+            n_blocks=payload["n_blocks"],
+            seed=payload["seed"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Derived-metric and summary reducers
+# ---------------------------------------------------------------------------
+
+def _require_baseline(base: Optional[SimulationResult],
+                      metric: str) -> SimulationResult:
+    if base is None:
+        raise ExperimentError(
+            f"metric {metric!r} needs a baseline cell, but the grid "
+            "cell declares none"
+        )
+    return base
+
+
+#: Named derived-metric reducers: (cell result, baseline result) -> value.
+#: Baseline-relative metrics raise when the cell has no baseline.
+METRICS: Dict[str, Callable[[SimulationResult, Optional[SimulationResult]],
+                            float]] = {
+    "speedup": lambda res, base: speedup(
+        _require_baseline(base, "speedup"), res),
+    "stall_coverage": lambda res, base: frontend_stall_coverage(
+        _require_baseline(base, "stall_coverage"), res),
+    "prefetch_accuracy": lambda res, base: res.prefetch_accuracy,
+    "l1d_fill_latency": lambda res, base: res.l1d_fill_latency,
+    "ipc": lambda res, base: res.ipc,
+    "l1i_mpki": lambda res, base: res.l1i_mpki,
+    "btb_mpki": lambda res, base: res.btb_mpki,
+}
+
+#: Named summary-row reducers for the paper's Gmean/Avg rows.
+SUMMARIES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "gmean": geometric_mean,
+    "avg": arithmetic_mean,
+}
+
+
+# ---------------------------------------------------------------------------
+# GridSpec: a labelled grid of cells
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One labelled grid cell: its spec plus an optional baseline spec."""
+
+    row: str
+    col: str
+    spec: RunSpec
+    baseline: Optional[RunSpec] = None
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A declarative experiment: labelled cells plus derived metrics.
+
+    ``columns`` fixes column order; rows render in first-appearance
+    order of ``cells``.  ``metric`` names a :data:`METRICS` reducer
+    applied per cell; ``summary`` optionally names a :data:`SUMMARIES`
+    reducer appended as the paper's Gmean/Avg row.  ``chart_baseline``
+    becomes the result's structured ``baseline`` field (the value bars
+    grow from, e.g. 1.0 for speedups).
+    """
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...]
+    cells: Tuple[Cell, ...]
+    metric: str = "speedup"
+    summary: Optional[str] = None
+    summary_label: str = ""
+    value_format: str = "{:.3f}"
+    notes: str = ""
+    chart_baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ExperimentError(
+                f"{self.experiment_id}: unknown metric {self.metric!r}; "
+                f"choose from {sorted(METRICS)}"
+            )
+        if self.summary is not None and self.summary not in SUMMARIES:
+            raise ExperimentError(
+                f"{self.experiment_id}: unknown summary {self.summary!r}; "
+                f"choose from {sorted(SUMMARIES)}"
+            )
+
+    def row_labels(self) -> List[str]:
+        """Row labels in render order (first appearance in ``cells``)."""
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.row not in seen:
+                seen.append(cell.row)
+        return seen
+
+    def run_specs(self, n_blocks: Optional[int] = None) -> List[RunSpec]:
+        """Every distinct canonical simulation the grid needs."""
+        unique: Dict[RunSpec, None] = {}
+        for cell in self.cells:
+            unique.setdefault(cell.spec.canonical(n_blocks))
+            if cell.baseline is not None:
+                unique.setdefault(cell.baseline.canonical(n_blocks))
+        return list(unique)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (round-trips via from_dict)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "cells": [
+                {
+                    "row": cell.row,
+                    "col": cell.col,
+                    "spec": cell.spec.to_dict(),
+                    "baseline": cell.baseline.to_dict()
+                    if cell.baseline is not None else None,
+                }
+                for cell in self.cells
+            ],
+            "metric": self.metric,
+            "summary": self.summary,
+            "summary_label": self.summary_label,
+            "value_format": self.value_format,
+            "notes": self.notes,
+            "chart_baseline": self.chart_baseline,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "GridSpec":
+        """Rebuild a grid spec from :meth:`to_dict` output."""
+        cells = tuple(
+            Cell(
+                row=raw["row"],
+                col=raw["col"],
+                spec=RunSpec.from_dict(raw["spec"]),
+                baseline=RunSpec.from_dict(raw["baseline"])
+                if raw.get("baseline") is not None else None,
+            )
+            for raw in payload["cells"]
+        )
+        return GridSpec(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            columns=tuple(payload["columns"]),
+            cells=cells,
+            metric=payload["metric"],
+            summary=payload.get("summary"),
+            summary_label=payload.get("summary_label", ""),
+            value_format=payload.get("value_format", "{:.3f}"),
+            notes=payload.get("notes", ""),
+            chart_baseline=payload.get("chart_baseline"),
+        )
+
+    def with_blocks(self, n_blocks: int) -> "GridSpec":
+        """A copy with every cell's trace length pinned to *n_blocks*."""
+        cells = tuple(
+            Cell(
+                row=cell.row, col=cell.col,
+                spec=replace(cell.spec, n_blocks=n_blocks),
+                baseline=replace(cell.baseline, n_blocks=n_blocks)
+                if cell.baseline is not None else None,
+            )
+            for cell in self.cells
+        )
+        return replace(self, cells=cells)
+
+
+def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
+                  parallel: Optional[bool] = None,
+                  max_workers: Optional[int] = None,
+                  use_cache: bool = True,
+                  post: Optional[Callable[[ExperimentResult],
+                                          ExperimentResult]] = None,
+                  ) -> ExperimentResult:
+    """Execute a :class:`GridSpec` through the shared sweep path.
+
+    Distinct canonical cells (baselines dedupe naturally) fan across
+    cores and hit the in-process/disk caches exactly like
+    :func:`repro.core.sweep.run_grid`; the named metric reducer then
+    folds raw simulation results into the experiment's table.
+    """
+    from repro.core.sweep import run_specs
+    results = run_specs(spec.run_specs(n_blocks), parallel=parallel,
+                        max_workers=max_workers, use_cache=use_cache)
+    metric = METRICS[spec.metric]
+
+    values: Dict[str, Dict[str, float]] = {}
+    for cell in spec.cells:
+        res = results[cell.spec.canonical(n_blocks)]
+        base = results[cell.baseline.canonical(n_blocks)] \
+            if cell.baseline is not None else None
+        values.setdefault(cell.row, {})[cell.col] = metric(res, base)
+
+    result = ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        columns=list(spec.columns),
+        value_format=spec.value_format,
+        notes=spec.notes,
+        baseline=spec.chart_baseline,
+    )
+    for row in spec.row_labels():
+        row_values = values[row]
+        missing = [c for c in spec.columns if c not in row_values]
+        if missing:
+            raise ExperimentError(
+                f"{spec.experiment_id}: row {row!r} has no cell for "
+                f"columns {missing}"
+            )
+        result.add_row(row, [row_values[c] for c in spec.columns])
+    if spec.summary is not None:
+        reduce = SUMMARIES[spec.summary]
+        result.set_summary(spec.summary_label, [
+            reduce(result.column(c)) for c in spec.columns
+        ])
+    if post is not None:
+        result = post(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# TableSpec: trace-analysis experiments (no timing engine)
+# ---------------------------------------------------------------------------
+
+def _analysis_btb_mpki_vs_paper(trace, paper_mpki: float) -> List[float]:
+    from repro.workloads.analysis import btb_mpki
+    return [btb_mpki(trace), paper_mpki]
+
+
+def _analysis_region_cdf(trace, distances: Sequence[int],
+                         max_distance: int) -> List[float]:
+    from repro.workloads.analysis import region_access_distribution
+    cdf = region_access_distribution(trace, max_distance=max_distance)
+    return [float(cdf[d]) for d in distances]
+
+
+def _analysis_branch_coverage(trace, points: Sequence[int],
+                              unconditional_only: bool) -> List[float]:
+    from repro.workloads.analysis import branch_coverage_curve
+    _, coverage = branch_coverage_curve(
+        trace, tuple(points), unconditional_only=unconditional_only)
+    return list(coverage)
+
+
+#: Named trace analyses: (trace, **kwargs) -> one value per column.
+TRACE_ANALYSES: Dict[str, Callable[..., List[float]]] = {
+    "btb_mpki_vs_paper": _analysis_btb_mpki_vs_paper,
+    "region_cdf": _analysis_region_cdf,
+    "branch_coverage": _analysis_branch_coverage,
+}
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One table row: a named analysis of one workload's trace.
+
+    ``args`` is a tuple of (name, value) pairs so the row stays
+    hashable; values must be JSON-compatible.
+    """
+
+    row: str
+    workload: str
+    analysis: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A declarative trace-characterisation experiment."""
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: Tuple[TraceRow, ...]
+    value_format: str = "{:.3f}"
+    notes: str = ""
+    chart_baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if row.analysis not in TRACE_ANALYSES:
+                raise ExperimentError(
+                    f"{self.experiment_id}: unknown analysis "
+                    f"{row.analysis!r}; choose from {sorted(TRACE_ANALYSES)}"
+                )
+
+
+def run_table_spec(spec: TableSpec, n_blocks: Optional[int] = None,
+                   post: Optional[Callable[[ExperimentResult],
+                                           ExperimentResult]] = None,
+                   ) -> ExperimentResult:
+    """Execute a :class:`TableSpec` (traces are memoised per workload)."""
+    from repro.workloads.profiles import build_trace
+    blocks = n_blocks if n_blocks is not None else DEFAULT_TRACE_BLOCKS
+    result = ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        columns=list(spec.columns),
+        value_format=spec.value_format,
+        notes=spec.notes,
+        baseline=spec.chart_baseline,
+    )
+    for row in spec.rows:
+        trace = build_trace(row.workload, blocks, seed=row.seed)
+        values = TRACE_ANALYSES[row.analysis](trace, **dict(row.args))
+        result.add_row(row.row, values)
+    if post is not None:
+        result = post(result)
+    return result
+
+
+__all__ = [
+    "DEFAULT_TRACE_BLOCKS",
+    "RunSpec",
+    "Cell",
+    "GridSpec",
+    "TraceRow",
+    "TableSpec",
+    "METRICS",
+    "SUMMARIES",
+    "TRACE_ANALYSES",
+    "run_grid_spec",
+    "run_table_spec",
+]

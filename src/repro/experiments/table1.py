@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.common import DISPLAY_NAMES, WORKLOAD_NAMES
 from repro.experiments.reporting import ExperimentResult
-from repro.workloads.analysis import btb_mpki
-from repro.workloads.profiles import build_trace
+from repro.experiments.spec import TableSpec, TraceRow, run_table_spec
 
 #: The paper's published values, for side-by-side reporting.
 PAPER_MPKI = {
@@ -13,19 +12,22 @@ PAPER_MPKI = {
     "zeus": 14.6, "oracle": 45.1, "db2": 40.2,
 }
 
+SPEC = TableSpec(
+    experiment_id="table1",
+    title="Table 1: BTB MPKI without prefetching (2K-entry BTB)",
+    columns=("measured MPKI", "paper MPKI"),
+    rows=tuple(
+        TraceRow(row=DISPLAY_NAMES[w], workload=w,
+                 analysis="btb_mpki_vs_paper",
+                 args=(("paper_mpki", PAPER_MPKI[w]),))
+        for w in WORKLOAD_NAMES
+    ),
+    value_format="{:.1f}",
+    notes=("Shape target: Oracle > DB2 > Apache > Zeus ~ Streaming "
+           "> Nutch."),
+)
+
 
 def run(n_blocks: int = 60_000) -> ExperimentResult:
     """Replay each workload against a demand-filled 2K-entry BTB."""
-    result = ExperimentResult(
-        experiment_id="table1",
-        title="Table 1: BTB MPKI without prefetching (2K-entry BTB)",
-        columns=["measured MPKI", "paper MPKI"],
-        value_format="{:.1f}",
-        notes=("Shape target: Oracle > DB2 > Apache > Zeus ~ Streaming "
-               "> Nutch."),
-    )
-    for workload in WORKLOAD_NAMES:
-        trace = build_trace(workload, n_blocks)
-        result.add_row(DISPLAY_NAMES[workload],
-                       [btb_mpki(trace), PAPER_MPKI[workload]])
-    return result
+    return run_table_spec(SPEC, n_blocks=n_blocks)

@@ -62,8 +62,10 @@ def _build_confluence(params: MicroarchParams, config: SchemeConfig,
         lookahead=config.confluence_stream_lookahead,
         # A stream restart serialises two LLC round trips: the index-table
         # lookup, then the history-buffer read (both virtualised into the
-        # LLC by SHIFT).
-        metadata_latency=2.0 * params.llc_latency,
+        # LLC by SHIFT); colocated sharers inflate each by the contention
+        # factor (Section 2.1).
+        metadata_latency=2.0 * params.llc_latency
+        * config.confluence_metadata_contention,
         predecode_latency=float(params.predecode_latency),
     )
 

@@ -1,0 +1,120 @@
+"""Smoke tests for the unified ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "figure7", "figure13",
+                              "colocation"):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_run_renders_table(self, capsys):
+        assert main(["run", "table1", "--blocks", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "regenerated" in out
+
+    def test_run_json_is_machine_readable(self, capsys):
+        assert main(["run", "figure7", "--blocks", "2000",
+                     "--serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "figure7"
+        assert payload["baseline"] == 1.0
+        assert payload["columns"] == ["Confluence", "Boomerang", "Shotgun"]
+        assert len(payload["rows"]) == 6
+        assert payload["summary"]["label"] == "Gmean"
+
+    def test_run_chart_uses_structured_baseline(self, capsys):
+        assert main(["run", "colocation", "--blocks", "2000",
+                     "--serial", "--chart"]) == 0
+        out = capsys.readouterr().out
+        # The speedup chart starts its bars at the structured baseline.
+        assert "(bars start at 1)" in out
+
+    def test_run_out_writes_json_file(self, tmp_path, capsys):
+        out_file = tmp_path / "figure3.json"
+        assert main(["run", "figure3", "--blocks", "2000",
+                     "--json", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["experiment_id"] == "figure3"
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "figure99", "--blocks", "2000"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_jsonl_one_line_per_cell(self, capsys):
+        assert main(["sweep", "--workloads", "nutch",
+                     "--schemes", "baseline,ideal",
+                     "--blocks", "2000", "--serial"]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 2
+        by_scheme = {record["scheme"]: record for record in lines}
+        assert "speedup" not in by_scheme["baseline"]
+        assert by_scheme["ideal"]["speedup"] > 1.0
+        assert by_scheme["ideal"]["ipc"] > by_scheme["baseline"]["ipc"]
+
+    def test_jsonl_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "grid.jsonl"
+        assert main(["sweep", "--workloads", "nutch",
+                     "--schemes", "ideal", "--blocks", "2000",
+                     "--serial", "--out", str(out_file)]) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["workload"] == "nutch"
+
+    def test_empty_axis_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "", "--schemes", "ideal",
+                     "--blocks", "2000"]) == 2
+
+
+class TestReport:
+    def test_writes_rendered_and_json(self, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["report", "figure3", "table1", "--blocks", "2000",
+                     "--out", str(out_dir)]) == 0
+        for experiment_id, title in (("figure3", "Figure 3"),
+                                     ("table1", "Table 1")):
+            text = (out_dir / f"{experiment_id}.txt").read_text()
+            assert title in text
+            payload = json.loads(
+                (out_dir / f"{experiment_id}.json").read_text())
+            assert payload["experiment_id"] == experiment_id
+
+
+class TestLegacyEntryPoint:
+    def test_experiments_main_delegates(self, capsys):
+        from repro.experiments.__main__ import main as legacy_main
+        assert legacy_main(["table1", "--blocks", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "regenerated" in out
+
+
+class TestNoCacheFlag:
+    def test_no_cache_disables_disk_cache(self, tmp_path, monkeypatch,
+                                          capsys):
+        from repro.core import diskcache
+        from repro.core.sweep import clear_result_cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        clear_result_cache()
+        diskcache.reset_counters()
+        assert main(["run", "colocation", "--blocks", "2000",
+                     "--serial", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert diskcache.stores == 0
+        assert not os.path.isdir(str(tmp_path / "cache"))
+        clear_result_cache()

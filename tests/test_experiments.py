@@ -18,13 +18,26 @@ class TestRegistry:
     def test_every_paper_result_registered(self):
         expected = {"table1", "figure1", "figure3", "figure4", "figure6",
                     "figure7", "figure8", "figure9", "figure10",
-                    "figure11", "figure12", "figure13"}
+                    "figure11", "figure12", "figure13", "colocation"}
         assert set(EXPERIMENTS) == expected
 
     def test_lookup(self):
         assert get_experiment("FIGURE7") is EXPERIMENTS["figure7"]
         with pytest.raises(ExperimentError):
             get_experiment("figure99")
+
+    def test_every_experiment_declares_a_spec(self):
+        from repro.experiments.registry import get_spec
+        from repro.experiments.spec import GridSpec, TableSpec
+        for experiment_id in EXPERIMENTS:
+            spec = get_spec(experiment_id)
+            assert isinstance(spec, (GridSpec, TableSpec))
+            assert spec.experiment_id == experiment_id
+
+    def test_descriptions_cover_registry(self):
+        from repro.experiments.registry import DESCRIPTIONS
+        assert set(DESCRIPTIONS) == set(EXPERIMENTS)
+        assert all(DESCRIPTIONS.values())
 
 
 class TestReporting:
