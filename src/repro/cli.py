@@ -3,29 +3,35 @@
 Subcommands:
 
 ``list``
-    Every registered experiment id with a one-line description.
+    Every registered experiment id with a one-line description;
+    ``--workloads`` lists the workload-family registry instead.
 ``run``
     Regenerate one or more experiments (or ``all``), rendered as the
     paper's tables, as ASCII bar charts (``--chart``) or as JSON
     (``--json``); ``--out`` writes to a file (one experiment) or a
-    directory (several).
+    directory (several).  ``--sampled`` / ``--windows N`` switch a
+    simulation-grid experiment to SMARTS-style sampled measurement
+    (per-cell mean ± 95% CI over N independently-seeded windows).
 ``sweep``
     A raw (workload × scheme) grid through the cached/parallel sweep
     path, emitted as machine-readable JSONL — one line per cell with
     the headline metrics (plus speedup when a ``baseline`` column is
-    part of the sweep).
+    part of the sweep).  With ``--sampled``/``--windows`` every metric
+    becomes a mean with a ``*_ci95`` half-width.
 ``report``
     Run a set of experiments (default: all) and write rendered + JSON
     results into an output directory.
 
-Shared flags: ``--blocks`` (trace length), ``--parallel``/``--serial``
-(force the grid fan-out), ``--no-cache`` (disable the persistent disk
-cache for this invocation).
+Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
+budget split across windows), ``--parallel``/``--serial`` (force the
+grid fan-out), ``--no-cache`` (disable the persistent disk cache for
+this invocation).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -37,19 +43,62 @@ from repro.errors import ReproError
 
 _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL")
 
+#: Default window count for ``--sampled`` without an explicit ``--windows``.
+_DEFAULT_WINDOWS = 4
 
-def _apply_execution_flags(args) -> None:
-    """Translate CLI execution flags into the sweep layer's env switches.
 
-    ``main`` restores the previous environment afterwards, so invoking
-    the CLI in-process (tests, notebooks) does not leak the overrides.
+@contextlib.contextmanager
+def _execution_env(args):
+    """Scope the CLI execution flags to one command invocation.
+
+    The flags are communicated to the sweep layer through process
+    environment switches (``REPRO_DISK_CACHE``/``REPRO_PARALLEL``), so
+    each one is saved before the command runs and restored — including
+    *unset* keys, which are removed again — however the command exits.
+    Without this, an in-process caller (tests, notebooks, examples)
+    that invoked ``--no-cache`` once would silently keep running
+    uncached ever after.
     """
-    if getattr(args, "no_cache", False):
-        os.environ["REPRO_DISK_CACHE"] = "0"
-    if getattr(args, "parallel", None) is True:
-        os.environ["REPRO_PARALLEL"] = "1"
-    elif getattr(args, "parallel", None) is False:
-        os.environ["REPRO_PARALLEL"] = "0"
+    saved = {name: os.environ.get(name) for name in _EXECUTION_ENV}
+    try:
+        if getattr(args, "no_cache", False):
+            os.environ["REPRO_DISK_CACHE"] = "0"
+        if getattr(args, "parallel", None) is True:
+            os.environ["REPRO_PARALLEL"] = "1"
+        elif getattr(args, "parallel", None) is False:
+            os.environ["REPRO_PARALLEL"] = "0"
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _sample_windows(args) -> Optional[int]:
+    """Window count selected by ``--sampled``/``--windows`` (None = off)."""
+    windows = getattr(args, "windows", None)
+    if windows is not None:
+        if windows < 1:
+            raise ReproError("--windows needs at least one window")
+        return windows
+    if getattr(args, "sampled", False):
+        return _DEFAULT_WINDOWS
+    return None
+
+
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--windows", type=int, metavar="N", default=None,
+        help="sampled mode: measure each cell as N independently-seeded "
+             "trace windows (mean ± 95%% CI); --blocks is the per-cell "
+             "budget split across the windows",
+    )
+    parser.add_argument(
+        "--sampled", action="store_true",
+        help=f"shorthand for --windows {_DEFAULT_WINDOWS}",
+    )
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +131,16 @@ def _resolve_ids(requested: List[str]) -> List[str]:
 
 
 def _cmd_list(args) -> int:
+    if getattr(args, "workloads", False):
+        from repro.workloads.profiles import iter_profiles
+        profiles = iter_profiles()
+        width = max(len(profile.name) for profile in profiles)
+        suite_width = max(len(profile.suite) for profile in profiles)
+        for profile in profiles:
+            print(f"{profile.name.ljust(width)}  "
+                  f"[{profile.suite.ljust(suite_width)}]  "
+                  f"{profile.description}")
+        return 0
     from repro.experiments.registry import DESCRIPTIONS, EXPERIMENTS
     width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
     for experiment_id in EXPERIMENTS:
@@ -110,14 +169,34 @@ def _write_results(results, args) -> None:
         print(f"[wrote {path}]", file=sys.stderr)
 
 
+def _run_sampled(experiment_id: str, n_blocks: int, n_windows: int):
+    """Run one experiment's grid in sampled mode (N windows per cell)."""
+    from dataclasses import replace
+    from repro.experiments.registry import get_spec
+    from repro.experiments.spec import GridSpec, SampleSpec, run_grid_spec
+    spec = get_spec(experiment_id)
+    if not isinstance(spec, GridSpec):
+        raise ReproError(
+            f"{experiment_id} is a trace-analysis experiment; sampled "
+            "mode needs a simulation grid (try figure6-13, colocation "
+            "or frontier)"
+        )
+    sample = replace(spec.sample or SampleSpec(), n_windows=n_windows)
+    return run_grid_spec(replace(spec, sample=sample), n_blocks=n_blocks)
+
+
 def _cmd_run(args) -> int:
     from repro.experiments.registry import get_experiment
     ids = _resolve_ids(args.experiments)
+    n_windows = _sample_windows(args)
     results = []
     for experiment_id in ids:
         runner = get_experiment(experiment_id)
         started = time.time()
-        result = runner(n_blocks=args.blocks)
+        if n_windows is not None:
+            result = _run_sampled(experiment_id, args.blocks, n_windows)
+        else:
+            result = runner(n_blocks=args.blocks)
         elapsed = time.time() - started
         results.append(result)
         if args.json:
@@ -135,6 +214,63 @@ def _cmd_run(args) -> int:
     return 0
 
 
+#: Headline per-cell metrics emitted by the sweep JSONL.
+_SWEEP_METRICS = ("cycles", "instructions", "ipc", "l1i_mpki", "btb_mpki",
+                  "prefetch_accuracy", "l1d_fill_latency")
+
+
+def _sampled_sweep_lines(workloads, schemes, args,
+                         n_windows: int) -> List[str]:
+    """Sampled sweep: every metric as mean + ``*_ci95`` per cell.
+
+    Each (workload, scheme) cell expands into its window RunSpecs —
+    one collection through :func:`run_specs`, so windows dedupe, cache
+    and parallelise globally; speedups pair each scheme window with the
+    baseline window of the same seed.
+    """
+    from repro.core.metrics import speedup
+    from repro.core.sweep import run_specs
+    from repro.experiments.spec import RunSpec, SAMPLE_REDUCERS, SampleSpec
+
+    sample = SampleSpec(n_windows=n_windows)
+    window_blocks = sample.resolve_window_blocks(args.blocks)
+    cell_windows = {
+        (workload, scheme): sample.window_specs(
+            RunSpec(workload=workload, scheme=scheme), args.blocks)
+        for workload in workloads for scheme in schemes
+    }
+    results = run_specs(
+        [spec for specs in cell_windows.values() for spec in specs],
+        parallel=args.parallel,
+    )
+    lines = []
+    for workload in workloads:
+        base_specs = cell_windows.get((workload, "baseline"))
+        for scheme in schemes:
+            windows = [results[spec]
+                       for spec in cell_windows[(workload, scheme)]]
+            record = {
+                "workload": workload,
+                "scheme": scheme,
+                "windows": n_windows,
+                "window_blocks": window_blocks,
+                "seed_base": sample.seed_base,
+            }
+            for metric in _SWEEP_METRICS:
+                values = [getattr(res, metric) for res in windows]
+                record[metric] = SAMPLE_REDUCERS["mean"](values)
+                record[metric + "_ci95"] = SAMPLE_REDUCERS["ci95"](values)
+            if base_specs is not None and scheme != "baseline":
+                values = [
+                    speedup(results[base], res)
+                    for base, res in zip(base_specs, windows)
+                ]
+                record["speedup"] = SAMPLE_REDUCERS["mean"](values)
+                record["speedup_ci95"] = SAMPLE_REDUCERS["ci95"](values)
+            lines.append(json.dumps(record, sort_keys=False))
+    return lines
+
+
 def _cmd_sweep(args) -> int:
     from repro.core.metrics import speedup
     from repro.core.sweep import run_grid
@@ -144,29 +280,35 @@ def _cmd_sweep(args) -> int:
                for s in args.schemes.split(",") if s.strip()]
     if not workloads or not schemes:
         raise ReproError("sweep needs at least one workload and one scheme")
-    grid = run_grid(workloads, schemes, n_blocks=args.blocks,
-                    seed=args.seed, parallel=args.parallel)
-    lines = []
-    for workload in workloads:
-        base = grid[workload].get("baseline")
-        for scheme in schemes:
-            result = grid[workload][scheme]
-            record = {
-                "workload": workload,
-                "scheme": scheme,
-                "n_blocks": args.blocks,
-                "seed": args.seed,
-                "cycles": result.cycles,
-                "instructions": result.instructions,
-                "ipc": result.ipc,
-                "l1i_mpki": result.l1i_mpki,
-                "btb_mpki": result.btb_mpki,
-                "prefetch_accuracy": result.prefetch_accuracy,
-                "l1d_fill_latency": result.l1d_fill_latency,
-            }
-            if base is not None and scheme != "baseline":
-                record["speedup"] = speedup(base, result)
-            lines.append(json.dumps(record, sort_keys=False))
+    n_windows = _sample_windows(args)
+    if n_windows is not None:
+        if args.seed != 0:
+            raise ReproError(
+                "--seed selects a single reference trace; sampled mode "
+                "seeds its own independent windows — drop one of the two"
+            )
+        lines = _sampled_sweep_lines(workloads, schemes, args, n_windows)
+    else:
+        grid = run_grid(workloads, schemes, n_blocks=args.blocks,
+                        seed=args.seed, parallel=args.parallel)
+        lines = []
+        for workload in workloads:
+            base = grid[workload].get("baseline")
+            for scheme in schemes:
+                result = grid[workload][scheme]
+                record = {
+                    "workload": workload,
+                    "scheme": scheme,
+                    "n_blocks": args.blocks,
+                    "seed": args.seed,
+                }
+                record.update({
+                    metric: getattr(result, metric)
+                    for metric in _SWEEP_METRICS
+                })
+                if base is not None and scheme != "baseline":
+                    record["speedup"] = speedup(base, result)
+                lines.append(json.dumps(record, sort_keys=False))
     payload = "\n".join(lines)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -205,7 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_parser = commands.add_parser(
-        "list", help="list registered experiments")
+        "list", help="list registered experiments (or workload families)")
+    list_parser.add_argument(
+        "--workloads", action="store_true",
+        help="list the workload-family registry instead of experiments",
+    )
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = commands.add_parser(
@@ -215,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (see 'list') or 'all'",
     )
     _add_execution_flags(run_parser)
+    _add_sampling_flags(run_parser)
     run_parser.add_argument(
         "--chart", action="store_true",
         help="also render each result as an ASCII bar chart",
@@ -241,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
              "per-cell speedups)",
     )
     _add_execution_flags(sweep_parser)
+    _add_sampling_flags(sweep_parser)
     sweep_parser.add_argument(
         "--seed", type=int, default=0,
         help="trace seed selector (0 = reference seeds)",
@@ -269,19 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    saved = {name: os.environ.get(name) for name in _EXECUTION_ENV}
     try:
-        _apply_execution_flags(args)
-        return args.func(args)
+        with _execution_env(args):
+            return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    finally:
-        for name, value in saved.items():
-            if value is None:
-                os.environ.pop(name, None)
-            else:
-                os.environ[name] = value
 
 
 if __name__ == "__main__":

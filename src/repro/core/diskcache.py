@@ -110,13 +110,42 @@ def cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-sim")
 
 
+def _workload_material(workload: str):
+    """Key material identifying a workload's *content*, not just its name.
+
+    The workload registry is pluggable (``repro.workloads.
+    register_profile``), so a name alone no longer pins the generated
+    program: two builds may register different parameters under the
+    same family name, and a re-registered profile must not serve stale
+    entries.  The material therefore embeds everything the registered
+    profile feeds into trace production — generator knobs, reference
+    trace seed, warm-up length and the synthetic L1-D miss rate.
+    Unregistered names (unit tests hashing ad-hoc cells) fall back to
+    the bare lower-cased name.
+    """
+    from repro.workloads.profiles import get_profile
+    try:
+        profile = get_profile(workload)
+    except Exception:
+        return workload.lower()
+    return {
+        "name": profile.name,
+        "gen_params": asdict(profile.gen_params),
+        "trace_seed": profile.trace_seed,
+        "warmup_blocks": profile.warmup_blocks,
+        "l1d_misses_per_kinstr": profile.l1d_misses_per_kinstr,
+    }
+
+
 def result_key(workload: str, scheme_name: str, n_blocks: int, seed: int,
                config: SchemeConfig, params: MicroarchParams) -> str:
     """Content address of one simulation cell.
 
     Every input that can change the simulation's output contributes:
-    the workload (which fixes the generated program and trace stream),
-    trace length and seed, the full scheme configuration and
+    the workload profile's full content (generator parameters and
+    trace-time settings — see :func:`_workload_material`), trace length
+    and seed (sampled windows carry their window seed here, so every
+    window is cached individually), the full scheme configuration and
     microarchitectural parameter sets (as sorted field dicts, so adding
     a field changes keys only when its value differs from nothing —
     i.e. always, which is the safe direction), the engine version, and
@@ -125,7 +154,7 @@ def result_key(workload: str, scheme_name: str, n_blocks: int, seed: int,
     material = {
         "engine_version": ENGINE_VERSION,
         "engine_fingerprint": engine_fingerprint(),
-        "workload": workload.lower(),
+        "workload": _workload_material(workload),
         "scheme": scheme_name.lower(),
         "n_blocks": n_blocks,
         "seed": seed,

@@ -14,7 +14,10 @@ the :class:`~repro.experiments.spec.RunSpec`:
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells are
   independent, deterministic simulations, so parallel results are
   bit-identical to the serial path; each worker process keeps warm
-  program/trace caches between the cells it executes.
+  program/trace caches between the cells it executes.  Sampled windows
+  (:class:`~repro.experiments.spec.SampleSpec`) arrive here as ordinary
+  cells with distinct window seeds, so they cache and parallelise like
+  everything else.
 * :func:`run_scheme` / :func:`run_schemes` / :func:`run_grid` — the
   label-oriented conveniences built on top (one cell, one workload row,
   a full workload × scheme grid).
@@ -39,7 +42,8 @@ from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
 from repro.experiments.spec import DEFAULT_TRACE_BLOCKS, RunSpec
 from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
-from repro.workloads.profiles import build_program, build_trace, get_profile
+from repro.workloads.profiles import build_program, build_trace, \
+    get_profile, iter_profiles
 
 #: Environment switch for the grid runner: ``REPRO_PARALLEL=0`` forces
 #: serial execution, any other value (or unset) allows fan-out.
@@ -48,6 +52,19 @@ _ENV_PARALLEL = "REPRO_PARALLEL"
 #: In-process result memo, keyed by canonical :class:`RunSpec`.
 _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 
+#: Process-local count of cells actually simulated (cache misses only).
+#: Sampled-mode tests and the acceptance check "a repeated run performs
+#: zero simulations" observe this; pool workers count in their own
+#: process, so a fully-cached parallel run leaves the parent counter
+#: untouched as well.
+simulations = 0
+
+
+def reset_simulation_counter() -> None:
+    """Zero the process-local simulation counter (tests)."""
+    global simulations
+    simulations = 0
+
 
 def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     """Simulate one canonical cell (the primitive everything builds on).
@@ -55,6 +72,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     With ``use_cache`` the in-process memo is consulted first, then the
     persistent disk cache; a simulated result is written back to both.
     """
+    global simulations
     spec = spec.canonical()
     if use_cache and spec in _RESULT_CACHE:
         return _RESULT_CACHE[spec]
@@ -75,6 +93,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         trace, scheme, params=spec.params,
         l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
     )
+    simulations += 1
     if use_cache:
         _RESULT_CACHE[spec] = result
         if disk_key is not None:
@@ -136,6 +155,22 @@ def _run_spec_cell(spec: RunSpec,
     return run_spec(spec, use_cache=use_cache)
 
 
+def _worker_init(profiles) -> None:
+    """Pool-worker initializer: mirror the parent's workload registry.
+
+    Workers started by the ``spawn`` method (macOS/Windows defaults)
+    re-import the package and therefore only see the profiles that
+    register at import time — user registrations and ``replace=True``
+    overrides made in the parent would be missing or stale.  The parent
+    ships its full registry and the worker re-registers every entry.
+    Under ``fork`` the worker inherits the registry anyway and this is
+    a harmless no-op re-registration.
+    """
+    from repro.workloads.profiles import register_profile
+    for profile in profiles:
+        register_profile(profile, replace=True)
+
+
 def _parallel_allowed() -> bool:
     return os.environ.get(_ENV_PARALLEL, "1") not in ("0", "false", "no")
 
@@ -163,8 +198,16 @@ def run_specs(specs: Iterable[RunSpec],
 
     results: Dict[RunSpec, SimulationResult] = {}
     pending: List[RunSpec] = []
+    probe_disk = use_cache and diskcache.enabled()
     for spec in ordered:
         hit = _RESULT_CACHE.get(spec) if use_cache else None
+        if hit is None and probe_disk:
+            # Probe the disk cache in the parent before deciding to fan
+            # out: a fully-cached collection (e.g. a repeated sampled
+            # run) then costs a few file reads instead of a worker pool.
+            hit = diskcache.load(diskcache.spec_key(spec))
+            if hit is not None:
+                _RESULT_CACHE[spec] = hit
         if hit is not None:
             results[spec] = hit
         else:
@@ -184,7 +227,9 @@ def run_specs(specs: Iterable[RunSpec],
             results[spec] = run_spec(spec, use_cache=use_cache)
         return results
 
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    with ProcessPoolExecutor(max_workers=max_workers,
+                             initializer=_worker_init,
+                             initargs=(iter_profiles(),)) as pool:
         futures = [(spec, pool.submit(_run_spec_cell, spec, use_cache))
                    for spec in pending]
         for spec, future in futures:

@@ -14,10 +14,11 @@ from repro.config.schemes import (
 from repro.core.metrics import SimulationResult
 from repro.core.sweep import run_grid
 from repro.errors import ExperimentError
-from repro.experiments.spec import Cell, GridSpec, RunSpec
+from repro.experiments.spec import Cell, GridSpec, RunSpec, SampleSpec
 from repro.workloads.profiles import WORKLOAD_NAMES
 
-#: Display names used in tables (paper capitalisation).
+#: Display names used in tables (paper capitalisation for the Table 2
+#: suite, plus the synthetic scenario families).
 DISPLAY_NAMES: Dict[str, str] = {
     "nutch": "Nutch",
     "streaming": "Streaming",
@@ -25,6 +26,11 @@ DISPLAY_NAMES: Dict[str, str] = {
     "zeus": "Zeus",
     "oracle": "Oracle",
     "db2": "DB2",
+    "microservice": "Microservice",
+    "jit": "JIT",
+    "gc": "GC",
+    "kernelio": "KernelIO",
+    "flatstream": "FlatStream",
 }
 
 #: The spatial-footprint ablation variants of Section 6.3, in paper order.
@@ -119,15 +125,18 @@ def workload_grid(experiment_id: str, title: str,
                   summary_label: str = "",
                   value_format: str = "{:.3f}",
                   notes: str = "",
-                  chart_baseline: Optional[float] = None) -> GridSpec:
+                  chart_baseline: Optional[float] = None,
+                  sample: Optional[SampleSpec] = None) -> GridSpec:
     """Declare the paper's standard figure shape as a :class:`GridSpec`.
 
     Rows are workloads (paper display names), columns are scheme/config
     *variants*; with *baseline* every cell is paired with that scheme's
     run on the same workload, deduplicated across columns by the sweep
-    layer.  Everything else (trace length, parallel fan-out, caching)
-    is decided at execution time by :func:`~repro.experiments.spec.
-    run_grid_spec`.
+    layer.  ``sample`` switches the grid to SMARTS-style sampled
+    measurement (per-cell mean ± 95% CI over independently-seeded
+    windows).  Everything else (trace length, parallel fan-out,
+    caching) is decided at execution time by
+    :func:`~repro.experiments.spec.run_grid_spec`.
     """
     cells = []
     for workload in workloads:
@@ -152,6 +161,7 @@ def workload_grid(experiment_id: str, title: str,
         value_format=value_format,
         notes=notes,
         chart_baseline=chart_baseline,
+        sample=sample,
     )
 
 

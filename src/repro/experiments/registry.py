@@ -23,6 +23,7 @@ from repro.experiments import (
     figure11,
     figure12,
     figure13,
+    frontier,
     table1,
 )
 from repro.experiments.reporting import ExperimentResult
@@ -31,6 +32,7 @@ from repro.experiments.reporting import ExperimentResult
 _MODULES = (
     table1, figure1, figure3, figure4, figure6, figure7, figure8,
     figure9, figure10, figure11, figure12, figure13, colocation,
+    frontier,
 )
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {

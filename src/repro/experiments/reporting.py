@@ -51,6 +51,12 @@ class ExperimentResult:
     value every cell is measured against (1.0 for speedup tables, None
     when values are absolute), consumed by chart rendering instead of
     guessing from the title.
+
+    Sampled experiments additionally carry ``samples`` (the window
+    count) and per-row 95% confidence half-widths in ``ci``; rendered
+    cells become ``mean ±ci`` and the JSON representation gains ``ci``
+    and ``samples`` keys.  Unsampled results omit both, so existing
+    outputs are byte-identical.
     """
 
     experiment_id: str
@@ -61,14 +67,27 @@ class ExperimentResult:
     value_format: str = "{:.3f}"
     notes: str = ""
     baseline: Optional[float] = None
+    #: Sampled mode: windows per cell (None for single-run experiments).
+    samples: Optional[int] = None
+    #: Sampled mode: row label -> 95% confidence half-width per column.
+    ci: Dict[str, List[float]] = field(default_factory=dict)
 
-    def add_row(self, label: str, values: Sequence[float]) -> None:
+    def add_row(self, label: str, values: Sequence[float],
+                ci: Optional[Sequence[float]] = None) -> None:
         values = list(values)
         if len(values) != len(self.columns):
             raise ExperimentError(
                 f"{self.experiment_id}: row {label!r} has {len(values)} "
                 f"values for {len(self.columns)} columns"
             )
+        if ci is not None:
+            ci = list(ci)
+            if len(ci) != len(self.columns):
+                raise ExperimentError(
+                    f"{self.experiment_id}: row {label!r} has {len(ci)} "
+                    f"confidence half-widths for {len(self.columns)} columns"
+                )
+            self.ci[label] = ci
         self.rows.append((label, values))
 
     def set_summary(self, label: str, values: Sequence[float]) -> None:
@@ -99,15 +118,23 @@ class ExperimentResult:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Machine-readable representation of the rendered table."""
-        return {
+        """Machine-readable representation of the rendered table.
+
+        Sampled-mode keys (per-row ``ci``, top-level ``samples``) appear
+        only when present, keeping unsampled output byte-identical to
+        earlier revisions.
+        """
+        rows = []
+        for label, values in self.rows:
+            row: Dict[str, Any] = {"label": label, "values": list(values)}
+            if label in self.ci:
+                row["ci"] = list(self.ci[label])
+            rows.append(row)
+        payload: Dict[str, Any] = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "columns": list(self.columns),
-            "rows": [
-                {"label": label, "values": list(values)}
-                for label, values in self.rows
-            ],
+            "rows": rows,
             "summary": {
                 "label": self.summary[0],
                 "values": list(self.summary[1]),
@@ -116,6 +143,9 @@ class ExperimentResult:
             "notes": self.notes,
             "baseline": self.baseline,
         }
+        if self.samples is not None:
+            payload["samples"] = self.samples
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """JSON encoding of :meth:`to_dict`."""
@@ -131,21 +161,33 @@ class ExperimentResult:
             value_format=payload.get("value_format", "{:.3f}"),
             notes=payload.get("notes", ""),
             baseline=payload.get("baseline"),
+            samples=payload.get("samples"),
         )
         for row in payload["rows"]:
-            result.add_row(row["label"], row["values"])
+            result.add_row(row["label"], row["values"], ci=row.get("ci"))
         summary = payload.get("summary")
         if summary is not None:
             result.set_summary(summary["label"], summary["values"])
         return result
 
     def render(self) -> str:
-        """Plain-text rendering in the paper's row/column layout."""
+        """Plain-text rendering in the paper's row/column layout.
+
+        Sampled rows render every cell as ``mean ±ci95`` and the header
+        records the window count.
+        """
         headers = [""] + list(self.columns)
-        table_rows = [
-            [label] + [self.value_format.format(v) for v in values]
-            for label, values in self.rows
-        ]
+        table_rows = []
+        for label, values in self.rows:
+            cells = [label]
+            half_widths = self.ci.get(label)
+            for col, value in enumerate(values):
+                text = self.value_format.format(value)
+                if half_widths is not None:
+                    text += " ±" + self.value_format.format(
+                        half_widths[col])
+                cells.append(text)
+            table_rows.append(cells)
         if self.summary is not None:
             label, values = self.summary
             table_rows.append(
@@ -153,6 +195,8 @@ class ExperimentResult:
             )
         body = format_table(headers, table_rows)
         header = f"== {self.title} =="
+        if self.samples is not None:
+            header += f" [sampled: {self.samples} windows, 95% CI]"
         parts = [header, body]
         if self.notes:
             parts.append(self.notes)

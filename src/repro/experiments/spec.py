@@ -14,6 +14,13 @@ arithmetic on the results.  This module makes that structure *data*:
   optional geomean/avg summary row.  :func:`run_grid_spec` turns a
   GridSpec into a rendered :class:`ExperimentResult` through the shared
   cached/parallel sweep path.
+* :class:`SampleSpec` — the SMARTS-style sampling axis: a sampled grid
+  cell expands into N independently-seeded window RunSpecs that flow
+  through the same sweep path (each window is cached individually and
+  fans across cores), and the per-window metric values aggregate into a
+  mean with a 95% confidence interval
+  (:class:`~repro.core.sampling.SampleStats`) surfaced in tables and
+  JSON output.
 * :class:`TableSpec` — trace-analysis experiments (Table 1, Figures 3
   and 4) that characterise traces without running the timing engine,
   expressed as rows of named analyses.
@@ -30,6 +37,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.config.schemes import ShotgunSizes
+from repro.core.sampling import SampleStats, aggregate
 from repro.core.metrics import (
     SimulationResult,
     arithmetic_mean,
@@ -132,6 +140,93 @@ class RunSpec:
 
 
 # ---------------------------------------------------------------------------
+# SampleSpec: the SMARTS-style sampling axis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Sampled-simulation axis: N independently-seeded trace windows.
+
+    A sampled cell is measured as ``n_windows`` separate simulations of
+    the same (workload, scheme, config, params) cell, each replaying an
+    independently-seeded trace window (window ``i`` uses executor seed
+    ``seed_base + i``), so the spread across windows reflects genuine
+    run-to-run variation.  ``window_blocks=None`` splits the cell's
+    trace budget evenly across the windows (``ceil(n_blocks /
+    n_windows)`` — SMARTS: the same measured volume, distributed), so a
+    sampled run costs roughly what the unsampled run does; an explicit
+    value pins every window's length instead.
+
+    Windows are ordinary :class:`RunSpec` cells: they flow through
+    :func:`repro.core.sweep.run_specs`, hit the persistent disk cache
+    individually (the window seed is part of the key material) and fan
+    across cores like any grid cell.
+    """
+
+    n_windows: int = 4
+    window_blocks: Optional[int] = None
+    seed_base: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.n_windows < 1:
+            raise ExperimentError("SampleSpec needs at least one window")
+        if self.window_blocks is not None and self.window_blocks < 1:
+            raise ExperimentError("window_blocks must be positive")
+        if self.seed_base < 1:
+            raise ExperimentError(
+                "seed_base must be >= 1 (seed 0 selects the profile's "
+                "reference trace, which windows must not alias)"
+            )
+
+    def resolve_window_blocks(self, n_blocks: int) -> int:
+        """Length of each window given the cell's resolved trace budget."""
+        if self.window_blocks is not None:
+            return self.window_blocks
+        return max(1, -(-n_blocks // self.n_windows))
+
+    def window_specs(self, spec: RunSpec,
+                     n_blocks: Optional[int] = None) -> List[RunSpec]:
+        """The N canonical window cells that measure *spec* sampled.
+
+        The windows override the cell's own seed — sampling replaces a
+        single reference-seed run with an independently-seeded ensemble.
+        """
+        canonical = spec.canonical(n_blocks)
+        blocks = self.resolve_window_blocks(canonical.n_blocks)
+        return [
+            replace(canonical, n_blocks=blocks, seed=self.seed_base + i)
+            for i in range(self.n_windows)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (round-trips via from_dict)."""
+        return {
+            "n_windows": self.n_windows,
+            "window_blocks": self.window_blocks,
+            "seed_base": self.seed_base,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SampleSpec":
+        """Rebuild a sample axis from :meth:`to_dict` output."""
+        return SampleSpec(
+            n_windows=payload["n_windows"],
+            window_blocks=payload.get("window_blocks"),
+            seed_base=payload.get("seed_base", 1000),
+        )
+
+
+#: Named CI-aware reducers over per-window metric values.  ``mean`` and
+#: ``ci95`` are the two halves of the :class:`SampleStats` a sampled
+#: grid surfaces per cell; the CLI's sampled sweep applies them to every
+#: headline metric.
+SAMPLE_REDUCERS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": lambda values: aggregate(values).mean,
+    "ci95": lambda values: aggregate(values).ci95,
+}
+
+
+# ---------------------------------------------------------------------------
 # Derived-metric and summary reducers
 # ---------------------------------------------------------------------------
 
@@ -190,7 +285,11 @@ class GridSpec:
     applied per cell; ``summary`` optionally names a :data:`SUMMARIES`
     reducer appended as the paper's Gmean/Avg row.  ``chart_baseline``
     becomes the result's structured ``baseline`` field (the value bars
-    grow from, e.g. 1.0 for speedups).
+    grow from, e.g. 1.0 for speedups).  ``sample`` switches the grid to
+    SMARTS-style sampled measurement: every cell (and its baseline)
+    expands into that :class:`SampleSpec`'s windows, the metric is
+    computed per window (paired with the baseline's same-seed window)
+    and each table cell becomes a mean with a 95% confidence interval.
     """
 
     experiment_id: str
@@ -203,6 +302,7 @@ class GridSpec:
     value_format: str = "{:.3f}"
     notes: str = ""
     chart_baseline: Optional[float] = None
+    sample: Optional[SampleSpec] = None
 
     def __post_init__(self) -> None:
         if self.metric not in METRICS:
@@ -225,12 +325,21 @@ class GridSpec:
         return seen
 
     def run_specs(self, n_blocks: Optional[int] = None) -> List[RunSpec]:
-        """Every distinct canonical simulation the grid needs."""
+        """Every distinct canonical simulation the grid needs.
+
+        With a ``sample`` axis each cell contributes its window specs
+        instead of its single reference-seed spec.
+        """
         unique: Dict[RunSpec, None] = {}
         for cell in self.cells:
-            unique.setdefault(cell.spec.canonical(n_blocks))
-            if cell.baseline is not None:
-                unique.setdefault(cell.baseline.canonical(n_blocks))
+            for spec in (cell.spec, cell.baseline):
+                if spec is None:
+                    continue
+                if self.sample is not None:
+                    for window in self.sample.window_specs(spec, n_blocks):
+                        unique.setdefault(window)
+                else:
+                    unique.setdefault(spec.canonical(n_blocks))
         return list(unique)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -255,6 +364,8 @@ class GridSpec:
             "value_format": self.value_format,
             "notes": self.notes,
             "chart_baseline": self.chart_baseline,
+            "sample": self.sample.to_dict()
+            if self.sample is not None else None,
         }
 
     @staticmethod
@@ -281,6 +392,8 @@ class GridSpec:
             value_format=payload.get("value_format", "{:.3f}"),
             notes=payload.get("notes", ""),
             chart_baseline=payload.get("chart_baseline"),
+            sample=SampleSpec.from_dict(payload["sample"])
+            if payload.get("sample") is not None else None,
         )
 
     def with_blocks(self, n_blocks: int) -> "GridSpec":
@@ -310,6 +423,13 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
     cores and hit the in-process/disk caches exactly like
     :func:`repro.core.sweep.run_grid`; the named metric reducer then
     folds raw simulation results into the experiment's table.
+
+    With a ``sample`` axis, every cell's windows run through the same
+    path; the metric is evaluated once per window (cell window *i*
+    against the baseline's window *i* — pairing on the shared window
+    seed cancels common trace variance out of ratio metrics) and each
+    table cell carries the window mean plus its 95% confidence
+    half-width.
     """
     from repro.core.sweep import run_specs
     results = run_specs(spec.run_specs(n_blocks), parallel=parallel,
@@ -317,11 +437,24 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
     metric = METRICS[spec.metric]
 
     values: Dict[str, Dict[str, float]] = {}
+    half_widths: Dict[str, Dict[str, float]] = {}
     for cell in spec.cells:
-        res = results[cell.spec.canonical(n_blocks)]
-        base = results[cell.baseline.canonical(n_blocks)] \
-            if cell.baseline is not None else None
-        values.setdefault(cell.row, {})[cell.col] = metric(res, base)
+        if spec.sample is not None:
+            windows = spec.sample.window_specs(cell.spec, n_blocks)
+            base_windows = spec.sample.window_specs(cell.baseline, n_blocks) \
+                if cell.baseline is not None else [None] * len(windows)
+            stats: SampleStats = aggregate([
+                metric(results[window],
+                       results[base] if base is not None else None)
+                for window, base in zip(windows, base_windows)
+            ])
+            values.setdefault(cell.row, {})[cell.col] = stats.mean
+            half_widths.setdefault(cell.row, {})[cell.col] = stats.ci95
+        else:
+            res = results[cell.spec.canonical(n_blocks)]
+            base = results[cell.baseline.canonical(n_blocks)] \
+                if cell.baseline is not None else None
+            values.setdefault(cell.row, {})[cell.col] = metric(res, base)
 
     result = ExperimentResult(
         experiment_id=spec.experiment_id,
@@ -330,6 +463,7 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
         value_format=spec.value_format,
         notes=spec.notes,
         baseline=spec.chart_baseline,
+        samples=spec.sample.n_windows if spec.sample is not None else None,
     )
     for row in spec.row_labels():
         row_values = values[row]
@@ -339,7 +473,11 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
                 f"{spec.experiment_id}: row {row!r} has no cell for "
                 f"columns {missing}"
             )
-        result.add_row(row, [row_values[c] for c in spec.columns])
+        result.add_row(
+            row, [row_values[c] for c in spec.columns],
+            ci=[half_widths[row][c] for c in spec.columns]
+            if row in half_widths else None,
+        )
     if spec.summary is not None:
         reduce = SUMMARIES[spec.summary]
         result.set_summary(spec.summary_label, [
@@ -445,12 +583,14 @@ def run_table_spec(spec: TableSpec, n_blocks: Optional[int] = None,
 __all__ = [
     "DEFAULT_TRACE_BLOCKS",
     "RunSpec",
+    "SampleSpec",
     "Cell",
     "GridSpec",
     "TraceRow",
     "TableSpec",
     "METRICS",
     "SUMMARIES",
+    "SAMPLE_REDUCERS",
     "TRACE_ANALYSES",
     "run_grid_spec",
     "run_table_spec",

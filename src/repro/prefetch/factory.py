@@ -12,7 +12,7 @@ from typing import Callable, Dict, Optional
 from repro.cfg.generator import GeneratedProgram
 from repro.config import MicroarchParams, SchemeConfig
 from repro.config.schemes import ShotgunSizes
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceError
 from repro.prefetch.base import Scheme
 from repro.prefetch.baseline import BaselineScheme, IdealScheme
 from repro.prefetch.boomerang import BoomerangScheme
@@ -102,9 +102,15 @@ SCHEME_FACTORIES: Dict[str, Callable[..., Scheme]] = {
     "shotgun": _build_shotgun,
 }
 
+#: Schemes whose construction predecodes the program's binary image.
+#: These cannot be built from a bare trace: ``Trace.save`` does not
+#: persist the generated program, so a loaded trace carries
+#: ``generated=None`` unless the caller reattached it.
+PROGRAM_SCHEMES = frozenset({"boomerang", "confluence", "shotgun"})
+
 
 def build_scheme(name: str, params: MicroarchParams,
-                 generated: GeneratedProgram,
+                 generated: Optional[GeneratedProgram],
                  config: Optional[SchemeConfig] = None) -> Scheme:
     """Construct the scheme *name* against a generated program.
 
@@ -112,6 +118,10 @@ def build_scheme(name: str, params: MicroarchParams,
         name: one of ``SCHEME_FACTORIES``.
         params: microarchitectural parameters.
         generated: the program whose binary image predecoders consult.
+            May be None only for schemes outside :data:`PROGRAM_SCHEMES`
+            (a clear :class:`~repro.errors.TraceError` is raised
+            otherwise — typically a trace reloaded via ``Trace.load``
+            without its program metadata reattached).
         config: scheme configuration; defaults to ``SchemeConfig()``.
     """
     key = name.lower()
@@ -119,6 +129,14 @@ def build_scheme(name: str, params: MicroarchParams,
         raise ConfigError(
             f"unknown scheme {name!r}; choose from "
             f"{sorted(SCHEME_FACTORIES)}"
+        )
+    if generated is None and key in PROGRAM_SCHEMES:
+        raise TraceError(
+            f"scheme {key!r} predecodes the program's binary image, but "
+            "no generated program is attached (Trace.save does not "
+            "persist it) — rebuild it with "
+            "repro.workloads.profiles.build_program(<workload>) and pass "
+            "it to Trace.load(..., generated=...) or build_scheme()"
         )
     if config is None:
         config = SchemeConfig(name=key)

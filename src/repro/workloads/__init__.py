@@ -1,11 +1,14 @@
-"""Workload profiles, trace generation and trace characterisation.
+"""Workload registry, trace generation and trace characterisation.
 
-The six profiles model the paper's workload suite (Table 2): Nutch (web
-search), Streaming (Darwin media streaming), Apache and Zeus (web
-front-ends), Oracle and DB2 (TPC-C OLTP).  Each profile is a calibrated
-:class:`repro.cfg.GeneratorParams` plus trace-time parameters; calibration
-targets the paper's own characterisation data (Table 1 BTB MPKI ordering,
-Figure 3 spatial locality, Figure 4 branch working-set curves).
+The registry holds the paper's six Table 2 profiles (Nutch, Streaming,
+Apache, Zeus, Oracle, DB2 — calibrated against the paper's Table 1 BTB
+MPKI ordering, Figure 3 spatial locality and Figure 4 branch
+working-set curves; see :mod:`repro.workloads.profiles`) plus the
+synthetic scenario families of :mod:`repro.workloads.families`
+(microservice, jit, gc, kernelio, flatstream), and is pluggable:
+:func:`register_profile` adds a new family that every downstream layer —
+builders, RunSpec cells, the disk cache, the CLI and the ``frontier``
+experiment — resolves exactly like a built-in.
 """
 
 from repro.workloads.trace import Trace
@@ -14,7 +17,11 @@ from repro.workloads.profiles import (
     WORKLOAD_NAMES,
     WorkloadProfile,
     get_profile,
+    iter_profiles,
+    register_profile,
+    registered_workloads,
 )
+from repro.workloads.families import FAMILY_NAMES
 from repro.workloads.analysis import (
     branch_coverage_curve,
     btb_mpki,
@@ -27,8 +34,12 @@ __all__ = [
     "TraceGenerator",
     "generate_trace",
     "WORKLOAD_NAMES",
+    "FAMILY_NAMES",
     "WorkloadProfile",
     "get_profile",
+    "iter_profiles",
+    "register_profile",
+    "registered_workloads",
     "branch_coverage_curve",
     "btb_mpki",
     "region_access_distribution",

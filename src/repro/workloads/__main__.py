@@ -21,27 +21,29 @@ from repro.workloads.analysis import (
     unconditional_working_set,
 )
 from repro.workloads.profiles import (
-    WORKLOAD_NAMES,
     build_program,
     build_trace,
     get_profile,
+    registered_workloads,
 )
 
 
 def _cmd_list() -> None:
     rows = []
-    for name in WORKLOAD_NAMES:
+    for name in registered_workloads():
         profile = get_profile(name)
         params = profile.gen_params
         rows.append([
             name,
+            profile.suite,
             profile.description,
             str(params.n_functions),
             str(params.n_layers),
             f"{profile.l1d_misses_per_kinstr:.0f}",
         ])
     print(format_table(
-        ["workload", "description", "functions", "layers", "L1-D mpki"],
+        ["workload", "suite", "description", "functions", "layers",
+         "L1-D mpki"],
         rows,
     ))
 
@@ -82,10 +84,10 @@ def main(argv=None) -> int:
         description="Workload generation and characterisation tools.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list the calibrated workload profiles")
+    sub.add_parser("list", help="list the registered workload profiles")
     for command in ("characterize", "export"):
         cmd = sub.add_parser(command)
-        cmd.add_argument("workload", choices=WORKLOAD_NAMES)
+        cmd.add_argument("workload", choices=registered_workloads())
         cmd.add_argument("--blocks", type=int, default=30_000)
         if command == "export":
             cmd.add_argument("path")

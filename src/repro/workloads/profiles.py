@@ -1,7 +1,7 @@
-"""The six calibrated workload profiles (paper Table 2).
+"""The workload registry and the six calibrated Table 2 profiles.
 
-Calibration strategy
---------------------
+Calibration strategy (paper suite)
+----------------------------------
 
 The paper characterises its workloads in three ways that we can target
 directly with generator knobs:
@@ -21,11 +21,25 @@ directly with generator knobs:
 OLTP workloads additionally get higher data-miss rates (deep B-tree and
 buffer-pool traversals), which matters for the Figure 11 NoC-load
 experiment.
+
+The registry
+------------
+
+Profiles live in a pluggable registry: the six Table 2 workloads are
+registered below, :mod:`repro.workloads.families` registers the
+synthetic scenario-diversity families on import (see that module for the
+family calibration rationale), and downstream users can
+:func:`register_profile` their own.  Everything that resolves a workload
+by name — trace/program builders, the RunSpec layer, the disk cache's
+key material, the ``frontier`` experiment, ``python -m repro list
+--workloads`` — goes through this registry, so a registered family
+behaves exactly like a built-in one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import sys
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, Tuple
 
 from repro.cfg.generator import GeneratedProgram, GeneratorParams, \
@@ -34,7 +48,9 @@ from repro.errors import ConfigError
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import generate_trace
 
-#: Paper ordering of the workload suite (Tables 1-2, all figures).
+#: Paper ordering of the original workload suite (Tables 1-2, all
+#: figures).  Deliberately static: the figure experiments reproduce the
+#: paper's tables and must not grow rows when extra families register.
 WORKLOAD_NAMES: Tuple[str, ...] = (
     "nutch", "streaming", "apache", "zeus", "oracle", "db2",
 )
@@ -46,12 +62,16 @@ class WorkloadProfile:
 
     Attributes:
         name: canonical lower-case workload name.
-        description: the paper's Table 2 description.
+        description: one-line provenance/behaviour summary (the paper's
+            Table 2 description for the original suite).
         gen_params: calibrated synthetic-program generator knobs.
         trace_seed: RNG seed of the reference trace.
         warmup_blocks: blocks executed before the measured window.
         l1d_misses_per_kinstr: synthetic L1-D miss rate, used by the
             NoC-load model for Figure 11.
+        suite: registry grouping — ``"table2"`` for the paper suite,
+            ``"synthetic"`` for the shipped scenario families,
+            ``"custom"`` for user registrations.
     """
 
     name: str
@@ -60,130 +80,61 @@ class WorkloadProfile:
     trace_seed: int = 1
     warmup_blocks: int = 8_000
     l1d_misses_per_kinstr: float = 12.0
+    suite: str = "custom"
 
 
-_PROFILES: Dict[str, WorkloadProfile] = {
-    "nutch": WorkloadProfile(
-        name="nutch",
-        description="Apache Nutch v1.2 web search (230 clients)",
-        gen_params=GeneratorParams(
-            n_functions=1600,
-            n_layers=6,
-            n_roots=12,
-            median_blocks=8.0,
-            sigma_blocks=0.6,
-            zipf_callee=0.72,
-            zipf_root=0.9,
-            call_fraction=0.14,
-            trap_fraction=0.012,
-            cluster_fraction=0.35,
-            indirect_fraction=0.08,
-            indirect_fanout=4,
-            seed=101,
-        ),
-        l1d_misses_per_kinstr=6.0,
-    ),
-    "streaming": WorkloadProfile(
-        name="streaming",
-        description="Darwin Streaming Server 6.0.3 (7500 clients)",
-        gen_params=GeneratorParams(
-            n_functions=2300,
-            n_layers=7,
-            n_roots=18,
-            median_blocks=9.0,
-            sigma_blocks=0.65,
-            zipf_callee=0.7,
-            zipf_root=0.95,
-            call_fraction=0.14,
-            trap_fraction=0.016,
-            cluster_fraction=0.35,
-            indirect_fraction=0.10,
-            indirect_fanout=4,
-            seed=102,
-        ),
-        l1d_misses_per_kinstr=10.0,
-    ),
-    "apache": WorkloadProfile(
-        name="apache",
-        description="Apache HTTP Server v2.0 (SPECweb99, 16K connections)",
-        gen_params=GeneratorParams(
-            n_functions=3200,
-            n_layers=8,
-            n_roots=32,
-            median_blocks=9.0,
-            sigma_blocks=0.65,
-            zipf_callee=0.65,
-            zipf_root=1.0,
-            call_fraction=0.135,
-            trap_fraction=0.016,
-            cluster_fraction=0.35,
-            indirect_fraction=0.10,
-            indirect_fanout=4,
-            seed=103,
-        ),
-        l1d_misses_per_kinstr=8.0,
-    ),
-    "zeus": WorkloadProfile(
-        name="zeus",
-        description="Zeus Web Server (SPECweb99, 16K connections)",
-        gen_params=GeneratorParams(
-            n_functions=2400,
-            n_layers=7,
-            n_roots=20,
-            median_blocks=8.5,
-            sigma_blocks=0.65,
-            zipf_callee=0.7,
-            zipf_root=1.1,
-            call_fraction=0.13,
-            trap_fraction=0.014,
-            cluster_fraction=0.35,
-            indirect_fraction=0.10,
-            indirect_fanout=4,
-            seed=104,
-        ),
-        l1d_misses_per_kinstr=8.0,
-    ),
-    "oracle": WorkloadProfile(
-        name="oracle",
-        description="Oracle 10g Enterprise DB, TPC-C 100 warehouses",
-        gen_params=GeneratorParams(
-            n_functions=6000,
-            n_layers=10,
-            n_roots=48,
-            median_blocks=10.0,
-            sigma_blocks=0.7,
-            zipf_callee=0.6,
-            zipf_root=1.6,
-            call_fraction=0.17,
-            trap_fraction=0.018,
-            cluster_fraction=0.35,
-            indirect_fraction=0.12,
-            indirect_fanout=5,
-            seed=105,
-        ),
-        l1d_misses_per_kinstr=16.0,
-    ),
-    "db2": WorkloadProfile(
-        name="db2",
-        description="IBM DB2 v8 ESE, TPC-C 100 warehouses",
-        gen_params=GeneratorParams(
-            n_functions=4300,
-            n_layers=9,
-            n_roots=44,
-            median_blocks=10.0,
-            sigma_blocks=0.7,
-            zipf_callee=0.6,
-            zipf_root=1.05,
-            call_fraction=0.14,
-            trap_fraction=0.018,
-            cluster_fraction=0.35,
-            indirect_fraction=0.12,
-            indirect_fanout=5,
-            seed=106,
-        ),
-        l1d_misses_per_kinstr=15.0,
-    ),
-}
+# ---------------------------------------------------------------------------
+# The registry.  Memoised programs/traces are keyed by workload name, so
+# re-registering a name must evict its cached artefacts.
+# ---------------------------------------------------------------------------
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+_PROGRAM_CACHE: Dict[str, GeneratedProgram] = {}
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def register_profile(profile: WorkloadProfile,
+                     replace: bool = False) -> WorkloadProfile:
+    """Add *profile* to the workload registry (keyed by lower-case name).
+
+    Registration order is preserved (and is the row order of registry
+    sweeps such as the ``frontier`` experiment).  Re-registering an
+    existing name requires ``replace=True`` and evicts the name's
+    memoised program/trace artefacts, so the next build reflects the new
+    parameters.  Returns the registered profile for chaining.
+    """
+    key = profile.name.lower()
+    if key != profile.name:
+        profile = _dc_replace(profile, name=key)
+    if key in _PROFILES and not replace:
+        raise ConfigError(
+            f"workload {key!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    _PROFILES[key] = profile
+    _PROGRAM_CACHE.pop(key, None)
+    for cache_key in [k for k in _TRACE_CACHE if k[0] == key]:
+        del _TRACE_CACHE[cache_key]
+    # The sweep layer's result memo is keyed by canonical RunSpec, whose
+    # workload component is the *name* — so a re-registration must evict
+    # the name's results there too, or an in-process caller keeps
+    # reading simulations of the old parameters.  Lazy sys.modules
+    # lookup: sweep imports this module, not vice versa.
+    sweep = sys.modules.get("repro.core.sweep")
+    if sweep is not None:
+        for spec in [s for s in sweep._RESULT_CACHE if s.workload == key]:
+            del sweep._RESULT_CACHE[spec]
+    return profile
+
+
+def registered_workloads() -> Tuple[str, ...]:
+    """Every registered workload name, in registration order."""
+    return tuple(_PROFILES)
+
+
+def iter_profiles() -> Tuple[WorkloadProfile, ...]:
+    """Every registered profile, in registration order."""
+    return tuple(_PROFILES.values())
 
 
 def get_profile(name: str) -> WorkloadProfile:
@@ -191,7 +142,8 @@ def get_profile(name: str) -> WorkloadProfile:
     key = name.lower()
     if key not in _PROFILES:
         raise ConfigError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+            f"unknown workload {name!r}; choose from "
+            f"{registered_workloads()}"
         )
     return _PROFILES[key]
 
@@ -200,10 +152,6 @@ def get_profile(name: str) -> WorkloadProfile:
 # Memoised builders: program generation and trace execution are pure
 # functions of (profile, length, seed), so experiments share one copy.
 # ---------------------------------------------------------------------------
-
-_PROGRAM_CACHE: Dict[str, GeneratedProgram] = {}
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
-
 
 def build_program(name: str) -> GeneratedProgram:
     """Generate (or fetch the cached) program for a workload."""
@@ -217,7 +165,7 @@ def build_trace(name: str, n_blocks: int, seed: int = 0) -> Trace:
     """Generate (or fetch the cached) reference trace for a workload.
 
     ``seed=0`` selects the profile's reference seed; other values derive
-    independent streams for variance studies.
+    independent streams for variance studies and sampled windows.
     """
     profile = get_profile(name)
     actual_seed = profile.trace_seed if seed == 0 else seed
@@ -234,3 +182,146 @@ def clear_caches() -> None:
     """Drop memoised programs and traces (used by tests)."""
     _PROGRAM_CACHE.clear()
     _TRACE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# The paper suite (Table 2), registered in paper order.
+# ---------------------------------------------------------------------------
+
+register_profile(WorkloadProfile(
+    name="nutch",
+    description="Apache Nutch v1.2 web search (230 clients)",
+    gen_params=GeneratorParams(
+        n_functions=1600,
+        n_layers=6,
+        n_roots=12,
+        median_blocks=8.0,
+        sigma_blocks=0.6,
+        zipf_callee=0.72,
+        zipf_root=0.9,
+        call_fraction=0.14,
+        trap_fraction=0.012,
+        cluster_fraction=0.35,
+        indirect_fraction=0.08,
+        indirect_fanout=4,
+        seed=101,
+    ),
+    l1d_misses_per_kinstr=6.0,
+    suite="table2",
+))
+
+register_profile(WorkloadProfile(
+    name="streaming",
+    description="Darwin Streaming Server 6.0.3 (7500 clients)",
+    gen_params=GeneratorParams(
+        n_functions=2300,
+        n_layers=7,
+        n_roots=18,
+        median_blocks=9.0,
+        sigma_blocks=0.65,
+        zipf_callee=0.7,
+        zipf_root=0.95,
+        call_fraction=0.14,
+        trap_fraction=0.016,
+        cluster_fraction=0.35,
+        indirect_fraction=0.10,
+        indirect_fanout=4,
+        seed=102,
+    ),
+    l1d_misses_per_kinstr=10.0,
+    suite="table2",
+))
+
+register_profile(WorkloadProfile(
+    name="apache",
+    description="Apache HTTP Server v2.0 (SPECweb99, 16K connections)",
+    gen_params=GeneratorParams(
+        n_functions=3200,
+        n_layers=8,
+        n_roots=32,
+        median_blocks=9.0,
+        sigma_blocks=0.65,
+        zipf_callee=0.65,
+        zipf_root=1.0,
+        call_fraction=0.135,
+        trap_fraction=0.016,
+        cluster_fraction=0.35,
+        indirect_fraction=0.10,
+        indirect_fanout=4,
+        seed=103,
+    ),
+    l1d_misses_per_kinstr=8.0,
+    suite="table2",
+))
+
+register_profile(WorkloadProfile(
+    name="zeus",
+    description="Zeus Web Server (SPECweb99, 16K connections)",
+    gen_params=GeneratorParams(
+        n_functions=2400,
+        n_layers=7,
+        n_roots=20,
+        median_blocks=8.5,
+        sigma_blocks=0.65,
+        zipf_callee=0.7,
+        zipf_root=1.1,
+        call_fraction=0.13,
+        trap_fraction=0.014,
+        cluster_fraction=0.35,
+        indirect_fraction=0.10,
+        indirect_fanout=4,
+        seed=104,
+    ),
+    l1d_misses_per_kinstr=8.0,
+    suite="table2",
+))
+
+register_profile(WorkloadProfile(
+    name="oracle",
+    description="Oracle 10g Enterprise DB, TPC-C 100 warehouses",
+    gen_params=GeneratorParams(
+        n_functions=6000,
+        n_layers=10,
+        n_roots=48,
+        median_blocks=10.0,
+        sigma_blocks=0.7,
+        zipf_callee=0.6,
+        zipf_root=1.6,
+        call_fraction=0.17,
+        trap_fraction=0.018,
+        cluster_fraction=0.35,
+        indirect_fraction=0.12,
+        indirect_fanout=5,
+        seed=105,
+    ),
+    l1d_misses_per_kinstr=16.0,
+    suite="table2",
+))
+
+register_profile(WorkloadProfile(
+    name="db2",
+    description="IBM DB2 v8 ESE, TPC-C 100 warehouses",
+    gen_params=GeneratorParams(
+        n_functions=4300,
+        n_layers=9,
+        n_roots=44,
+        median_blocks=10.0,
+        sigma_blocks=0.7,
+        zipf_callee=0.6,
+        zipf_root=1.05,
+        call_fraction=0.14,
+        trap_fraction=0.018,
+        cluster_fraction=0.35,
+        indirect_fraction=0.12,
+        indirect_fanout=5,
+        seed=106,
+    ),
+    l1d_misses_per_kinstr=15.0,
+    suite="table2",
+))
+
+
+# Register the synthetic scenario families after the paper suite so any
+# name-resolution path (builders, disk-cache key material, the CLI) sees
+# a fully-populated registry regardless of which module imports first.
+import repro.workloads.families  # noqa: E402,F401

@@ -140,8 +140,23 @@ class Trace:
                      self.kind[start:stop], self.taken[start:stop],
                      self.target[start:stop], self.generated)
 
+    #: Array names (and dtype kinds) a saved trace must provide.
+    _COLUMNS = (("pc", "i"), ("ninstr", "i"), ("kind", "i"),
+                ("taken", "b"), ("target", "i"))
+
     def save(self, path: str) -> None:
-        """Persist the trace arrays (without the program) to an .npz file."""
+        """Persist the trace arrays to an .npz file.
+
+        The :attr:`generated` program is deliberately **not** persisted
+        (it is a large object graph, cheap to regenerate from the
+        workload's :class:`~repro.cfg.generator.GeneratorParams`).  A
+        trace loaded without it works with program-agnostic schemes
+        (baseline/FDIP/RDIP), but schemes that predecode the binary
+        image (Boomerang, Confluence, Shotgun) need the program back:
+        rebuild it with ``build_program(workload)`` and pass it to
+        :meth:`load` — scheme construction raises a
+        :class:`~repro.errors.TraceError` otherwise.
+        """
         np.savez_compressed(path, pc=self.pc, ninstr=self.ninstr,
                             kind=self.kind, taken=self.taken,
                             target=self.target)
@@ -149,7 +164,55 @@ class Trace:
     @classmethod
     def load(cls, path: str,
              generated: Optional["GeneratedProgram"] = None) -> "Trace":
-        """Load a trace saved with :meth:`save`."""
-        data = np.load(path)
-        return cls(data["pc"], data["ninstr"], data["kind"], data["taken"],
-                   data["target"], generated)
+        """Load a trace saved with :meth:`save`, validating its contents.
+
+        Raises :class:`~repro.errors.TraceError` when the file is not a
+        saved trace: missing columns, non-numeric dtypes, mismatched
+        array lengths or out-of-range branch kinds all fail here, at
+        the load site, instead of as cryptic errors deep inside a
+        simulation.  Pass ``generated`` to reattach the program
+        metadata that :meth:`save` does not persist.
+        """
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as error:
+            raise TraceError(f"cannot load trace from {path!r}: {error}") \
+                from error
+        available = set(getattr(data, "files", ()))
+        missing = [name for name, _ in cls._COLUMNS
+                   if name not in available]
+        if missing:
+            raise TraceError(
+                f"{path!r} is not a saved trace: missing arrays {missing}"
+            )
+        arrays = {}
+        lengths = {}
+        for name, kind in cls._COLUMNS:
+            array = data[name]
+            if array.ndim != 1:
+                raise TraceError(
+                    f"{path!r}: column {name!r} must be 1-D, got shape "
+                    f"{array.shape}"
+                )
+            allowed = ("i", "u") if kind == "i" else ("b",)
+            if array.dtype.kind not in allowed:
+                raise TraceError(
+                    f"{path!r}: column {name!r} has dtype {array.dtype}, "
+                    f"expected kind in {allowed}"
+                )
+            arrays[name] = array
+            lengths[name] = len(array)
+        if len(set(lengths.values())) != 1:
+            raise TraceError(
+                f"{path!r}: column lengths disagree: {lengths}"
+            )
+        kinds = arrays["kind"]
+        valid = {int(k) for k in BranchKind}
+        if len(kinds) and not np.isin(kinds, sorted(valid)).all():
+            bad = sorted(set(np.unique(kinds).tolist()) - valid)
+            raise TraceError(
+                f"{path!r}: column 'kind' holds values {bad} outside "
+                f"BranchKind {sorted(valid)}"
+            )
+        return cls(arrays["pc"], arrays["ninstr"], arrays["kind"],
+                   arrays["taken"], arrays["target"], generated)

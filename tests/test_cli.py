@@ -15,8 +15,17 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for experiment_id in ("table1", "figure7", "figure13",
-                              "colocation"):
+                              "colocation", "frontier"):
             assert experiment_id in out
+
+    def test_lists_workload_registry(self, capsys):
+        assert main(["list", "--workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nutch", "oracle", "microservice", "jit",
+                     "kernelio", "flatstream"):
+            assert name in out
+        assert "[table2" in out
+        assert "[synthetic" in out
 
 
 class TestRun:
@@ -118,3 +127,92 @@ class TestNoCacheFlag:
         assert diskcache.stores == 0
         assert not os.path.isdir(str(tmp_path / "cache"))
         clear_result_cache()
+
+    def test_execution_env_restored_after_command(self, monkeypatch,
+                                                  capsys):
+        """Regression: --no-cache/--serial must not leak their env
+        overrides into the process after main() returns — a later
+        in-process caller (tests, notebooks) would silently run
+        uncached/serial."""
+        from repro.core import diskcache
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert main(["run", "figure3", "--blocks", "2000",
+                     "--serial", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert "REPRO_DISK_CACHE" not in os.environ
+        assert "REPRO_PARALLEL" not in os.environ
+        assert diskcache.enabled()
+
+    def test_execution_env_restores_prior_values(self, monkeypatch,
+                                                 capsys):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        assert main(["run", "figure3", "--blocks", "2000",
+                     "--serial", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert os.environ["REPRO_DISK_CACHE"] == "1"
+        assert os.environ["REPRO_PARALLEL"] == "1"
+
+    def test_execution_env_restored_on_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        assert main(["run", "figure99", "--no-cache"]) == 2
+        capsys.readouterr()
+        assert "REPRO_DISK_CACHE" not in os.environ
+
+
+class TestSampledMode:
+    def test_run_windows_emits_ci(self, capsys):
+        assert main(["run", "figure7", "--blocks", "1600",
+                     "--windows", "2", "--serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 2
+        for row in payload["rows"]:
+            assert len(row["ci"]) == len(payload["columns"])
+
+    def test_sampled_flag_defaults_to_four_windows(self, capsys):
+        assert main(["run", "colocation", "--blocks", "1200",
+                     "--sampled", "--serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 4
+
+    def test_trace_analysis_experiments_reject_sampling(self, capsys):
+        assert main(["run", "table1", "--blocks", "2000",
+                     "--windows", "2"]) == 2
+        assert "trace-analysis" in capsys.readouterr().err
+
+    def test_zero_windows_rejected(self, capsys):
+        assert main(["run", "figure7", "--windows", "0",
+                     "--blocks", "2000"]) == 2
+        assert "at least one window" in capsys.readouterr().err
+
+    def test_sampled_sweep_emits_means_and_ci(self, capsys):
+        assert main(["sweep", "--workloads", "nutch",
+                     "--schemes", "baseline,ideal", "--blocks", "2000",
+                     "--windows", "2", "--serial"]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 2
+        by_scheme = {record["scheme"]: record for record in lines}
+        ideal = by_scheme["ideal"]
+        assert ideal["windows"] == 2
+        assert ideal["window_blocks"] == 1000
+        assert ideal["speedup"] > 1.0
+        assert ideal["speedup_ci95"] >= 0.0
+        assert "ipc_ci95" in by_scheme["baseline"]
+        assert "speedup" not in by_scheme["baseline"]
+
+    def test_sampled_sweep_rejects_explicit_seed(self, capsys):
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "ideal", "--blocks", "2000", "--windows", "2",
+                     "--seed", "7"]) == 2
+        assert "sampled" in capsys.readouterr().err
+
+    def test_frontier_runs_sampled_by_default(self, capsys):
+        assert main(["run", "frontier", "--blocks", "600",
+                     "--windows", "2", "--serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 2
+        labels = [row["label"] for row in payload["rows"]]
+        assert "Oracle" in labels and "Microservice" in labels
+        assert payload["columns"][-1] == "Ideal"

@@ -18,7 +18,8 @@ class TestRegistry:
     def test_every_paper_result_registered(self):
         expected = {"table1", "figure1", "figure3", "figure4", "figure6",
                     "figure7", "figure8", "figure9", "figure10",
-                    "figure11", "figure12", "figure13", "colocation"}
+                    "figure11", "figure12", "figure13", "colocation",
+                    "frontier"}
         assert set(EXPERIMENTS) == expected
 
     def test_lookup(self):

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.sampling import SampleStats, aggregate, sampled_comparison
+from repro.core.sampling import SampleStats, aggregate, sampled_comparison, \
+    t_quantile_975
 from repro.errors import SimulationError
 
 
@@ -32,6 +33,30 @@ class TestAggregate:
     def test_str_format(self):
         assert "n=2" in str(aggregate([1.0, 2.0]))
 
+    def test_t_quantile_converges_to_normal_beyond_table(self):
+        """df > 30 must use 1.96, not clamp to the df=30 entry (2.042)."""
+        assert t_quantile_975(30) == pytest.approx(2.042)
+        assert t_quantile_975(31) == pytest.approx(1.96)
+        assert t_quantile_975(1000) == pytest.approx(1.96)
+        with pytest.raises(SimulationError):
+            t_quantile_975(0)
+
+    def test_wide_sample_uses_normal_quantile(self):
+        """The n=32 boundary: df=31 is past the table."""
+        import math
+        values = [0.0, 1.0] * 16          # n=32, stdev computable
+        n = len(values)
+        stats = aggregate(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        expected = 1.96 * math.sqrt(variance) / math.sqrt(n)
+        assert stats.ci95 == pytest.approx(expected)
+        # One fewer sample sits exactly on the last table entry.
+        boundary = aggregate(values[:-1])
+        assert boundary.n == 31
+        assert boundary.ci95 > 0
+        assert t_quantile_975(30) == pytest.approx(2.042)
+
 
 class TestSampledComparison:
     def test_windows_produce_confidence_interval(self):
@@ -47,3 +72,22 @@ class TestSampledComparison:
     def test_rejects_zero_windows(self):
         with pytest.raises(SimulationError):
             sampled_comparison("nutch", "shotgun", n_windows=0)
+
+    def test_flows_through_shared_cached_path(self, tmp_path, monkeypatch):
+        """The rewrite runs windows through run_specs: a repeated
+        comparison is served entirely from the disk cache."""
+        from repro.core import sweep
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        sweep.clear_result_cache()
+        sweep.reset_simulation_counter()
+        first = sampled_comparison("nutch", "fdip", n_windows=2,
+                                   window_blocks=2000, parallel=False)
+        assert sweep.simulations == 4  # 2 schemes x 2 windows
+        sweep.clear_result_cache()
+        sweep.reset_simulation_counter()
+        second = sampled_comparison("nutch", "fdip", n_windows=2,
+                                    window_blocks=2000, parallel=False)
+        assert sweep.simulations == 0
+        assert second == first
+        sweep.clear_result_cache()

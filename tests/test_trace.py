@@ -71,3 +71,82 @@ class TestTrace:
         assert (loaded.pc == trace.pc).all()
         assert (loaded.taken == trace.taken).all()
         assert (loaded.target == trace.target).all()
+
+
+class TestLoadValidation:
+    def test_missing_column_rejected(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "broken.npz")
+        np.savez(path, pc=trace.pc, ninstr=trace.ninstr, kind=trace.kind,
+                 taken=trace.taken)  # no 'target'
+        with pytest.raises(TraceError, match="target"):
+            Trace.load(path)
+
+    def test_non_numeric_dtype_rejected(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "broken.npz")
+        np.savez(path, pc=trace.pc.astype(np.float64), ninstr=trace.ninstr,
+                 kind=trace.kind, taken=trace.taken, target=trace.target)
+        with pytest.raises(TraceError, match="pc"):
+            Trace.load(path)
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "broken.npz")
+        np.savez(path, pc=trace.pc, ninstr=trace.ninstr[:2],
+                 kind=trace.kind, taken=trace.taken, target=trace.target)
+        with pytest.raises(TraceError, match="lengths"):
+            Trace.load(path)
+
+    def test_out_of_range_branch_kind_rejected(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "broken.npz")
+        bad_kind = trace.kind.copy()
+        bad_kind[0] = 99
+        np.savez(path, pc=trace.pc, ninstr=trace.ninstr, kind=bad_kind,
+                 taken=trace.taken, target=trace.target)
+        with pytest.raises(TraceError, match="kind"):
+            Trace.load(path)
+
+    def test_not_a_trace_file_rejected(self, tmp_path):
+        path = str(tmp_path / "noise.npz")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not an npz archive")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+
+class TestProgramMetadataRoundTrip:
+    """Trace.save drops ``generated``; failures must be clear and early."""
+
+    def test_loaded_trace_carries_no_program(self, tmp_path):
+        trace = _small_trace()
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        assert Trace.load(path).generated is None
+
+    def test_program_scheme_build_fails_with_clear_error(self):
+        from repro.config import MicroarchParams
+        from repro.prefetch.factory import PROGRAM_SCHEMES, build_scheme
+        for name in sorted(PROGRAM_SCHEMES):
+            with pytest.raises(TraceError, match="Trace.save"):
+                build_scheme(name, MicroarchParams(), None)
+
+    def test_program_free_schemes_still_build(self):
+        from repro.config import MicroarchParams
+        from repro.prefetch.factory import build_scheme
+        for name in ("baseline", "ideal", "fdip", "rdip"):
+            assert build_scheme(name, MicroarchParams(), None) is not None
+
+    def test_reattached_program_restores_scheme_build(
+            self, tmp_path, tiny_generated):
+        from repro.config import MicroarchParams
+        from repro.prefetch.factory import build_scheme
+        from repro.workloads.tracegen import generate_trace
+        trace = generate_trace(tiny_generated, 200, seed=5)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path, generated=tiny_generated)
+        assert loaded.generated is tiny_generated
+        assert build_scheme("shotgun", MicroarchParams(),
+                            loaded.generated) is not None
