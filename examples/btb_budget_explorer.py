@@ -1,13 +1,17 @@
 """Explore the BTB storage budget trade-off (the paper's Figure 13).
 
-Sweeps the conventional-BTB budget from 512 to 8K entries, sizing
-Shotgun's three structures to the equivalent storage at every point
-(Section 6.5), and reports where Shotgun at budget B overtakes Boomerang
-at 2B — the paper's "half the storage for the same performance" claim.
+Thin driver over :mod:`repro.explore`: the sweep is the registered
+``btb_budget`` design space (scheme × conventional-BTB budget, with
+Shotgun's three structures sized to the equivalent storage at every
+point, Section 6.5), searched exhaustively, with the Pareto frontier
+over (speedup, storage bits) extracted by the subsystem.  The closing
+report reproduces the paper's "half the storage for the same
+performance" claim: the budgets where Shotgun at B matches Boomerang at
+2B.
 
-The sweep is declared as a :class:`~repro.experiments.spec.GridSpec`
-(rows: budgets, columns: schemes, shared no-prefetch baseline), so all
-cells fan across cores and land in the persistent result cache.
+Every evaluated point is a canonical spec-pipeline cell, so the sweep
+fans across cores, lands in the persistent result cache, and shares
+cells with ``python -m repro run figure13``.
 
 Run with::
 
@@ -15,63 +19,34 @@ Run with::
 """
 
 import sys
+from dataclasses import replace
 
-from repro.experiments.common import budget_configs
-from repro.experiments.reporting import format_table
-from repro.experiments.spec import Cell, GridSpec, RunSpec, run_grid_spec
+from repro.explore import BTB_BUDGET_SPACE, ExhaustiveStrategy, explore
 
-BUDGETS = (512, 1024, 2048, 4096, 8192)
-SCHEMES = ("boomerang", "shotgun")
-
-
-def budget_spec(workload: str) -> GridSpec:
-    """The budget sweep as a declarative grid for *workload*."""
-    base = RunSpec(workload=workload, scheme="baseline")
-    cells = tuple(
-        Cell(row=f"{budget} entries", col=scheme,
-             spec=RunSpec(workload=workload, scheme=scheme,
-                          config=budget_configs(budget)[scheme]),
-             baseline=base)
-        for budget in BUDGETS for scheme in SCHEMES
-    )
-    return GridSpec(
-        experiment_id="btb_budget",
-        title=f"BTB budget sweep on {workload} (speedup over no-prefetch)",
-        columns=SCHEMES,
-        cells=cells,
-        metric="speedup",
-        chart_baseline=1.0,
-    )
+BUDGETS = BTB_BUDGET_SPACE.dimensions[1].values
 
 
 def main(workload: str = "db2", n_blocks: int = 25_000) -> None:
-    result = run_grid_spec(budget_spec(workload), n_blocks=n_blocks)
-
-    rows = []
-    for budget in BUDGETS:
-        sizes = budget_configs(budget)["shotgun"].shotgun_sizes
-        rows.append([
-            f"{budget} entries",
-            f"{budget * 93 / 8 / 1024:.1f} KB",
-            f"{sizes.ubtb_entries}/{sizes.cbtb_entries}"
-            f"/{sizes.rib_entries}",
-            f"{result.value(f'{budget} entries', 'boomerang'):.3f}",
-            f"{result.value(f'{budget} entries', 'shotgun'):.3f}",
-        ])
+    space = BTB_BUDGET_SPACE if workload in BTB_BUDGET_SPACE.workloads \
+        else replace(BTB_BUDGET_SPACE, workloads=(workload,))
+    result = explore(space, strategy=ExhaustiveStrategy(),
+                     objectives=("speedup", "storage_bits"),
+                     n_blocks=n_blocks)
 
     print(f"BTB budget sweep on {workload} "
           f"(Shotgun split U-BTB/C-BTB/RIB at equal storage):\n")
-    print(format_table(
-        ["budget", "storage", "shotgun split", "boomerang", "shotgun"],
-        rows,
-    ))
+    print(result.render())
 
     # The paper's claim: Shotgun needs about half Boomerang's storage.
     print()
     for budget in BUDGETS[:-1]:
         doubled = budget * 2
-        shotgun = result.value(f"{budget} entries", "shotgun")
-        boomerang = result.value(f"{doubled} entries", "boomerang")
+        if doubled not in BUDGETS:
+            continue
+        shotgun = result.find(scheme="shotgun",
+                              btb_entries=budget).value("speedup")
+        boomerang = result.find(scheme="boomerang",
+                                btb_entries=doubled).value("speedup")
         if shotgun >= boomerang:
             print(f"Shotgun @ {budget} entries >= "
                   f"Boomerang @ {doubled} entries "

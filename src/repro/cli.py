@@ -21,6 +21,18 @@ Subcommands:
 ``report``
     Run a set of experiments (default: all) and write rendered + JSON
     results into an output directory.
+``explore``
+    Budget-aware design-space exploration (:mod:`repro.explore`): pick
+    a ``--space`` (a registered name or a JSON file) and a
+    ``--strategy``, bound the search with ``--budget N`` simulation
+    cells, and get the Pareto frontier over ``--objectives`` — rendered
+    as a table, or as JSONL (``--json``) with one line per evaluated
+    point plus a summary.  Deterministic given ``--seed``; repeated
+    invocations are served entirely from the result caches.
+``cache``
+    Inspect (``stats``) or reclaim (``prune``) the persistent disk
+    result cache; ``prune`` drops entries from stale engine versions
+    and, with ``--days N``, entries older than N days.
 
 Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
 budget split across windows), ``--parallel``/``--serial`` (force the
@@ -319,6 +331,99 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _resolve_space(name: str):
+    """Resolve ``--space``: a registered space name or a JSON file path.
+
+    Only an explicit path shape (a ``.json`` suffix or a path
+    separator) selects the file branch, so a stray file in the working
+    directory can never shadow a registered space name.
+    """
+    from repro.explore.space import ParamSpace, get_space
+    if name.endswith(".json") or os.path.sep in name:
+        try:
+            with open(name, "r", encoding="utf-8") as handle:
+                return ParamSpace.from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise ReproError(f"cannot load space file {name!r}: {error}")
+    return get_space(name)
+
+
+def _cmd_explore(args) -> int:
+    from dataclasses import replace
+    from repro.explore.report import explore
+    space = _resolve_space(args.space)
+    if args.space_workloads:
+        workloads = tuple(
+            w.strip().lower()
+            for w in args.space_workloads.split(",") if w.strip()
+        )
+        if not workloads:
+            raise ReproError("--workloads needs at least one workload")
+        space = replace(space, workloads=workloads)
+    objectives = [o for o in args.objectives.split(",") if o.strip()]
+    result = explore(
+        space,
+        strategy=args.strategy,
+        objectives=objectives,
+        budget=args.budget,
+        n_blocks=args.blocks,
+        seed=args.seed,
+        parallel=args.parallel,
+    )
+    payload = result.to_jsonl() if args.json else result.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"[wrote {len(result.evaluated)} points to {args.out}]",
+              file=sys.stderr)
+    else:
+        print(payload)
+    # Cache accounting goes to stderr: it depends on cache state, and
+    # stdout must stay bit-reproducible for a given --seed.
+    print(f"[{result.cells} cells: {result.simulations} simulated, "
+          f"{result.cells - result.simulations} cached]", file=sys.stderr)
+    return 0
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" \
+                else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover - loop always returns
+
+
+def _cmd_cache(args) -> int:
+    from repro.core import diskcache
+    if args.cache_command == "stats":
+        stats = diskcache.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=False))
+            return 0
+        print(f"cache dir:      {stats['cache_dir']}")
+        print(f"enabled:        {stats['enabled']}")
+        print(f"engine version: {stats['engine_version']} (current)")
+        print(f"entries:        {stats['entries']} "
+              f"({_format_bytes(stats['bytes'])})")
+        for version in sorted(stats["by_version"],
+                              key=lambda v: (v is None, v)):
+            bucket = stats["by_version"][version]
+            label = "corrupt" if version is None else f"v{version}"
+            marker = " <- current" \
+                if version == stats["engine_version"] else ""
+            print(f"  {label}: {bucket['entries']} entries "
+                  f"({_format_bytes(bucket['bytes'])}){marker}")
+        return 0
+    if args.cache_command == "prune":
+        report = diskcache.prune(days=args.days)
+        print(f"pruned {report['removed']} entries "
+              f"({_format_bytes(report['freed_bytes'])} freed)")
+        return 0
+    raise ReproError("cache needs a subcommand: stats or prune")
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.registry import get_experiment
     ids = _resolve_ids(args.experiments or ["all"])
@@ -398,6 +503,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSONL grid to a file instead of stdout",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    explore_parser = commands.add_parser(
+        "explore",
+        help="budget-aware design-space exploration (Pareto frontier)")
+    explore_parser.add_argument(
+        "--space", default="frontend",
+        help="design space: a registered name (see repro.explore.SPACES) "
+             "or a JSON space file (default: frontend)",
+    )
+    explore_parser.add_argument(
+        "--strategy", default="random",
+        help="search strategy: exhaustive, random, hillclimb or halving "
+             "(default: random)",
+    )
+    explore_parser.add_argument(
+        "--budget", type=int, default=16, metavar="N",
+        help="max simulations: distinct simulation cells the search may "
+             "request, cold-cache upper bound (default 16)",
+    )
+    explore_parser.add_argument(
+        "--objectives", default="speedup,storage_bits",
+        help="comma-separated objectives, first is primary "
+             "(default: speedup,storage_bits)",
+    )
+    explore_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="strategy RNG seed; searches are bit-reproducible per seed",
+    )
+    explore_parser.add_argument(
+        "--workloads", dest="space_workloads", metavar="W1,W2",
+        help="override the space's workload evaluation set",
+    )
+    _add_execution_flags(explore_parser)
+    explore_parser.add_argument(
+        "--json", action="store_true",
+        help="emit JSONL (one line per evaluated point plus a summary) "
+             "instead of the rendered frontier table",
+    )
+    explore_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the output to a file instead of stdout",
+    )
+    explore_parser.set_defaults(func=_cmd_explore)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or prune the persistent disk result cache")
+    cache_commands = cache_parser.add_subparsers(dest="cache_command",
+                                                 required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry count and bytes, grouped by engine version")
+    cache_stats.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON",
+    )
+    cache_prune = cache_commands.add_parser(
+        "prune", help="drop stale-engine-version (and optionally old) "
+                      "entries")
+    cache_prune.add_argument(
+        "--days", type=float, default=None, metavar="N",
+        help="also drop entries older than N days (any version)",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     report_parser = commands.add_parser(
         "report", help="run experiments and write rendered + JSON files")

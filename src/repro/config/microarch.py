@@ -12,6 +12,15 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 
+#: Bits per FTQ entry: a 46-bit fetch address, 5-bit basic-block size
+#: and 2 status bits (valid + prefetch-issued), matching the entry
+#: widths Section 5.2 of the paper uses for the BTB structures.
+FTQ_ENTRY_BITS = 46 + 5 + 2
+
+#: Tag + state bits per prefetch-buffer entry on top of the line data:
+#: 46-bit line address, valid bit and an in-flight bit.
+PREFETCH_BUFFER_TAG_BITS = 46 + 2
+
 
 @dataclass(frozen=True)
 class MicroarchParams:
@@ -98,3 +107,37 @@ class MicroarchParams:
     def with_overrides(self, **overrides: object) -> "MicroarchParams":
         """Return a copy with the given fields replaced (validated)."""
         return replace(self, **overrides)
+
+    # -- Storage-cost accessors (explore's objective cost model) --------
+    #
+    # The paper's methodology compares design points *at equal storage*;
+    # these accessors price the scheme-independent front-end structures
+    # the same way :mod:`repro.config.schemes` prices the BTBs, so a
+    # design-space search can fold "how many bits does this
+    # configuration spend" into an objective.
+
+    def ftq_storage_bits(self) -> int:
+        """Total bits of the fetch target queue (entries × 53 bits)."""
+        return self.ftq_size * FTQ_ENTRY_BITS
+
+    def l1i_prefetch_buffer_bits(self) -> int:
+        """Bits of the L1-I prefetch buffer: line data plus tag/state."""
+        return self.l1i_prefetch_buffer * (
+            self.line_bytes * 8 + PREFETCH_BUFFER_TAG_BITS
+        )
+
+    def btb_prefetch_buffer_bits(self) -> int:
+        """Bits of the BTB prefetch buffer (tag/state only, no data)."""
+        return self.btb_prefetch_buffer * PREFETCH_BUFFER_TAG_BITS
+
+    def frontend_buffer_bits(self) -> int:
+        """Storage bits of all scheme-independent front-end buffers.
+
+        The FTQ plus both prefetch buffers — the structures every
+        delivery scheme shares.  Scheme-owned storage (the BTBs,
+        footprints, Confluence metadata) is priced separately by
+        :func:`repro.explore.frontier.frontend_storage_bits`.
+        """
+        return (self.ftq_storage_bits()
+                + self.l1i_prefetch_buffer_bits()
+                + self.btb_prefetch_buffer_bits())

@@ -45,8 +45,9 @@ from repro.core.metrics import EngineStats, SimulationResult
 ENGINE_VERSION = 2
 
 #: Package subtrees whose source does not affect simulation output and
-#: is therefore excluded from the fingerprint (reporting/plotting only).
-_FINGERPRINT_EXCLUDE = ("experiments",)
+#: is therefore excluded from the fingerprint (reporting/plotting and
+#: search orchestration only).
+_FINGERPRINT_EXCLUDE = ("experiments", "explore")
 
 _fingerprint_cache: Optional[str] = None
 
@@ -237,6 +238,102 @@ def store(key: str, result: SimulationResult) -> None:
         # A read-only or full cache directory must never fail a run.
         return
     stores += 1
+
+
+def _iter_entries():
+    """Yield ``(path, engine_version, size_bytes, mtime)`` per entry.
+
+    ``engine_version`` is the version recorded *inside* the payload
+    (entries written by other builds remain readable metadata even
+    though their keys are unreachable from this build); unreadable or
+    corrupt entries yield ``None`` so callers can treat them as stale.
+    """
+    root = cache_dir()
+    if not os.path.isdir(root):
+        return
+    for name in sorted(os.listdir(root)):
+        shard = os.path.join(root, name)
+        if not (os.path.isdir(shard) and len(name) == 2):
+            continue
+        for entry in sorted(os.listdir(shard)):
+            if not entry.endswith(".json"):
+                continue
+            path = os.path.join(shard, entry)
+            try:
+                stat = os.stat(path)
+                with open(path, "r", encoding="utf-8") as handle:
+                    version = json.load(handle).get("engine_version")
+            except (OSError, ValueError):
+                yield path, None, 0, 0.0
+                continue
+            yield path, version, stat.st_size, stat.st_mtime
+
+
+def stats() -> dict:
+    """Aggregate cache statistics, grouped by recorded engine version.
+
+    The cache is content-addressed and append-only, so entries written
+    by older engine versions (or corrupt files) accumulate without ever
+    being read again; this is the observability half of
+    ``python -m repro cache``, :func:`prune` is the reclamation half.
+    Version ``None`` groups unreadable/corrupt entries.
+    """
+    by_version: dict = {}
+    entries = 0
+    total_bytes = 0
+    for _, version, size, _ in _iter_entries():
+        bucket = by_version.setdefault(version, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += size
+        entries += 1
+        total_bytes += size
+    return {
+        "cache_dir": cache_dir(),
+        "enabled": enabled(),
+        "engine_version": ENGINE_VERSION,
+        "entries": entries,
+        "bytes": total_bytes,
+        "by_version": by_version,
+    }
+
+
+def prune(days: Optional[float] = None) -> dict:
+    """Remove stale cache entries; returns ``{removed, freed_bytes}``.
+
+    Always removes entries recorded under an engine version other than
+    the current :data:`ENGINE_VERSION` (including corrupt entries) —
+    their keys embed the version, so this build can never read them.
+    With *days*, additionally removes entries older than that many days
+    (by mtime) regardless of version: same-version entries keyed by an
+    old source fingerprint are unreachable too, and age is the only
+    signal we have for them.  Empty shard directories are cleaned up.
+    """
+    import time
+    cutoff = time.time() - days * 86400.0 if days is not None else None
+    removed = 0
+    freed = 0
+    for path, version, size, mtime in _iter_entries():
+        stale = version != ENGINE_VERSION
+        aged = cutoff is not None and mtime < cutoff
+        if not (stale or aged):
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        removed += 1
+        freed += size
+    root = cache_dir()
+    if os.path.isdir(root):
+        for name in os.listdir(root):
+            shard = os.path.join(root, name)
+            if os.path.isdir(shard) and len(name) == 2 \
+                    and not os.listdir(shard):
+                try:
+                    os.rmdir(shard)
+                except OSError:
+                    pass
+    return {"removed": removed, "freed_bytes": freed}
 
 
 def clear() -> int:

@@ -32,9 +32,11 @@ through one grid call.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, \
+    Sequence
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.core import diskcache
@@ -53,10 +55,13 @@ _ENV_PARALLEL = "REPRO_PARALLEL"
 _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 
 #: Process-local count of cells actually simulated (cache misses only).
-#: Sampled-mode tests and the acceptance check "a repeated run performs
-#: zero simulations" observe this; pool workers count in their own
-#: process, so a fully-cached parallel run leaves the parent counter
-#: untouched as well.
+#: Sampled-mode tests, explore-budget accounting and the acceptance
+#: check "a repeated run performs zero simulations" observe this.  Cells
+#: dispatched to pool workers count here too: the parent increments once
+#: per dispatched cell, which is exact up to cross-process races (the
+#: parent probes memo and disk cache before dispatching, so a dispatched
+#: cell is simulated unless a concurrent foreign process stored it
+#: first).  A fully-cached run — serial or parallel — adds zero.
 simulations = 0
 
 
@@ -64,6 +69,36 @@ def reset_simulation_counter() -> None:
     """Zero the process-local simulation counter (tests)."""
     global simulations
     simulations = 0
+
+
+class SimulationMeter:
+    """Live view of the simulations performed since a reference point.
+
+    Budget accounting for callers that interleave their own work with
+    sweep calls (the :mod:`repro.explore` search driver, tests asserting
+    "a repeated run performs zero simulations"): ``count`` tracks the
+    module counter relative to where the meter started, so it reads
+    correctly even while more cells are still being executed.
+    """
+
+    def __init__(self) -> None:
+        self._start = simulations
+
+    @property
+    def count(self) -> int:
+        return max(0, simulations - self._start)
+
+
+@contextlib.contextmanager
+def simulation_meter() -> Iterator[SimulationMeter]:
+    """Meter the simulations performed inside the ``with`` block.
+
+    Counts engine executions only — cells served by the in-process memo
+    or the disk cache are free, which is what makes the meter the right
+    observable for "this invocation was fully cached" assertions and for
+    the explore subsystem's accounting of real versus cached work.
+    """
+    yield SimulationMeter()
 
 
 def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
@@ -188,6 +223,7 @@ def run_specs(specs: Iterable[RunSpec],
     Cells are independent deterministic simulations, so results are
     bit-identical whichever path executes them.
     """
+    global simulations
     ordered: List[RunSpec] = []
     seen = set()
     for spec in specs:
@@ -235,6 +271,11 @@ def run_specs(specs: Iterable[RunSpec],
         for spec, future in futures:
             result = future.result()
             results[spec] = result
+            # The worker simulated in its own process; mirror the cost
+            # into the parent counter so budget/zero-simulation
+            # observers see parallel work (both caches were probed
+            # before dispatch, so this cell was a genuine miss here).
+            simulations += 1
             if use_cache:
                 # Mirror into the parent memo so later serial calls hit.
                 _RESULT_CACHE[spec] = result

@@ -170,13 +170,8 @@ class ExperimentResult:
             result.set_summary(summary["label"], summary["values"])
         return result
 
-    def render(self) -> str:
-        """Plain-text rendering in the paper's row/column layout.
-
-        Sampled rows render every cell as ``mean ±ci95`` and the header
-        records the window count.
-        """
-        headers = [""] + list(self.columns)
+    def _cell_texts(self) -> List[List[str]]:
+        """Formatted body cells shared by the plain and markdown views."""
         table_rows = []
         for label, values in self.rows:
             cells = [label]
@@ -193,7 +188,40 @@ class ExperimentResult:
             table_rows.append(
                 [label] + [self.value_format.format(v) for v in values]
             )
-        body = format_table(headers, table_rows)
+        return table_rows
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering of the table.
+
+        Same cells as :meth:`render` (including sampled ``±ci95``
+        suffixes and the summary row) with the title as a heading,
+        right-aligned value columns, and the notes as a trailing
+        paragraph — paste-ready for PRs and reports.
+        """
+        headers = [""] + list(self.columns)
+        body = self._cell_texts()
+        lines = [f"### {self.title}"]
+        if self.samples is not None:
+            lines.append(f"*sampled: {self.samples} windows, 95% CI*")
+        lines.append("")
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("| " + " | ".join(
+            ["---"] + ["---:"] * len(self.columns)) + " |")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's row/column layout.
+
+        Sampled rows render every cell as ``mean ±ci95`` and the header
+        records the window count.
+        """
+        headers = [""] + list(self.columns)
+        body = format_table(headers, self._cell_texts())
         header = f"== {self.title} =="
         if self.samples is not None:
             header += f" [sampled: {self.samples} windows, 95% CI]"

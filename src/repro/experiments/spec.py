@@ -139,6 +139,39 @@ class RunSpec:
         )
 
 
+def transform_spec(spec: RunSpec, *,
+                   scheme: Optional[str] = None,
+                   config: Optional[Mapping[str, Any]] = None,
+                   params: Optional[Mapping[str, Any]] = None) -> RunSpec:
+    """The params-transform hook: derive a new cell from *spec*.
+
+    Grid axes that sweep a *configuration dimension* rather than a
+    scheme (the colocation study's per-degree LLC share, every axis of
+    the :mod:`repro.explore` design spaces) are all the same operation:
+    resolve the spec's default :class:`SchemeConfig`/
+    :class:`MicroarchParams` and replace named fields on top.  ``scheme``
+    renames the built scheme (the config's ``name`` follows unless the
+    ``config`` overrides pin it); ``config``/``params`` are field->value
+    mappings applied through the dataclasses' validating constructors,
+    so an invalid value raises :class:`~repro.errors.ConfigError` at
+    transform time, not deep inside a run.  The ``n_blocks`` placeholder
+    is preserved, keeping transformed specs parametric in trace length.
+    """
+    name = (scheme if scheme is not None else spec.scheme).lower()
+    base_config = spec.config if spec.config is not None \
+        else SchemeConfig(name=name)
+    base_params = spec.params if spec.params is not None \
+        else MicroarchParams()
+    config_overrides = dict(config or {})
+    if scheme is not None:
+        config_overrides.setdefault("name", name)
+    new_config = replace(base_config, **config_overrides) \
+        if config_overrides else base_config
+    new_params = base_params.with_overrides(**dict(params)) \
+        if params else base_params
+    return replace(spec, scheme=name, config=new_config, params=new_params)
+
+
 # ---------------------------------------------------------------------------
 # SampleSpec: the SMARTS-style sampling axis
 # ---------------------------------------------------------------------------
@@ -583,6 +616,7 @@ def run_table_spec(spec: TableSpec, n_blocks: Optional[int] = None,
 __all__ = [
     "DEFAULT_TRACE_BLOCKS",
     "RunSpec",
+    "transform_spec",
     "SampleSpec",
     "Cell",
     "GridSpec",

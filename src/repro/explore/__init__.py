@@ -1,0 +1,74 @@
+"""Budget-aware design-space exploration over the spec pipeline.
+
+The subsystem turns the cheap-per-cell engine plus the persistent
+result cache into a search machine (DESIGN.md Section 9):
+
+* :mod:`repro.explore.space` — declarative :class:`ParamSpace` /
+  :class:`Dimension` axes that expand points into canonical
+  :class:`~repro.experiments.spec.RunSpec` cells;
+* :mod:`repro.explore.strategies` — pluggable seeded search strategies
+  (exhaustive, random, hill-climbing, successive halving);
+* :mod:`repro.explore.frontier` — multi-objective scoring with a
+  storage-bits cost model and Pareto-frontier extraction;
+* :mod:`repro.explore.report` — the budgeted :func:`explore` driver and
+  the table/JSONL reporting, exposed as ``python -m repro explore``.
+"""
+
+from repro.explore.frontier import (
+    OBJECTIVES,
+    EvaluatedPoint,
+    Objective,
+    dominates,
+    frontend_storage_bits,
+    pareto_frontier,
+    resolve_objectives,
+)
+from repro.explore.report import ExploreResult, explore
+from repro.explore.space import (
+    AXES,
+    BTB_BUDGET_SPACE,
+    FRONTEND_SPACE,
+    SPACES,
+    Dimension,
+    ParamSpace,
+    get_space,
+    point_dict,
+)
+from repro.explore.strategies import (
+    STRATEGIES,
+    BudgetExhausted,
+    ExhaustiveStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+    Strategy,
+    SuccessiveHalvingStrategy,
+    get_strategy,
+)
+
+__all__ = [
+    "AXES",
+    "BTB_BUDGET_SPACE",
+    "FRONTEND_SPACE",
+    "SPACES",
+    "Dimension",
+    "ParamSpace",
+    "get_space",
+    "point_dict",
+    "OBJECTIVES",
+    "Objective",
+    "EvaluatedPoint",
+    "dominates",
+    "frontend_storage_bits",
+    "pareto_frontier",
+    "resolve_objectives",
+    "STRATEGIES",
+    "BudgetExhausted",
+    "Strategy",
+    "ExhaustiveStrategy",
+    "RandomStrategy",
+    "HillClimbStrategy",
+    "SuccessiveHalvingStrategy",
+    "get_strategy",
+    "ExploreResult",
+    "explore",
+]

@@ -1,0 +1,235 @@
+"""Multi-objective scoring and Pareto-frontier extraction.
+
+The paper's storage argument is inherently multi-objective: a design
+point is "better" only if it delivers more performance *for the bits it
+spends*.  This module provides the two halves of that judgement:
+
+* a **storage-bits cost model** (:func:`frontend_storage_bits`) pricing
+  a configuration's control-flow-delivery metadata from the Section 5.2
+  bit layouts in :mod:`repro.config.schemes` plus the
+  scheme-independent buffer accessors on
+  :class:`~repro.config.MicroarchParams`;
+* **Pareto mathematics** over named :class:`Objective`\\ s
+  (:func:`dominates`, :func:`pareto_frontier`) and the deterministic
+  scalarisation (:func:`scalar_score`) single-trajectory strategies use
+  to rank points.
+
+Everything here is pure arithmetic over already-evaluated points — no
+simulation, no randomness — so frontier extraction is trivially
+reproducible and testable without the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.config.schemes import conventional_btb_bits, \
+    shotgun_storage_bits
+from repro.errors import ExperimentError
+
+#: Bits per Confluence history entry: a 46-bit block address plus the
+#: 5-bit footprint the stream replays (the ~204KB LLC-resident history
+#: of Section 5.2 at the 32K-entry default).
+_CONFLUENCE_HISTORY_ENTRY_BITS = 46 + 5
+
+#: Bits per Confluence index entry: 41-bit tag plus a 16-bit history
+#: pointer.
+_CONFLUENCE_INDEX_ENTRY_BITS = 41 + 16
+
+#: RDIP metadata budget (bits): the signature->footprint table, ~64KB in
+#: the RDIP paper's provisioning.
+_RDIP_METADATA_BITS = 64 * 1024 * 8
+
+
+def frontend_storage_bits(scheme: str, config: SchemeConfig,
+                          params: MicroarchParams) -> int:
+    """Total metadata bits a design point spends on control-flow delivery.
+
+    Scheme-owned structures follow the paper's Section 5.2 layouts: the
+    conventional BTB for baseline/ideal/FDIP/Boomerang, Shotgun's three
+    structures (including footprint vectors), Confluence's BTB plus its
+    LLC-resident history/index (counted because colocation pays for it,
+    Section 2.1), RDIP's signature table.  On top, every scheme pays for
+    the shared front-end buffers (FTQ and prefetch buffers) via
+    :meth:`~repro.config.MicroarchParams.frontend_buffer_bits`, so
+    machine-side axes (FTQ depth, prefetch degree) show up in the cost.
+    """
+    name = scheme.lower()
+    buffers = params.frontend_buffer_bits()
+    if name == "shotgun":
+        return buffers + shotgun_storage_bits(
+            config.shotgun_sizes, config.footprint_bits)
+    if name == "confluence":
+        return (buffers
+                + conventional_btb_bits(config.btb_entries)
+                + config.confluence_history_entries
+                * _CONFLUENCE_HISTORY_ENTRY_BITS
+                + config.confluence_index_entries
+                * _CONFLUENCE_INDEX_ENTRY_BITS)
+    if name == "rdip":
+        return (buffers + conventional_btb_bits(config.btb_entries)
+                + _RDIP_METADATA_BITS)
+    # baseline / ideal / fdip / boomerang: the conventional BTB only.
+    return buffers + conventional_btb_bits(config.btb_entries)
+
+
+# ---------------------------------------------------------------------------
+# Objectives
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation target: a named value and its direction."""
+
+    name: str
+    maximize: bool
+    description: str = ""
+
+    def signed(self, value: float) -> float:
+        """The value oriented so that larger is always better."""
+        return value if self.maximize else -value
+
+
+#: Named objectives ``--objectives`` resolves against.  Workload-level
+#: aggregation (how a point's per-workload measurements fold into one
+#: value) is documented per objective and implemented by the evaluation
+#: driver in :mod:`repro.explore.report`.
+OBJECTIVES: Dict[str, Objective] = {
+    "speedup": Objective(
+        "speedup", maximize=True,
+        description="gmean speedup over the baseline scheme"),
+    "storage_bits": Objective(
+        "storage_bits", maximize=False,
+        description="front-end metadata storage bits (cost model)"),
+    "ipc": Objective(
+        "ipc", maximize=True,
+        description="gmean instructions per cycle"),
+    "l1i_mpki": Objective(
+        "l1i_mpki", maximize=False,
+        description="mean L1-I misses per kilo-instruction"),
+    "btb_mpki": Objective(
+        "btb_mpki", maximize=False,
+        description="mean BTB misses per kilo-instruction"),
+}
+
+
+def resolve_objectives(names: Sequence[str]) -> Tuple[Objective, ...]:
+    """Objective instances for *names* (order preserved, first=primary)."""
+    if not names:
+        raise ExperimentError("at least one objective is required")
+    resolved = []
+    for name in names:
+        key = name.strip().lower()
+        if key not in OBJECTIVES:
+            raise ExperimentError(
+                f"unknown objective {name!r}; choose from "
+                f"{sorted(OBJECTIVES)}"
+            )
+        resolved.append(OBJECTIVES[key])
+    if len({obj.name for obj in resolved}) != len(resolved):
+        raise ExperimentError("objectives repeat")
+    return tuple(resolved)
+
+
+# ---------------------------------------------------------------------------
+# Evaluated points and Pareto extraction
+# ---------------------------------------------------------------------------
+
+#: A design point as evaluated: ``(axis, value)`` pairs (see
+#: :data:`repro.explore.space.Point`).
+Point = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """One measured design point: its assignment plus objective values.
+
+    ``n_blocks`` records the fidelity the point was measured at —
+    successive halving evaluates the same point at several fidelities,
+    and frontier extraction keeps only the highest one per point.
+    """
+
+    point: Point
+    n_blocks: int
+    objectives: Tuple[Tuple[str, float], ...]
+
+    def value(self, objective: str) -> float:
+        for name, value in self.objectives:
+            if name == objective:
+                return value
+        raise ExperimentError(
+            f"point carries no objective {objective!r}"
+        )
+
+    def objective_dict(self) -> Dict[str, float]:
+        return dict(self.objectives)
+
+
+def scalar_score(evaluated: EvaluatedPoint,
+                 objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """Deterministic total order for single-trajectory strategies.
+
+    Lexicographic over the signed objective values in declared order:
+    the first objective is primary, later ones break ties.  Hill
+    climbing and successive halving rank with this; the Pareto frontier
+    is still extracted over *all* objectives jointly afterwards.
+    """
+    return tuple(obj.signed(evaluated.value(obj.name))
+                 for obj in objectives)
+
+
+def dominates(a: EvaluatedPoint, b: EvaluatedPoint,
+              objectives: Sequence[Objective]) -> bool:
+    """Whether *a* Pareto-dominates *b*: no worse on all, better on one."""
+    better_somewhere = False
+    for obj in objectives:
+        va = obj.signed(a.value(obj.name))
+        vb = obj.signed(b.value(obj.name))
+        if va < vb:
+            return False
+        if va > vb:
+            better_somewhere = True
+    return better_somewhere
+
+
+def pareto_frontier(points: Sequence[EvaluatedPoint],
+                    objectives: Sequence[Objective],
+                    ) -> List[EvaluatedPoint]:
+    """The non-dominated subset of *points*, dominated points pruned.
+
+    When several evaluations share the same assignment (successive
+    halving re-simulates survivors at higher fidelity), only the
+    highest-fidelity evaluation represents the point.  The frontier is
+    returned sorted best-first by :func:`scalar_score`, which makes the
+    rendering deterministic; duplicate objective vectors all survive
+    (they tie, neither dominates).
+    """
+    if not objectives:
+        raise ExperimentError("pareto_frontier needs objectives")
+    best: Dict[Point, EvaluatedPoint] = {}
+    for candidate in points:
+        seen = best.get(candidate.point)
+        if seen is None or candidate.n_blocks > seen.n_blocks:
+            best[candidate.point] = candidate
+    survivors = [
+        candidate for candidate in best.values()
+        if not any(dominates(other, candidate, objectives)
+                   for other in best.values() if other is not candidate)
+    ]
+    survivors.sort(key=lambda ep: scalar_score(ep, objectives),
+                   reverse=True)
+    return survivors
+
+
+__all__ = [
+    "frontend_storage_bits",
+    "Objective",
+    "OBJECTIVES",
+    "resolve_objectives",
+    "EvaluatedPoint",
+    "scalar_score",
+    "dominates",
+    "pareto_frontier",
+]

@@ -1,0 +1,403 @@
+"""Declarative design spaces: named axes over front-end configurations.
+
+A :class:`ParamSpace` describes a finite grid of microarchitectural
+design points — each :class:`Dimension` is a named axis with an ordered
+tuple of values — plus the evaluation context (workload set, default
+scheme, baseline scheme).  A *point* (one value per axis) expands into
+canonical :class:`~repro.experiments.spec.RunSpec` cells, one per
+workload, through the same params-transform hook
+(:func:`~repro.experiments.spec.transform_spec`) the figure experiments
+use.  Because the expansion is canonical, every evaluated point lands in
+the in-process memo and the persistent disk cache exactly like a figure
+cell: a search that revisits a point — or a re-run of a whole search —
+costs file reads, not simulations.
+
+Axes are *named transforms* (:data:`AXES`): ``btb_entries`` sizes the
+scheme's BTB structures at equal storage the way Figure 13 does
+(``shotgun_budget_split`` for Shotgun, conventional entries otherwise),
+``l1i_kb``/``ftq_size``/``prefetch_degree``/``footprint_bits`` set the
+obvious knobs, ``scheme`` makes the delivery scheme itself an axis.  The
+generic ``params:<field>``/``config:<field>`` forms reach any
+:class:`~repro.config.MicroarchParams`/:class:`~repro.config.SchemeConfig`
+field, so a space file can sweep dimensions nobody anticipated.  All
+values go through the config dataclasses' validating constructors.
+
+Spaces serialise to JSON (``to_dict``/``from_dict``) for the CLI's
+``--space file.json``; :data:`SPACES` registers the built-in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, \
+    Tuple
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.config.schemes import shotgun_budget_split
+from repro.errors import ExperimentError
+from repro.experiments.spec import RunSpec, transform_spec
+
+#: A design point: one ``(axis name, value)`` pair per dimension, in the
+#: space's dimension order.  Tuples keep points hashable and make the
+#: evaluation order (and therefore JSONL output) deterministic.
+Point = Tuple[Tuple[str, Any], ...]
+
+
+def point_dict(point: Point) -> Dict[str, Any]:
+    """The point as a plain dict (JSON output, display)."""
+    return dict(point)
+
+
+# ---------------------------------------------------------------------------
+# Axis transforms
+# ---------------------------------------------------------------------------
+
+AxisApplier = Callable[[RunSpec, Any], RunSpec]
+
+
+def _axis_scheme(spec: RunSpec, value: Any) -> RunSpec:
+    return transform_spec(spec, scheme=str(value))
+
+
+def _axis_btb_entries(spec: RunSpec, value: Any) -> RunSpec:
+    """Equal-storage BTB budget axis (the Figure 13 derivation).
+
+    For Shotgun the conventional budget is split across U-BTB/C-BTB/RIB
+    via :func:`~repro.config.schemes.shotgun_budget_split` — identical
+    to ``experiments.common.budget_configs``, so explore points share
+    cache entries with the figure's cells; every other scheme gets the
+    budget as conventional BTB entries directly.
+    """
+    entries = int(value)
+    if spec.scheme.lower() == "shotgun":
+        return transform_spec(
+            spec, config={"shotgun_sizes": shotgun_budget_split(entries)})
+    return transform_spec(spec, config={"btb_entries": entries})
+
+
+def _axis_l1i_kb(spec: RunSpec, value: Any) -> RunSpec:
+    return transform_spec(spec, params={"l1i_bytes": int(value) * 1024})
+
+
+def _axis_ftq_size(spec: RunSpec, value: Any) -> RunSpec:
+    return transform_spec(spec, params={"ftq_size": int(value)})
+
+
+def _axis_prefetch_degree(spec: RunSpec, value: Any) -> RunSpec:
+    """Prefetch aggressiveness: entries the L1-I prefetch buffer holds.
+
+    Bounds how many prefetched lines can be in flight/buffered at once —
+    the degree knob of the run-ahead schemes (Confluence's stream
+    lookahead is a config axis: ``config:confluence_stream_lookahead``).
+    """
+    return transform_spec(spec, params={"l1i_prefetch_buffer": int(value)})
+
+
+def _axis_footprint_bits(spec: RunSpec, value: Any) -> RunSpec:
+    """Shotgun spatial-footprint width; 0 selects the no-vector design."""
+    bits = int(value)
+    mode = "none" if bits == 0 else "bitvector"
+    return transform_spec(
+        spec, config={"footprint_mode": mode, "footprint_bits": bits})
+
+
+#: Named axis transforms a :class:`Dimension` can reference.
+AXES: Dict[str, AxisApplier] = {
+    "scheme": _axis_scheme,
+    "btb_entries": _axis_btb_entries,
+    "l1i_kb": _axis_l1i_kb,
+    "ftq_size": _axis_ftq_size,
+    "prefetch_degree": _axis_prefetch_degree,
+    "footprint_bits": _axis_footprint_bits,
+}
+
+_PARAMS_FIELDS = {f.name for f in fields(MicroarchParams)}
+_CONFIG_FIELDS = {f.name for f in fields(SchemeConfig)}
+
+
+def validate_axis(name: str) -> None:
+    """Raise :class:`ExperimentError` unless *name* is a known axis."""
+    if name in AXES:
+        return
+    if name.startswith("params:"):
+        if name[len("params:"):] in _PARAMS_FIELDS:
+            return
+        raise ExperimentError(
+            f"unknown MicroarchParams field in axis {name!r}; choose "
+            f"from {sorted(_PARAMS_FIELDS)}"
+        )
+    if name.startswith("config:"):
+        if name[len("config:"):] in _CONFIG_FIELDS:
+            return
+        raise ExperimentError(
+            f"unknown SchemeConfig field in axis {name!r}; choose "
+            f"from {sorted(_CONFIG_FIELDS)}"
+        )
+    raise ExperimentError(
+        f"unknown axis {name!r}; choose a named axis from "
+        f"{sorted(AXES)} or a generic 'params:<field>'/'config:<field>'"
+    )
+
+
+def apply_axis(spec: RunSpec, name: str, value: Any) -> RunSpec:
+    """Apply one axis assignment to a cell spec."""
+    applier = AXES.get(name)
+    if applier is not None:
+        return applier(spec, value)
+    if name.startswith("params:"):
+        return transform_spec(spec, params={name[len("params:"):]: value})
+    if name.startswith("config:"):
+        return transform_spec(spec, config={name[len("config:"):]: value})
+    raise ExperimentError(f"unknown axis {name!r}")  # validate_axis earlier
+
+
+# ---------------------------------------------------------------------------
+# Dimension and ParamSpace
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of a design space: a named transform plus its values."""
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        validate_axis(self.name)
+        # Lists arrive from JSON space files; coerce them to tuples so
+        # values (and the Points built from them) stay hashable.
+        object.__setattr__(self, "values", tuple(
+            tuple(value) if isinstance(value, list) else value
+            for value in self.values
+        ))
+        if not self.values:
+            raise ExperimentError(f"axis {self.name!r} has no values")
+        try:
+            unique = len(set(self.values))
+        except TypeError:
+            raise ExperimentError(
+                f"axis {self.name!r} values must be hashable (points are "
+                "cache keys); got an unhashable value"
+            ) from None
+        if unique != len(self.values):
+            raise ExperimentError(f"axis {self.name!r} repeats values")
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """A finite design space: axes × workload set × scheme context.
+
+    Every point is evaluated on all ``workloads`` (objectives aggregate
+    across them); ``scheme`` is the delivery scheme built when no
+    ``scheme`` axis overrides it, and ``baseline`` is the comparison
+    scheme for baseline-relative objectives.  The machine-side axis
+    transforms (``params:*``, ``l1i_kb``, ``ftq_size``, ...) apply to
+    the baseline cells as well — a point that grows the L1-I is compared
+    against a no-prefetch machine with the same L1-I, so the objective
+    isolates the delivery scheme's contribution.
+    """
+
+    name: str
+    dimensions: Tuple[Dimension, ...]
+    workloads: Tuple[str, ...]
+    scheme: str = "shotgun"
+    baseline: str = "baseline"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+        object.__setattr__(self, "workloads",
+                           tuple(w.lower() for w in self.workloads))
+        if not self.dimensions:
+            raise ExperimentError(f"space {self.name!r} has no dimensions")
+        if not self.workloads:
+            raise ExperimentError(f"space {self.name!r} has no workloads")
+        names = [dim.name for dim in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ExperimentError(
+                f"space {self.name!r} repeats dimension names"
+            )
+
+    # -- Point enumeration ---------------------------------------------
+
+    def size(self) -> int:
+        """Number of points in the space (product of axis sizes)."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values)
+        return total
+
+    def point_at(self, index: int) -> Point:
+        """The *index*-th point in lexicographic axis order.
+
+        Mixed-radix decode with the first dimension most significant —
+        a stable total order, which is what makes seeded strategies
+        (random sampling permutes indices) bit-reproducible.
+        """
+        if not 0 <= index < self.size():
+            raise ExperimentError(
+                f"point index {index} outside space of {self.size()}"
+            )
+        assignment: List[Tuple[str, Any]] = []
+        for dim in reversed(self.dimensions):
+            index, digit = divmod(index, len(dim.values))
+            assignment.append((dim.name, dim.values[digit]))
+        return tuple(reversed(assignment))
+
+    def iter_points(self) -> Iterator[Point]:
+        """Every point, in lexicographic axis order."""
+        for index in range(self.size()):
+            yield self.point_at(index)
+
+    def neighbors(self, point: Point) -> List[Point]:
+        """Points one step away along one axis (coordinate moves).
+
+        Deterministic order: dimensions in declaration order, the lower
+        neighbour before the higher one.
+        """
+        assignment = dict(point)
+        result: List[Point] = []
+        for dim in self.dimensions:
+            idx = dim.values.index(assignment[dim.name])
+            for step in (-1, 1):
+                other = idx + step
+                if 0 <= other < len(dim.values):
+                    moved = dict(assignment)
+                    moved[dim.name] = dim.values[other]
+                    result.append(tuple(
+                        (d.name, moved[d.name]) for d in self.dimensions
+                    ))
+        return result
+
+    # -- Point -> RunSpec expansion ------------------------------------
+
+    def cell_specs(self, point: Point,
+                   n_blocks: Optional[int] = None,
+                   ) -> List[Tuple[RunSpec, RunSpec]]:
+        """Canonical ``(cell, baseline)`` spec pairs for *point*.
+
+        One pair per workload.  The ``scheme`` axis (when present)
+        applies first so scheme-dependent axes such as ``btb_entries``
+        see the point's scheme; remaining axes apply in dimension
+        order.  Baselines inherit the cell's machine parameters but not
+        its scheme/config, per the class docstring.
+        """
+        assignment = dict(point)
+        unknown = set(assignment) - {d.name for d in self.dimensions}
+        if unknown:
+            raise ExperimentError(
+                f"point assigns axes outside space {self.name!r}: "
+                f"{sorted(unknown)}"
+            )
+        pairs: List[Tuple[RunSpec, RunSpec]] = []
+        for workload in self.workloads:
+            cell = RunSpec(workload=workload, scheme=self.scheme,
+                           n_blocks=n_blocks)
+            if "scheme" in assignment:
+                cell = apply_axis(cell, "scheme", assignment["scheme"])
+            for dim in self.dimensions:
+                if dim.name == "scheme":
+                    continue
+                cell = apply_axis(cell, dim.name, assignment[dim.name])
+            cell = cell.canonical(n_blocks)
+            base = RunSpec(workload=workload, scheme=self.baseline,
+                           params=cell.params,
+                           n_blocks=n_blocks).canonical(n_blocks)
+            pairs.append((cell, base))
+        return pairs
+
+    # -- Serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (round-trips via from_dict)."""
+        return {
+            "name": self.name,
+            "dimensions": [
+                {"name": dim.name, "values": list(dim.values)}
+                for dim in self.dimensions
+            ],
+            "workloads": list(self.workloads),
+            "scheme": self.scheme,
+            "baseline": self.baseline,
+            "description": self.description,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ParamSpace":
+        """Rebuild a space from :meth:`to_dict` output (or a JSON file)."""
+        return ParamSpace(
+            name=payload["name"],
+            dimensions=tuple(
+                Dimension(name=raw["name"], values=tuple(raw["values"]))
+                for raw in payload["dimensions"]
+            ),
+            workloads=tuple(payload["workloads"]),
+            scheme=payload.get("scheme", "shotgun"),
+            baseline=payload.get("baseline", "baseline"),
+            description=payload.get("description", ""),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-in example spaces
+# ---------------------------------------------------------------------------
+
+#: The paper's Figure 13 trade-off as a searchable space: scheme ×
+#: storage budget on an OLTP workload.
+BTB_BUDGET_SPACE = ParamSpace(
+    name="btb_budget",
+    description=("Equal-storage BTB budget sweep (Figure 13): "
+                 "Boomerang vs Shotgun across conventional budgets"),
+    dimensions=(
+        Dimension("scheme", ("boomerang", "shotgun")),
+        Dimension("btb_entries", (512, 1024, 2048, 4096, 8192)),
+    ),
+    workloads=("db2",),
+)
+
+#: A broader front-end provisioning space: how should a fixed transistor
+#: budget be split between BTB capacity, FTQ depth, prefetch
+#: aggressiveness and L1-I capacity for Shotgun?
+FRONTEND_SPACE = ParamSpace(
+    name="frontend",
+    description=("Shotgun front-end provisioning: BTB budget × FTQ "
+                 "depth × prefetch degree × L1-I capacity"),
+    dimensions=(
+        Dimension("btb_entries", (1024, 2048, 4096)),
+        Dimension("ftq_size", (16, 32, 64)),
+        Dimension("prefetch_degree", (32, 64)),
+        Dimension("l1i_kb", (16, 32, 64)),
+    ),
+    workloads=("nutch", "db2"),
+)
+
+#: Registered spaces the CLI resolves ``--space <name>`` against.
+SPACES: Dict[str, ParamSpace] = {
+    space.name: space for space in (BTB_BUDGET_SPACE, FRONTEND_SPACE)
+}
+
+
+def get_space(name: str) -> ParamSpace:
+    """Look up a registered space by name."""
+    key = name.lower()
+    if key not in SPACES:
+        raise ExperimentError(
+            f"unknown space {name!r}; choose from {sorted(SPACES)} "
+            "or pass a JSON space file"
+        )
+    return SPACES[key]
+
+
+__all__ = [
+    "Point",
+    "point_dict",
+    "AXES",
+    "validate_axis",
+    "apply_axis",
+    "Dimension",
+    "ParamSpace",
+    "BTB_BUDGET_SPACE",
+    "FRONTEND_SPACE",
+    "SPACES",
+    "get_space",
+]

@@ -1,0 +1,263 @@
+"""Pluggable search strategies over a :class:`~repro.explore.space.ParamSpace`.
+
+Every strategy implements one protocol — ``search(space, ctx, rng)`` —
+where ``ctx`` is the evaluation context provided by the driver in
+:mod:`repro.explore.report`:
+
+* ``ctx.evaluate(point, n_blocks=None)`` measures a point (through the
+  cached/parallel sweep path) and returns an
+  :class:`~repro.explore.frontier.EvaluatedPoint`; it raises
+  :class:`BudgetExhausted` when the simulation budget cannot afford the
+  point, which ends the search (the driver catches it).
+* ``ctx.objectives`` is the resolved objective tuple (first = primary,
+  used by :func:`~repro.explore.frontier.scalar_score`).
+* ``ctx.n_blocks`` is the full-fidelity trace length, the top of a
+  fidelity schedule.
+
+Strategies draw randomness only from the supplied ``random.Random`` —
+seeded by the driver — and iterate the space through its deterministic
+index order, so a search is bit-reproducible given a seed regardless of
+cache state, machine, or parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Set
+
+from repro.errors import ExperimentError
+from repro.explore.frontier import EvaluatedPoint, scalar_score
+from repro.explore.space import ParamSpace, Point
+
+
+class BudgetExhausted(Exception):
+    """Raised by ``ctx.evaluate`` when the budget cannot afford a point.
+
+    Control flow, not failure: the driver catches it and reports the
+    points evaluated so far.  Strategies may catch it themselves only to
+    re-raise after cleanup — swallowing it would loop forever.
+    """
+
+
+class EvaluationContext(Protocol):
+    """What the driver hands a strategy (see module docstring)."""
+
+    n_blocks: int
+
+    def evaluate(self, point: Point,
+                 n_blocks: Optional[int] = None) -> EvaluatedPoint: ...
+
+    @property
+    def objectives(self): ...
+
+
+class Strategy(Protocol):
+    """A search strategy: visit points until done or out of budget."""
+
+    name: str
+
+    def search(self, space: ParamSpace, ctx: EvaluationContext,
+               rng: random.Random) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExhaustiveStrategy:
+    """Evaluate every point in deterministic lexicographic order.
+
+    The right choice when the space fits the budget; with a smaller
+    budget it degrades into a prefix scan (useful for resumable sweeps:
+    a warm cache makes re-running the prefix free).
+    """
+
+    name: str = "exhaustive"
+
+    def search(self, space: ParamSpace, ctx: EvaluationContext,
+               rng: random.Random) -> None:
+        for point in space.iter_points():
+            ctx.evaluate(point)
+
+
+@dataclass
+class RandomStrategy:
+    """Seeded uniform sampling without replacement.
+
+    Shuffles the space's index order with the driver's seeded RNG and
+    evaluates the prefix the budget affords — the classic strong
+    baseline for design-space exploration, and the cheapest way to get
+    frontier coverage spread across the space.
+    """
+
+    name: str = "random"
+
+    def search(self, space: ParamSpace, ctx: EvaluationContext,
+               rng: random.Random) -> None:
+        order = list(range(space.size()))
+        rng.shuffle(order)
+        for index in order:
+            ctx.evaluate(space.point_at(index))
+
+
+@dataclass
+class HillClimbStrategy:
+    """Coordinate hill-climbing with seeded random restarts.
+
+    Steepest-ascent on the scalarised objective
+    (:func:`~repro.explore.frontier.scalar_score`): from a random
+    unvisited start, evaluate all unvisited coordinate neighbours (one
+    axis, one step), move to the best one that improves, repeat; at a
+    local optimum, restart from a fresh random point.  Visited points
+    are never re-evaluated, so the strategy terminates on small spaces
+    and otherwise runs until the budget ends it.
+    """
+
+    name: str = "hillclimb"
+
+    def search(self, space: ParamSpace, ctx: EvaluationContext,
+               rng: random.Random) -> None:
+        # Work on mixed-radix indices rather than materialised points:
+        # a generic space can hold millions of points, and a budgeted
+        # climb must not pay full-space cost before its first
+        # evaluation.  Stride arithmetic reproduces space.neighbors'
+        # order (dimension order, lower step first).
+        sizes = [len(dim.values) for dim in space.dimensions]
+        strides: List[int] = []
+        acc = 1
+        for width in reversed(sizes):
+            strides.append(acc)
+            acc *= width
+        strides.reverse()
+        size = space.size()
+        visited: Set[int] = set()
+
+        def neighbor_indices(index: int) -> List[int]:
+            result = []
+            for stride, width in zip(strides, sizes):
+                digit = (index // stride) % width
+                for step in (-1, 1):
+                    if 0 <= digit + step < width:
+                        result.append(index + step * stride)
+            return result
+
+        def pick_start() -> int:
+            # Sparse phase: rejection-sample the RNG directly (still
+            # deterministic per seed); dense phase: scan once.
+            if len(visited) * 2 < size:
+                while True:
+                    index = rng.randrange(size)
+                    if index not in visited:
+                        return index
+            return rng.choice(
+                [i for i in range(size) if i not in visited])
+
+        def evaluate(index: int) -> EvaluatedPoint:
+            visited.add(index)
+            return ctx.evaluate(space.point_at(index))
+
+        while len(visited) < size:
+            current_index = pick_start()
+            current = evaluate(current_index)
+            current_score = scalar_score(current, ctx.objectives)
+            while True:
+                best = None
+                best_score = current_score
+                for idx in neighbor_indices(current_index):
+                    if idx in visited:
+                        continue
+                    candidate = evaluate(idx)
+                    score = scalar_score(candidate, ctx.objectives)
+                    if score > best_score:
+                        best, best_score, best_index = candidate, score, idx
+                if best is None:
+                    break  # local optimum: restart
+                current, current_score = best, best_score
+                current_index = best_index
+
+
+@dataclass
+class SuccessiveHalvingStrategy:
+    """Multi-fidelity search: a blocks-budget schedule over rungs.
+
+    Samples a seeded cohort of points and measures it at a fraction of
+    the trace budget, keeps the top ``1/reduction`` by scalarised
+    objective, and re-simulates the survivors at the next fidelity —
+    the final rung runs at the full ``--blocks``.  Rung *r* of *R* uses
+    ``n_blocks // reduction**(R-1-r)`` blocks, so the total simulated
+    volume stays comparable to a handful of full-fidelity runs while
+    many more points get screened.  Every (point, fidelity) pair is an
+    ordinary canonical cell, so survivor re-simulation at a fidelity
+    the disk cache has seen is free.
+    """
+
+    name: str = "halving"
+    cohort: Optional[int] = None
+    reduction: int = 3
+    rungs: int = 3
+
+    def __post_init__(self) -> None:
+        if self.reduction < 2:
+            raise ExperimentError("halving needs reduction >= 2")
+        if self.rungs < 1:
+            raise ExperimentError("halving needs at least one rung")
+        if self.cohort is not None and self.cohort < 1:
+            raise ExperimentError("halving cohort must be positive")
+
+    def search(self, space: ParamSpace, ctx: EvaluationContext,
+               rng: random.Random) -> None:
+        size = space.size()
+        cohort = self.cohort if self.cohort is not None \
+            else self.reduction ** (self.rungs - 1)
+        cohort = min(cohort, size)
+        order = list(range(size))
+        rng.shuffle(order)
+        rung_points: List[Point] = [space.point_at(i)
+                                    for i in order[:cohort]]
+        for rung in range(self.rungs):
+            blocks = max(
+                1, ctx.n_blocks // self.reduction ** (self.rungs - 1 - rung))
+            evaluated = [ctx.evaluate(point, n_blocks=blocks)
+                         for point in rung_points]
+            evaluated.sort(key=lambda ep: scalar_score(ep, ctx.objectives),
+                           reverse=True)
+            keep = max(1, -(-len(evaluated) // self.reduction))
+            rung_points = [ep.point for ep in evaluated[:keep]]
+            if len(rung_points) <= 1 and rung < self.rungs - 1:
+                # Promote the last survivor straight to full fidelity.
+                ctx.evaluate(rung_points[0], n_blocks=ctx.n_blocks)
+                return
+
+
+#: Strategy factories the CLI resolves ``--strategy <name>`` against.
+STRATEGIES: Dict[str, Callable[[], Strategy]] = {
+    "exhaustive": ExhaustiveStrategy,
+    "random": RandomStrategy,
+    "hillclimb": HillClimbStrategy,
+    "halving": SuccessiveHalvingStrategy,
+}
+
+
+def get_strategy(name: str) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    key = name.lower()
+    if key not in STRATEGIES:
+        raise ExperimentError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        )
+    return STRATEGIES[key]()
+
+
+__all__ = [
+    "BudgetExhausted",
+    "EvaluationContext",
+    "Strategy",
+    "ExhaustiveStrategy",
+    "RandomStrategy",
+    "HillClimbStrategy",
+    "SuccessiveHalvingStrategy",
+    "STRATEGIES",
+    "get_strategy",
+]

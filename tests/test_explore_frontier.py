@@ -1,0 +1,165 @@
+"""Tests for objectives, the storage cost model and Pareto extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.config.schemes import conventional_btb_bits, \
+    shotgun_budget_split
+from repro.errors import ExperimentError
+from repro.explore.frontier import (
+    OBJECTIVES,
+    EvaluatedPoint,
+    dominates,
+    frontend_storage_bits,
+    pareto_frontier,
+    resolve_objectives,
+    scalar_score,
+)
+
+SPEEDUP_STORAGE = resolve_objectives(["speedup", "storage_bits"])
+
+
+def ep(speedup: float, bits: float, tag: str = "p",
+       blocks: int = 1000) -> EvaluatedPoint:
+    return EvaluatedPoint(
+        point=(("tag", tag),), n_blocks=blocks,
+        objectives=(("speedup", speedup), ("storage_bits", bits)),
+    )
+
+
+class TestObjectives:
+    def test_resolution_preserves_order_and_validates(self):
+        objectives = resolve_objectives(["storage_bits", "speedup"])
+        assert [o.name for o in objectives] == ["storage_bits", "speedup"]
+        with pytest.raises(ExperimentError, match="unknown objective"):
+            resolve_objectives(["speedup", "latency"])
+        with pytest.raises(ExperimentError, match="at least one"):
+            resolve_objectives([])
+        with pytest.raises(ExperimentError, match="repeat"):
+            resolve_objectives(["speedup", "SPEEDUP"])
+
+    def test_signed_orientation(self):
+        assert OBJECTIVES["speedup"].signed(1.2) == 1.2
+        assert OBJECTIVES["storage_bits"].signed(100.0) == -100.0
+
+    def test_unknown_objective_value_raises(self):
+        with pytest.raises(ExperimentError, match="no objective"):
+            ep(1.0, 1.0).value("ipc")
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        assert dominates(ep(1.3, 100), ep(1.2, 200), SPEEDUP_STORAGE)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast = ep(1.3, 200)
+        cheap = ep(1.2, 100)
+        assert not dominates(fast, cheap, SPEEDUP_STORAGE)
+        assert not dominates(cheap, fast, SPEEDUP_STORAGE)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(ep(1.2, 100), ep(1.2, 100), SPEEDUP_STORAGE)
+
+    def test_equal_on_one_better_on_other(self):
+        assert dominates(ep(1.3, 100), ep(1.2, 100), SPEEDUP_STORAGE)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_pruned(self):
+        a, b = ep(1.3, 100, "a"), ep(1.2, 200, "b")
+        frontier = pareto_frontier([a, b], SPEEDUP_STORAGE)
+        assert frontier == [a]
+
+    def test_tradeoff_curve_survives_sorted_best_first(self):
+        points = [ep(1.1, 100, "cheap"), ep(1.3, 300, "fast"),
+                  ep(1.2, 200, "mid"), ep(1.15, 250, "dominated")]
+        frontier = pareto_frontier(points, SPEEDUP_STORAGE)
+        assert [dict(p.point)["tag"] for p in frontier] == \
+            ["fast", "mid", "cheap"]
+
+    def test_highest_fidelity_represents_a_point(self):
+        low = ep(1.5, 100, "x", blocks=500)   # optimistic low-fidelity
+        high = ep(1.2, 100, "x", blocks=2000)
+        other = ep(1.3, 100, "y", blocks=2000)
+        frontier = pareto_frontier([low, other, high], SPEEDUP_STORAGE)
+        # The 1.5 low-fidelity reading is superseded, so "y" wins.
+        assert [dict(p.point)["tag"] for p in frontier] == ["y"]
+
+    def test_ties_all_survive(self):
+        a, b = ep(1.2, 100, "a"), ep(1.2, 100, "b")
+        assert len(pareto_frontier([a, b], SPEEDUP_STORAGE)) == 2
+
+    def test_requires_objectives(self):
+        with pytest.raises(ExperimentError):
+            pareto_frontier([ep(1.0, 1.0)], [])
+
+    def test_scalar_score_is_lexicographic(self):
+        primary = resolve_objectives(["speedup", "storage_bits"])
+        assert scalar_score(ep(1.3, 999), primary) > \
+            scalar_score(ep(1.2, 1), primary)
+        assert scalar_score(ep(1.2, 1), primary) > \
+            scalar_score(ep(1.2, 2), primary)
+
+
+class TestStorageCostModel:
+    def test_shotgun_reference_matches_conventional_budget(self):
+        """Section 5.2: the reference Shotgun split spends about the same
+        bits as the 2K-entry conventional BTB (within the paper's ~2.3%
+        slack)."""
+        params = MicroarchParams()
+        shotgun = frontend_storage_bits(
+            "shotgun", SchemeConfig(name="shotgun"), params)
+        boomerang = frontend_storage_bits(
+            "boomerang", SchemeConfig(name="boomerang"), params)
+        assert abs(shotgun - boomerang) / boomerang < 0.03
+
+    def test_monotone_in_btb_budget(self):
+        params = MicroarchParams()
+        costs = [
+            frontend_storage_bits(
+                "boomerang",
+                SchemeConfig(name="boomerang", btb_entries=entries),
+                params)
+            for entries in (512, 1024, 2048, 4096)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] > 512 * 93  # at least the BTB bits themselves
+
+    def test_equal_storage_split_fits_budget(self):
+        for entries in (512, 1024, 2048, 4096, 8192):
+            sizes = shotgun_budget_split(entries)
+            cost = frontend_storage_bits(
+                "shotgun",
+                SchemeConfig(name="shotgun", shotgun_sizes=sizes),
+                MicroarchParams())
+            budget = conventional_btb_bits(entries) \
+                + MicroarchParams().frontend_buffer_bits()
+            assert cost <= budget * 1.03
+
+    def test_machine_buffers_contribute(self):
+        small = frontend_storage_bits(
+            "shotgun", SchemeConfig(name="shotgun"),
+            MicroarchParams(ftq_size=16, l1i_prefetch_buffer=16))
+        big = frontend_storage_bits(
+            "shotgun", SchemeConfig(name="shotgun"),
+            MicroarchParams(ftq_size=64, l1i_prefetch_buffer=128))
+        assert big > small
+
+    def test_confluence_pays_for_llc_metadata(self):
+        params = MicroarchParams()
+        confluence = frontend_storage_bits(
+            "confluence", SchemeConfig(name="confluence"), params)
+        boomerang = frontend_storage_bits(
+            "boomerang", SchemeConfig(name="boomerang"), params)
+        # ~204KB of history alone dwarfs the conventional BTB.
+        assert confluence > boomerang + 1_000_000
+
+    def test_accessors_are_consistent(self):
+        params = MicroarchParams()
+        assert params.frontend_buffer_bits() == (
+            params.ftq_storage_bits()
+            + params.l1i_prefetch_buffer_bits()
+            + params.btb_prefetch_buffer_bits()
+        )

@@ -1,0 +1,215 @@
+"""Tests for the declarative design-space layer (repro.explore.space)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MicroarchParams, SchemeConfig
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.common import budget_configs
+from repro.experiments.spec import RunSpec, transform_spec
+from repro.explore.space import (
+    BTB_BUDGET_SPACE,
+    Dimension,
+    ParamSpace,
+    apply_axis,
+    get_space,
+    point_dict,
+)
+
+
+class TestTransformSpecHook:
+    def test_params_override_resolves_defaults(self):
+        spec = transform_spec(RunSpec(workload="nutch", scheme="shotgun"),
+                              params={"ftq_size": 64})
+        assert spec.params == MicroarchParams(ftq_size=64)
+        assert spec.config == SchemeConfig(name="shotgun")
+        assert spec.n_blocks is None  # placeholder preserved
+
+    def test_scheme_rename_renames_config(self):
+        spec = transform_spec(RunSpec(workload="nutch", scheme="shotgun"),
+                              scheme="Boomerang",
+                              config={"btb_entries": 512})
+        assert spec.scheme == "boomerang"
+        assert spec.config.name == "boomerang"
+        assert spec.config.btb_entries == 512
+
+    def test_invalid_value_raises_at_transform_time(self):
+        with pytest.raises(ConfigError):
+            transform_spec(RunSpec(workload="nutch", scheme="shotgun"),
+                           params={"ftq_size": -1})
+
+    def test_existing_config_fields_survive(self):
+        base = transform_spec(RunSpec(workload="nutch", scheme="shotgun"),
+                              config={"footprint_bits": 32})
+        both = transform_spec(base, params={"ftq_size": 16})
+        assert both.config.footprint_bits == 32
+        assert both.params.ftq_size == 16
+
+
+class TestDimensionValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown axis"):
+            Dimension("warp_drive", (1, 2))
+
+    def test_unknown_params_field_rejected(self):
+        with pytest.raises(ExperimentError, match="MicroarchParams"):
+            Dimension("params:warp_factor", (1,))
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ExperimentError, match="SchemeConfig"):
+            Dimension("config:warp_factor", (1,))
+
+    def test_generic_axes_accepted(self):
+        Dimension("params:memory_latency", (60, 90))
+        Dimension("config:confluence_stream_lookahead", (6, 12))
+
+    def test_empty_and_duplicate_values_rejected(self):
+        with pytest.raises(ExperimentError, match="no values"):
+            Dimension("ftq_size", ())
+        with pytest.raises(ExperimentError, match="repeats"):
+            Dimension("ftq_size", (16, 16))
+
+    def test_json_list_values_coerced_to_tuples(self):
+        """JSON space files can only express structured values as
+        lists; they must become hashable tuples, not crash."""
+        dim = Dimension("config:shotgun_sizes",
+                        ([1536, 128, 512], [3072, 256, 1024]))
+        assert dim.values == ((1536, 128, 512), (3072, 256, 1024))
+
+    def test_unhashable_values_rejected_cleanly(self):
+        with pytest.raises(ExperimentError, match="hashable"):
+            Dimension("config:shotgun_sizes", ({"ubtb": 1536},))
+
+
+@pytest.fixture
+def small_space():
+    return ParamSpace(
+        name="small",
+        dimensions=(
+            Dimension("scheme", ("boomerang", "shotgun")),
+            Dimension("btb_entries", (512, 1024, 2048)),
+        ),
+        workloads=("nutch",),
+    )
+
+
+class TestPointEnumeration:
+    def test_size_and_lexicographic_order(self, small_space):
+        assert small_space.size() == 6
+        points = list(small_space.iter_points())
+        assert len(points) == 6
+        assert points[0] == (("scheme", "boomerang"), ("btb_entries", 512))
+        assert points[2] == (("scheme", "boomerang"), ("btb_entries", 2048))
+        assert points[3] == (("scheme", "shotgun"), ("btb_entries", 512))
+        assert points == [small_space.point_at(i) for i in range(6)]
+
+    def test_point_at_bounds(self, small_space):
+        with pytest.raises(ExperimentError):
+            small_space.point_at(6)
+        with pytest.raises(ExperimentError):
+            small_space.point_at(-1)
+
+    def test_neighbors_are_single_coordinate_moves(self, small_space):
+        point = small_space.point_at(4)  # shotgun, 1024
+        neighbors = small_space.neighbors(point)
+        assert (("scheme", "boomerang"), ("btb_entries", 1024)) in neighbors
+        assert (("scheme", "shotgun"), ("btb_entries", 512)) in neighbors
+        assert (("scheme", "shotgun"), ("btb_entries", 2048)) in neighbors
+        assert len(neighbors) == 3
+        # Corner point has fewer neighbours.
+        assert len(small_space.neighbors(small_space.point_at(0))) == 2
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="no dimensions"):
+            ParamSpace(name="x", dimensions=(), workloads=("nutch",))
+        with pytest.raises(ExperimentError, match="no workloads"):
+            ParamSpace(name="x",
+                       dimensions=(Dimension("ftq_size", (16,)),),
+                       workloads=())
+        with pytest.raises(ExperimentError, match="repeats dimension"):
+            ParamSpace(name="x",
+                       dimensions=(Dimension("ftq_size", (16,)),
+                                   Dimension("ftq_size", (32,))),
+                       workloads=("nutch",))
+
+
+class TestCellExpansion:
+    def test_btb_axis_matches_figure13_configs(self, small_space):
+        """The explore axis must build the exact Figure 13 configs, so
+        explore points share cache entries with the figure's cells."""
+        for budget in (512, 1024, 2048):
+            reference = budget_configs(budget)
+            for scheme in ("boomerang", "shotgun"):
+                point = (("scheme", scheme), ("btb_entries", budget))
+                (cell, base), = small_space.cell_specs(point, 3000)
+                assert cell.config == reference[scheme]
+                assert cell.scheme == scheme
+                assert cell.n_blocks == 3000
+                assert base.scheme == "baseline"
+
+    def test_scheme_axis_applies_before_dependent_axes(self):
+        """btb_entries must see the point's scheme even when the scheme
+        dimension is declared after it."""
+        space = ParamSpace(
+            name="reordered",
+            dimensions=(
+                Dimension("btb_entries", (1024,)),
+                Dimension("scheme", ("shotgun",)),
+            ),
+            workloads=("nutch",),
+        )
+        (cell, _), = space.cell_specs(space.point_at(0), 2000)
+        assert cell.config == budget_configs(1024)["shotgun"]
+
+    def test_baseline_inherits_machine_params_only(self):
+        space = ParamSpace(
+            name="machine",
+            dimensions=(Dimension("l1i_kb", (16,)),
+                        Dimension("footprint_bits", (32,))),
+            workloads=("nutch",),
+        )
+        (cell, base), = space.cell_specs(space.point_at(0), 2000)
+        assert cell.params.l1i_bytes == 16 * 1024
+        assert base.params.l1i_bytes == 16 * 1024
+        assert cell.config.footprint_bits == 32
+        assert base.config == SchemeConfig(name="baseline")
+
+    def test_generic_axes_reach_any_field(self):
+        spec = apply_axis(RunSpec(workload="nutch", scheme="confluence"),
+                          "config:confluence_stream_lookahead", 6)
+        assert spec.config.confluence_stream_lookahead == 6
+        spec = apply_axis(spec, "params:memory_latency", 120)
+        assert spec.params.memory_latency == 120
+
+    def test_footprint_zero_selects_no_vector_mode(self):
+        spec = apply_axis(RunSpec(workload="nutch", scheme="shotgun"),
+                          "footprint_bits", 0)
+        assert spec.config.footprint_mode == "none"
+        assert spec.config.footprint_bits == 0
+
+    def test_one_pair_per_workload(self):
+        space = ParamSpace(
+            name="two",
+            dimensions=(Dimension("ftq_size", (16,)),),
+            workloads=("nutch", "db2"),
+        )
+        pairs = space.cell_specs(space.point_at(0), 2000)
+        assert [cell.workload for cell, _ in pairs] == ["nutch", "db2"]
+
+
+class TestSerialisationAndRegistry:
+    def test_dict_round_trip(self, small_space):
+        rebuilt = ParamSpace.from_dict(small_space.to_dict())
+        assert rebuilt == small_space
+
+    def test_registered_spaces_resolve(self):
+        assert get_space("btb_budget") is BTB_BUDGET_SPACE
+        assert get_space("FRONTEND").name == "frontend"
+        with pytest.raises(ExperimentError, match="unknown space"):
+            get_space("nope")
+
+    def test_point_dict(self, small_space):
+        assert point_dict(small_space.point_at(5)) == {
+            "scheme": "shotgun", "btb_entries": 2048,
+        }

@@ -1,0 +1,112 @@
+"""Serialization round-trips and renderings of ExperimentResult.
+
+Covers what test_experiments/test_sampled_mode only touch in passing:
+full to_dict/from_dict/JSON round-trips including the sampled-mode
+``ci``/``samples`` fields and the structured ``baseline``, plus the
+plain-text and markdown table renderings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.reporting import ExperimentResult, format_table
+
+
+def sampled_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Speedup demo",
+        columns=["Boomerang", "Shotgun"],
+        value_format="{:.3f}",
+        notes="shape target: Shotgun wins",
+        baseline=1.0,
+        samples=4,
+    )
+    result.add_row("Oracle", [1.21, 1.41], ci=[0.02, 0.03])
+    result.add_row("DB2", [1.18, 1.35], ci=[0.01, 0.02])
+    result.set_summary("Gmean", [1.195, 1.38])
+    return result
+
+
+def plain_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="plain",
+        title="Absolute values",
+        columns=["A"],
+    )
+    result.add_row("row", [2.5])
+    return result
+
+
+class TestRoundTrip:
+    def test_sampled_round_trip_is_lossless(self):
+        original = sampled_result()
+        rebuilt = ExperimentResult.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_json_round_trip(self):
+        original = sampled_result()
+        rebuilt = ExperimentResult.from_dict(
+            json.loads(original.to_json(indent=2)))
+        assert rebuilt == original
+        assert rebuilt.ci == {"Oracle": [0.02, 0.03], "DB2": [0.01, 0.02]}
+        assert rebuilt.samples == 4
+        assert rebuilt.baseline == 1.0
+        assert rebuilt.summary == ("Gmean", [1.195, 1.38])
+
+    def test_unsampled_payload_omits_sampled_keys(self):
+        payload = plain_result().to_dict()
+        assert "samples" not in payload
+        assert all("ci" not in row for row in payload["rows"])
+        assert payload["baseline"] is None
+        rebuilt = ExperimentResult.from_dict(payload)
+        assert rebuilt.samples is None
+        assert rebuilt.ci == {}
+
+    def test_row_and_ci_width_validation(self):
+        result = ExperimentResult("x", "T", columns=["A", "B"])
+        with pytest.raises(ExperimentError, match="2 columns"):
+            result.add_row("r", [1.0])
+        with pytest.raises(ExperimentError, match="half-widths"):
+            result.add_row("r", [1.0, 2.0], ci=[0.1])
+
+
+class TestRenderings:
+    def test_plain_render_includes_ci_and_window_count(self):
+        text = sampled_result().render()
+        assert "[sampled: 4 windows, 95% CI]" in text
+        assert "1.410 ±0.030" in text
+        assert "Gmean" in text
+        assert "shape target" in text
+
+    def test_markdown_table_shape(self):
+        md = sampled_result().to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "### Speedup demo"
+        assert "*sampled: 4 windows, 95% CI*" in lines[1]
+        assert "|  | Boomerang | Shotgun |" in md
+        assert "| --- | ---: | ---: |" in md
+        assert "| Oracle | 1.210 ±0.020 | 1.410 ±0.030 |" in md
+        assert "| Gmean | 1.195 | 1.380 |" in md
+        assert md.rstrip().endswith("shape target: Shotgun wins")
+
+    def test_markdown_unsampled_has_no_sampled_marker(self):
+        md = plain_result().to_markdown()
+        assert "sampled" not in md
+        assert "| row | 2.500 |" in md
+
+    def test_markdown_and_plain_share_cells(self):
+        result = sampled_result()
+        for cell in ("1.210 ±0.020", "1.350 ±0.020", "1.195"):
+            assert cell in result.render()
+            assert cell in result.to_markdown()
+
+    def test_format_table_validation(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            format_table(["A"], [])
+        with pytest.raises(ExperimentError, match="does not match"):
+            format_table(["A", "B"], [["x"]])

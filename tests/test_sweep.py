@@ -5,7 +5,36 @@ import pytest
 from repro.config import SchemeConfig
 from repro.core import diskcache
 from repro.core.sweep import clear_result_cache, run_grid, run_scheme, \
-    run_schemes
+    run_schemes, run_specs, simulation_meter
+from repro.experiments.spec import RunSpec
+
+
+class TestSimulationMeter:
+    def test_counts_misses_not_cache_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        clear_result_cache()
+        spec = RunSpec(workload="nutch", scheme="baseline", n_blocks=2000)
+        with simulation_meter() as meter:
+            run_specs([spec])
+            assert meter.count == 1
+            run_specs([spec])  # memo hit
+            assert meter.count == 1
+        clear_result_cache()
+        with simulation_meter() as meter:
+            run_specs([spec])  # disk-cache hit
+            assert meter.count == 0
+
+    def test_parallel_dispatch_counts_in_the_parent(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_result_cache()
+        specs = [RunSpec(workload="nutch", scheme=scheme, n_blocks=2000)
+                 for scheme in ("baseline", "ideal")]
+        with simulation_meter() as meter:
+            run_specs(specs, parallel=True, max_workers=2)
+        assert meter.count == 2
+        clear_result_cache()
 
 
 class TestRunScheme:
