@@ -35,9 +35,21 @@ Subcommands:
     and, with ``--days N``, entries older than N days.
 
 Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
-budget split across windows), ``--parallel``/``--serial`` (force the
-grid fan-out), ``--no-cache`` (disable the persistent disk cache for
-this invocation).
+budget split across windows), ``--backend {serial,thread,process}`` /
+``--max-workers N`` (execution-backend selection — DESIGN.md Section
+10), ``--parallel``/``--serial`` (legacy shorthands for the process and
+serial backends), ``--no-cache`` (disable the persistent disk cache for
+this invocation), ``--progress`` (structured per-cell progress on
+stderr, with a cost-weighted ETA), and ``--resume`` (continue an
+interrupted invocation from the disk cache plus its run journal —
+completed cells are never re-simulated).
+
+Every ``run``/``sweep``/``report``/``explore`` invocation writes a run
+journal keyed by its *work set* (command, experiments, blocks, seeds —
+not the backend), so ``--resume`` after a crash or Ctrl-C picks up
+exactly where the run stopped; the cell accounting line on stderr
+(``[...: N simulated, M cached]``) makes the zero-recompute guarantee
+observable.
 """
 
 from __future__ import annotations
@@ -53,10 +65,67 @@ from typing import List, Optional
 from repro.errors import ReproError
 
 
-_EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL")
+_EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
+                  "REPRO_MAX_WORKERS", "REPRO_PROGRESS", "REPRO_JOURNAL")
+
+#: Args that never change *which cells* an invocation runs — excluded
+#: from the journal identity, so an interrupted process-backend run can
+#: be resumed serially, to a different --out, with --progress, etc.
+_JOURNAL_IRRELEVANT = frozenset((
+    "func", "command", "backend", "max_workers", "parallel", "no_cache",
+    "progress", "resume", "out", "json", "chart",
+))
 
 #: Default window count for ``--sampled`` without an explicit ``--windows``.
 _DEFAULT_WINDOWS = 4
+
+
+def _invocation_material(args) -> dict:
+    """The JSON-compatible work-set description journal ids hash.
+
+    Everything that decides *which cells* run (command, experiment ids,
+    blocks, windows, seeds, sweep axes, space/strategy/budget) and
+    nothing that only decides *how* (backend, workers, caching, output
+    destinations) — see :data:`_JOURNAL_IRRELEVANT`.
+    """
+    material = {"command": args.command}
+    for key, value in sorted(vars(args).items()):
+        if key in _JOURNAL_IRRELEVANT or callable(value):
+            continue
+        material[key] = value
+    return material
+
+
+def _setup_journal(args) -> None:
+    """Point ``REPRO_JOURNAL`` at this invocation's run journal.
+
+    A fresh invocation truncates any stale journal for the same work
+    set; ``--resume`` keeps it and reports how much of the interrupted
+    run already completed (the disk cache serves those cells, so they
+    are never re-simulated).
+    """
+    from repro.core import diskcache
+    from repro.core.exec import RunJournal
+    if not diskcache.enabled() or getattr(args, "no_cache", False):
+        if getattr(args, "resume", False):
+            raise ReproError(
+                "--resume needs the disk result cache (completed cells "
+                "are served from it); drop --no-cache"
+            )
+        return
+    journal = RunJournal.for_invocation(_invocation_material(args))
+    if getattr(args, "resume", False):
+        if journal.exists():
+            done = len(journal.completed)
+            state = "complete" if journal.finished else "interrupted"
+            print(f"[resume: journal {os.path.basename(journal.path)} "
+                  f"({state}, {done} cells recorded)]", file=sys.stderr)
+        else:
+            print("[resume: no journal for this invocation, starting "
+                  "fresh]", file=sys.stderr)
+    else:
+        journal.reset()
+    os.environ["REPRO_JOURNAL"] = journal.path
 
 
 @contextlib.contextmanager
@@ -64,12 +133,13 @@ def _execution_env(args):
     """Scope the CLI execution flags to one command invocation.
 
     The flags are communicated to the sweep layer through process
-    environment switches (``REPRO_DISK_CACHE``/``REPRO_PARALLEL``), so
-    each one is saved before the command runs and restored — including
-    *unset* keys, which are removed again — however the command exits.
-    Without this, an in-process caller (tests, notebooks, examples)
-    that invoked ``--no-cache`` once would silently keep running
-    uncached ever after.
+    environment switches (``REPRO_DISK_CACHE``, ``REPRO_PARALLEL``,
+    ``REPRO_BACKEND``, ``REPRO_MAX_WORKERS``, ``REPRO_PROGRESS``,
+    ``REPRO_JOURNAL``), so each one is saved before the command runs
+    and restored — including *unset* keys, which are removed again —
+    however the command exits.  Without this, an in-process caller
+    (tests, notebooks, examples) that invoked ``--no-cache`` once would
+    silently keep running uncached ever after.
     """
     saved = {name: os.environ.get(name) for name in _EXECUTION_ENV}
     try:
@@ -79,6 +149,17 @@ def _execution_env(args):
             os.environ["REPRO_PARALLEL"] = "1"
         elif getattr(args, "parallel", None) is False:
             os.environ["REPRO_PARALLEL"] = "0"
+        if getattr(args, "backend", None):
+            os.environ["REPRO_BACKEND"] = args.backend
+        if getattr(args, "max_workers", None) is not None:
+            if args.max_workers < 1:
+                raise ReproError("--max-workers needs at least one worker")
+            os.environ["REPRO_MAX_WORKERS"] = str(args.max_workers)
+        if getattr(args, "progress", False):
+            os.environ["REPRO_PROGRESS"] = "1"
+        if hasattr(args, "resume"):
+            os.environ.pop("REPRO_JOURNAL", None)
+            _setup_journal(args)
         yield
     finally:
         for name, value in saved.items():
@@ -118,19 +199,59 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--blocks", type=int, default=60_000,
         help="trace length in dynamic basic blocks (default 60000)",
     )
+    parser.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="worker cap for the thread/process backends "
+             "(default: the machine's core count)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for simulation cells (default: process "
+             "when the grid and machine allow fan-out, else serial; all "
+             "backends produce bit-identical results)",
+    )
+    mode.add_argument(
         "--parallel", dest="parallel", action="store_true", default=None,
-        help="force parallel grid execution",
+        help="force parallel grid execution (same as --backend process)",
     )
     mode.add_argument(
         "--serial", dest="parallel", action="store_false",
-        help="force serial grid execution",
+        help="force serial grid execution (same as --backend serial)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent disk result cache for this run",
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="emit per-cell progress events (done/simulated/cached, "
+             "cost-weighted ETA) on stderr",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted identical invocation from the disk "
+             "cache plus its run journal (completed cells are never "
+             "re-simulated)",
+    )
+
+
+@contextlib.contextmanager
+def _cell_accounting(label: str):
+    """Report the command's simulated/cached cell split on stderr.
+
+    The split depends on cache state, so it goes to stderr — stdout
+    stays bit-reproducible — and it is what makes the resume guarantee
+    checkable: a fully-resumed (or repeated) invocation reports
+    ``0 simulated``, which the CI kill-and-resume step asserts.
+    """
+    from repro.core import diskcache
+    from repro.core.sweep import simulation_meter
+    hits_before = diskcache.hits
+    with simulation_meter() as meter:
+        yield
+    print(f"[{label}: {meter.count} simulated, "
+          f"{diskcache.hits - hits_before} cached]", file=sys.stderr)
 
 
 def _resolve_ids(requested: List[str]) -> List[str]:
@@ -202,25 +323,26 @@ def _cmd_run(args) -> int:
     ids = _resolve_ids(args.experiments)
     n_windows = _sample_windows(args)
     results = []
-    for experiment_id in ids:
-        runner = get_experiment(experiment_id)
-        started = time.time()
-        if n_windows is not None:
-            result = _run_sampled(experiment_id, args.blocks, n_windows)
-        else:
-            result = runner(n_blocks=args.blocks)
-        elapsed = time.time() - started
-        results.append(result)
-        if args.json:
-            print(result.to_json(indent=2))
-        else:
-            print(result.render())
-            if args.chart:
-                from repro.experiments.charts import render_bar_chart
+    with _cell_accounting("run " + " ".join(ids)):
+        for experiment_id in ids:
+            runner = get_experiment(experiment_id)
+            started = time.time()
+            if n_windows is not None:
+                result = _run_sampled(experiment_id, args.blocks, n_windows)
+            else:
+                result = runner(n_blocks=args.blocks)
+            elapsed = time.time() - started
+            results.append(result)
+            if args.json:
+                print(result.to_json(indent=2))
+            else:
+                print(result.render())
+                if args.chart:
+                    from repro.experiments.charts import render_bar_chart
+                    print()
+                    print(render_bar_chart(result))
+                print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
                 print()
-                print(render_bar_chart(result))
-            print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
-            print()
     if args.out:
         _write_results(results, args)
     return 0
@@ -299,10 +421,13 @@ def _cmd_sweep(args) -> int:
                 "--seed selects a single reference trace; sampled mode "
                 "seeds its own independent windows — drop one of the two"
             )
-        lines = _sampled_sweep_lines(workloads, schemes, args, n_windows)
+        with _cell_accounting("sweep"):
+            lines = _sampled_sweep_lines(workloads, schemes, args,
+                                         n_windows)
     else:
-        grid = run_grid(workloads, schemes, n_blocks=args.blocks,
-                        seed=args.seed, parallel=args.parallel)
+        with _cell_accounting("sweep"):
+            grid = run_grid(workloads, schemes, n_blocks=args.blocks,
+                            seed=args.seed, parallel=args.parallel)
         lines = []
         for workload in workloads:
             base = grid[workload].get("baseline")
@@ -369,6 +494,8 @@ def _cmd_explore(args) -> int:
         n_blocks=args.blocks,
         seed=args.seed,
         parallel=args.parallel,
+        max_workers=args.max_workers,
+        backend=args.backend,
     )
     payload = result.to_jsonl() if args.json else result.render()
     if args.out:
@@ -428,17 +555,18 @@ def _cmd_report(args) -> int:
     from repro.experiments.registry import get_experiment
     ids = _resolve_ids(args.experiments or ["all"])
     os.makedirs(args.out, exist_ok=True)
-    for experiment_id in ids:
-        started = time.time()
-        result = get_experiment(experiment_id)(n_blocks=args.blocks)
-        elapsed = time.time() - started
-        for suffix, payload in ((".txt", result.render()),
-                                (".json", result.to_json(indent=2))):
-            path = os.path.join(args.out, experiment_id + suffix)
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
-        print(f"[{experiment_id} written to {args.out} "
-              f"in {elapsed:.1f}s]")
+    with _cell_accounting("report"):
+        for experiment_id in ids:
+            started = time.time()
+            result = get_experiment(experiment_id)(n_blocks=args.blocks)
+            elapsed = time.time() - started
+            for suffix, payload in ((".txt", result.render()),
+                                    (".json", result.to_json(indent=2))):
+                path = os.path.join(args.out, experiment_id + suffix)
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            print(f"[{experiment_id} written to {args.out} "
+                  f"in {elapsed:.1f}s]")
     return 0
 
 

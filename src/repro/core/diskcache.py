@@ -45,9 +45,10 @@ from repro.core.metrics import EngineStats, SimulationResult
 ENGINE_VERSION = 2
 
 #: Package subtrees whose source does not affect simulation output and
-#: is therefore excluded from the fingerprint (reporting/plotting and
-#: search orchestration only).
-_FINGERPRINT_EXCLUDE = ("experiments", "explore")
+#: is therefore excluded from the fingerprint (reporting/plotting,
+#: search orchestration and the execution-backend scheduler, whose
+#: backends are bit-identical by construction).
+_FINGERPRINT_EXCLUDE = ("experiments", "explore", os.path.join("core", "exec"))
 
 _fingerprint_cache: Optional[str] = None
 
@@ -306,7 +307,9 @@ def prune(days: Optional[float] = None) -> dict:
     With *days*, additionally removes entries older than that many days
     (by mtime) regardless of version: same-version entries keyed by an
     old source fingerprint are unreachable too, and age is the only
-    signal we have for them.  Empty shard directories are cleaned up.
+    signal we have for them.  Run-journal files older than *days* are
+    pruned the same way (they only matter while their run might still
+    be resumed).  Empty shard directories are cleaned up.
     """
     import time
     cutoff = time.time() - days * 86400.0 if days is not None else None
@@ -323,6 +326,19 @@ def prune(days: Optional[float] = None) -> dict:
             continue
         removed += 1
         freed += size
+    journals = os.path.join(cache_dir(), "journals")
+    if cutoff is not None and os.path.isdir(journals):
+        for name in sorted(os.listdir(journals)):
+            path = os.path.join(journals, name)
+            try:
+                if os.stat(path).st_mtime >= cutoff:
+                    continue
+                size = os.stat(path).st_size
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
     root = cache_dir()
     if os.path.isdir(root):
         for name in os.listdir(root):

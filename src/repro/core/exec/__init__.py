@@ -1,0 +1,56 @@
+"""Execution backends, chunking, journalling and progress for sweeps.
+
+This package is the scheduling substrate under
+:func:`repro.core.sweep.run_specs` (DESIGN.md Section 10): *what* to
+simulate stays in the sweep layer, *how and where* lives here.
+
+* :mod:`~repro.core.exec.backends` — the :class:`Backend` protocol and
+  its serial/thread/process implementations, all bit-identical.
+* :mod:`~repro.core.exec.chunking` — cost-based grouping of cells into
+  work units, drained work-stealing-style by pool workers.
+* :mod:`~repro.core.exec.journal` — the append-only run journal that,
+  together with the disk cache, makes interrupted sweeps resumable
+  with zero recomputation.
+* :mod:`~repro.core.exec.progress` — structured progress events
+  (cells done / simulated / cached, cost-weighted ETA) for the CLI.
+
+None of it affects simulation output, so the package is excluded from
+the disk cache's engine fingerprint: scheduler changes never invalidate
+cached results.
+"""
+
+from repro.core.exec.backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.core.exec.chunking import UNITS_PER_WORKER, WorkUnit, \
+    chunk_specs, spec_cost
+from repro.core.exec.journal import RunJournal, invocation_id, journals_dir
+from repro.core.exec.progress import (
+    ProgressEvent,
+    ProgressTracker,
+    stderr_progress,
+)
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "WorkUnit",
+    "chunk_specs",
+    "spec_cost",
+    "UNITS_PER_WORKER",
+    "RunJournal",
+    "invocation_id",
+    "journals_dir",
+    "ProgressEvent",
+    "ProgressTracker",
+    "stderr_progress",
+]

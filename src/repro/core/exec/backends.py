@@ -1,0 +1,204 @@
+"""Pluggable execution backends for the sweep scheduler.
+
+A :class:`Backend` executes :class:`~repro.core.exec.chunking.WorkUnit`
+batches of canonical cells and yields ``(spec, result)`` pairs as they
+complete.  Execution policy — where cells run — is the *only* thing a
+backend decides; cells are independent deterministic simulations, so
+every backend produces bit-identical results:
+
+* :class:`SerialBackend` — in-process, one cell at a time.  Zero
+  overhead, full determinism of completion order; the reference.
+* :class:`ThreadBackend` — a thread pool in this process.  The engine
+  is pure Python, so threads don't speed simulation up (the GIL), but
+  they share the in-process memo and warm program/trace caches, cost
+  nothing to spawn, and overlap the disk-cache I/O of warm sweeps —
+  the right choice for cache-dominated or I/O-heavy collections, and
+  for environments where ``fork``/``spawn`` is unavailable.
+* :class:`ProcessBackend` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  True parallel simulation; workers keep warm
+  program/trace caches across the cells of their units and persist
+  every result to the shared disk cache the moment it is simulated
+  (which is what makes interrupted sweeps resumable).
+
+Units drain from the executor's shared queue longest-first, so an idle
+worker always steals the next unit — the rebalancing half of the
+chunking policy.  Interrupting the consuming iterator cancels every
+unit that has not started and waits only for in-flight ones.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from typing import Any, Dict, Iterator, List, Sequence, Tuple, Type
+
+from repro.core.exec.chunking import WorkUnit
+from repro.errors import ReproError
+
+#: Result pairs a backend yields: (canonical spec, simulation result).
+CellResult = Tuple[Any, Any]
+
+
+def _run_unit(specs: Sequence[Any], use_cache: bool) -> List[CellResult]:
+    """Execute one unit's cells in the current process/thread.
+
+    Worker entry point for every backend: :func:`repro.core.sweep.
+    run_spec` gives the executing context warm program/trace caches
+    across the unit's cells and persists each simulated result to the
+    shared disk cache immediately — a unit interrupted halfway loses
+    only the cell in flight.
+    """
+    from repro.core.sweep import run_spec
+    return [(spec, run_spec(spec, use_cache=use_cache)) for spec in specs]
+
+
+def _process_worker_init(profiles) -> None:
+    """Pool-worker initializer: mirror the parent's workload registry.
+
+    Workers started by the ``spawn`` method (macOS/Windows defaults)
+    re-import the package and therefore only see the profiles that
+    register at import time — user registrations and ``replace=True``
+    overrides made in the parent would be missing or stale.  The parent
+    ships its full registry and the worker re-registers every entry.
+    Under ``fork`` the worker inherits the registry anyway and this is
+    a harmless no-op re-registration.
+    """
+    from repro.workloads.profiles import register_profile
+    for profile in profiles:
+        register_profile(profile, replace=True)
+
+
+class Backend:
+    """Execution policy for a collection of work units.
+
+    Subclasses set ``name`` (the CLI/registry identifier) and
+    ``remote`` (True when cells simulate outside this process, so the
+    parent must mirror the simulation count and memo — see
+    :func:`repro.core.sweep.run_specs`), and implement :meth:`execute`.
+    """
+
+    name: str = "?"
+    #: Cells simulate in another process: the parent mirrors counters.
+    remote: bool = False
+
+    def __init__(self, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise ReproError(
+                f"backend needs at least one worker, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    def execute(self, units: Sequence[WorkUnit],
+                use_cache: bool = True) -> Iterator[CellResult]:
+        """Yield every unit's ``(spec, result)`` pairs as they complete."""
+        raise NotImplementedError
+
+
+class SerialBackend(Backend):
+    """In-process, one cell at a time — the reference execution order.
+
+    Yields after *every* cell (not per unit), so journal records and
+    progress events are exact even when the run is interrupted mid-unit.
+    """
+
+    name = "serial"
+
+    def execute(self, units: Sequence[WorkUnit],
+                use_cache: bool = True) -> Iterator[CellResult]:
+        from repro.core.sweep import run_spec
+        for unit in units:
+            for spec in unit.specs:
+                yield spec, run_spec(spec, use_cache=use_cache)
+
+
+class _PoolBackend(Backend):
+    """Shared drain loop for the executor-backed backends."""
+
+    _executor: Type
+
+    def _make_pool(self, n_units: int):
+        raise NotImplementedError
+
+    def execute(self, units: Sequence[WorkUnit],
+                use_cache: bool = True) -> Iterator[CellResult]:
+        if not units:
+            return
+        pool = self._make_pool(len(units))
+        try:
+            futures = {pool.submit(_run_unit, unit.specs, use_cache)
+                       for unit in units}
+            while futures:
+                finished, futures = wait(futures,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for pair in future.result():
+                        yield pair
+        finally:
+            # Reached on exhaustion, on a worker error, and when the
+            # consumer abandons the iterator (interrupt): cancel every
+            # unit that has not started, wait only for in-flight ones.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ThreadBackend(_PoolBackend):
+    """A thread pool sharing this process's memo and warm caches."""
+
+    name = "thread"
+
+    def _make_pool(self, n_units: int):
+        return ThreadPoolExecutor(
+            max_workers=min(self.max_workers, n_units),
+            thread_name_prefix="repro-sweep",
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """A process pool: true parallel simulation across cores."""
+
+    name = "process"
+    remote = True
+
+    def _make_pool(self, n_units: int):
+        from repro.workloads.profiles import iter_profiles
+        return ProcessPoolExecutor(
+            max_workers=min(self.max_workers, n_units),
+            initializer=_process_worker_init,
+            initargs=(iter_profiles(),),
+        )
+
+
+#: Registered backends, by CLI name.
+BACKENDS: Dict[str, Type[Backend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, ThreadBackend, ProcessBackend)
+}
+
+
+def get_backend(backend, max_workers: int = 1) -> Backend:
+    """Resolve *backend* (a name or a :class:`Backend` instance).
+
+    Instances pass through untouched — callers with a configured
+    backend keep their worker count; names construct a fresh backend
+    with *max_workers*.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        factory = BACKENDS[str(backend).lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown execution backend {backend!r}; choose from "
+            f"{sorted(BACKENDS)}"
+        ) from None
+    return factory(max_workers=max_workers)
+
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "CellResult",
+]

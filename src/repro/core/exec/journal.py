@@ -1,0 +1,173 @@
+"""Crash/interrupt-safe run journal for resumable sweeps.
+
+The persistent disk cache already makes completed cells durable — a
+worker stores each result the moment it is simulated — so after a
+crash nothing that finished is ever recomputed.  What the cache cannot
+say is *which invocation* those cells belonged to, how many of its
+cells completed, or whether it ran to the end.  The journal records
+exactly that: an append-only JSONL file per invocation, one line per
+resolved cell, flushed as it happens, so ``--resume`` can report how
+much of an interrupted run already exists and the scheduler can prove
+"zero re-simulations" after the fact.
+
+Journal identity is the *work set*, not the execution policy: the id
+hashes the invocation's canonical description (command, experiments,
+blocks, seeds, ...) but none of ``--backend``/``--max-workers`` — an
+interrupted process-backend run may be resumed on the thread backend.
+
+Format (one JSON object per line)::
+
+    {"kind": "begin", "total": 24, "engine_version": 2}
+    {"kind": "cell", "key": "<sha256>", "source": "simulated"}
+    {"kind": "cell", "key": "<sha256>", "source": "cached"}
+    ...
+    {"kind": "end", "simulated": 23, "cached": 1}
+
+A file may hold several begin/end segments (an invocation that calls
+:func:`~repro.core.sweep.run_specs` more than once appends one segment
+per call); readers fold all segments together.  A truncated trailing
+line — the signature of a crash mid-write — is ignored on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Set
+
+BEGIN = "begin"
+CELL = "cell"
+END = "end"
+
+
+def journals_dir() -> str:
+    """Directory holding journal files (inside the disk-cache root)."""
+    from repro.core import diskcache
+    return os.path.join(diskcache.cache_dir(), "journals")
+
+
+def invocation_id(material: Dict[str, Any]) -> str:
+    """Stable id of one invocation's work set.
+
+    *material* must be JSON-serialisable and describe only what cells
+    the invocation runs (not how) — equal work sets map to the same
+    journal, which is what makes ``--resume`` find the right file.
+    """
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+class RunJournal:
+    """Append-only record of one invocation's resolved cells."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._completed: Optional[Set[str]] = None
+        self._finished = False
+        self._total = 0
+
+    @classmethod
+    def for_invocation(cls, material: Dict[str, Any]) -> "RunJournal":
+        return cls(os.path.join(journals_dir(),
+                                invocation_id(material) + ".jsonl"))
+
+    # -- Reading -------------------------------------------------------
+
+    def _load(self) -> None:
+        if self._completed is not None:
+            return
+        completed: Set[str] = set()
+        finished = False
+        total = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # truncated trailing line (crash)
+                    kind = record.get("kind")
+                    if kind == CELL and "key" in record:
+                        completed.add(record["key"])
+                        finished = False
+                    elif kind == BEGIN:
+                        total = max(total, int(record.get("total", 0)))
+                        finished = False
+                    elif kind == END:
+                        finished = True
+        except (OSError, ValueError):
+            pass
+        self._completed = completed
+        self._finished = finished
+        self._total = total
+
+    @property
+    def completed(self) -> Set[str]:
+        """Disk-cache keys of every cell this invocation resolved."""
+        self._load()
+        return set(self._completed or ())
+
+    @property
+    def finished(self) -> bool:
+        """Whether the journal's last segment ran to its end marker."""
+        self._load()
+        return self._finished
+
+    @property
+    def total(self) -> int:
+        """Largest cell count any segment declared."""
+        self._load()
+        return self._total
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- Writing -------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+        except OSError:
+            # Journalling must never fail a run (read-only cache dir).
+            return
+
+    def begin(self, total: int) -> None:
+        from repro.core.diskcache import ENGINE_VERSION
+        self._load()
+        self._finished = False
+        self._total = max(self._total, total)
+        self._append({"kind": BEGIN, "total": total,
+                      "engine_version": ENGINE_VERSION})
+
+    def record(self, key: str, source: str) -> None:
+        self._load()
+        assert self._completed is not None
+        if key not in self._completed:
+            self._completed.add(key)
+            self._append({"kind": CELL, "key": key, "source": source})
+
+    def finish(self, simulated: int, cached: int) -> None:
+        self._load()
+        self._finished = True
+        self._append({"kind": END, "simulated": simulated,
+                      "cached": cached})
+
+    def reset(self) -> None:
+        """Discard any previous record (a fresh, non-resumed run)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        self._completed = set()
+        self._finished = False
+        self._total = 0
+
+
+__all__ = ["RunJournal", "invocation_id", "journals_dir",
+           "BEGIN", "CELL", "END"]

@@ -1,0 +1,176 @@
+"""Structured progress events for the sweep scheduler.
+
+The backend layer resolves cells one at a time — from the caches or
+from a worker — and something has to tell the user how far along a
+long sweep is.  That something is a stream of :class:`ProgressEvent`
+values: plain data, emitted through a caller-supplied callback, so the
+CLI can render them (``--progress``), a notebook can collect them, and
+tests can count them (the interrupt/resume tests drive a sweep by
+raising from the callback).
+
+ETA is cost-weighted: cells are priced by their trace length (the same
+cost model the chunking policy uses), cached cells are free, and the
+estimate is ``remaining cost / observed simulation throughput`` — so a
+sweep whose big cells are already cached reports a short ETA even when
+many small cells remain.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+#: Event kinds, in emission order: one ``start``, then one ``cell`` per
+#: resolved cell, then one ``done`` (absent if the sweep is interrupted).
+START = "start"
+CELL = "cell"
+DONE = "done"
+
+#: Cell resolution sources.
+CACHED = "cached"
+SIMULATED = "simulated"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One step of a sweep, as seen by the scheduler.
+
+    ``done``/``total`` count cells of the current :func:`run_specs`
+    collection; ``simulated``/``cached`` split the resolved cells by
+    where they came from.  ``eta_seconds`` is None until at least one
+    cell has actually simulated (there is no throughput to extrapolate
+    from before that, and a fully-cached sweep never needs one).
+    """
+
+    kind: str
+    done: int
+    total: int
+    simulated: int
+    cached: int
+    elapsed: float
+    eta_seconds: Optional[float] = None
+    #: The cell just resolved (``cell`` events only).
+    spec: Optional[Any] = None
+    #: ``cached`` or ``simulated`` (``cell`` events only).
+    source: Optional[str] = None
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class ProgressTracker:
+    """Folds per-cell resolutions into :class:`ProgressEvent` values.
+
+    One tracker per :func:`~repro.core.sweep.run_specs` call.  The
+    callback sees every event; callback exceptions propagate to the
+    sweep (that is how tests interrupt a sweep deterministically).
+    """
+
+    def __init__(self, total: int, total_cost: int,
+                 callback: ProgressCallback,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._callback = callback
+        self._clock = clock
+        self._started = clock()
+        self.total = total
+        self.total_cost = max(1, total_cost)
+        self.done = 0
+        self.simulated = 0
+        self.cached = 0
+        self._done_cost = 0
+        self._simulated_cost = 0
+
+    def _elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def _eta(self) -> Optional[float]:
+        if self.simulated == 0 or self._simulated_cost == 0:
+            return None
+        remaining = self.total_cost - self._done_cost
+        if remaining <= 0:
+            return 0.0
+        rate = self._simulated_cost / max(self._elapsed(), 1e-9)
+        return remaining / rate
+
+    def _emit(self, kind: str, spec: Any = None,
+              source: Optional[str] = None) -> None:
+        self._callback(ProgressEvent(
+            kind=kind, done=self.done, total=self.total,
+            simulated=self.simulated, cached=self.cached,
+            elapsed=self._elapsed(), eta_seconds=self._eta(),
+            spec=spec, source=source,
+        ))
+
+    def prime_cached(self, count: int, cost: int) -> None:
+        """Record the cells the cache-probe phase served, eventlessly.
+
+        All cache hits are known before the first worker starts (the
+        probe phase resolves them in one pass), so they arrive as
+        counts folded into the ``start`` event rather than as thousands
+        of per-cell no-op events.
+        """
+        self.done += count
+        self.cached += count
+        self._done_cost += cost
+
+    def start(self) -> None:
+        self._emit(START)
+
+    def cell(self, spec: Any, source: str, cost: int) -> None:
+        """Record one resolved cell and emit its event."""
+        self.done += 1
+        self._done_cost += cost
+        if source == SIMULATED:
+            self.simulated += 1
+            self._simulated_cost += cost
+        else:
+            self.cached += 1
+        self._emit(CELL, spec=spec, source=source)
+
+    def finish(self) -> None:
+        self._emit(DONE)
+
+
+def stderr_progress(stream=None) -> ProgressCallback:
+    """A callback rendering events as single stderr lines (the CLI's
+    ``--progress``).  Cached cells are summarised on start/done rather
+    than printed one per line — a warm sweep would otherwise scroll
+    thousands of no-op lines."""
+    out = stream if stream is not None else sys.stderr
+
+    def render(event: ProgressEvent) -> None:
+        if event.kind == CELL and event.source != SIMULATED:
+            return
+        if event.kind == CELL:
+            eta = (f", eta {event.eta_seconds:.0f}s"
+                   if event.eta_seconds is not None else "")
+            label = ""
+            spec = event.spec
+            if spec is not None:
+                label = f" {spec.workload}/{spec.scheme}"
+            print(f"[{event.done}/{event.total}{label} simulated "
+                  f"({event.cached} cached){eta}]", file=out)
+        elif event.kind == START:
+            print(f"[sweep: {event.total} cells, "
+                  f"{event.cached} already cached]", file=out)
+        else:
+            print(f"[sweep done: {event.simulated} simulated, "
+                  f"{event.cached} cached in {event.elapsed:.1f}s]",
+                  file=out)
+
+    return render
+
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressTracker",
+    "ProgressCallback",
+    "stderr_progress",
+    "START",
+    "CELL",
+    "DONE",
+    "CACHED",
+    "SIMULATED",
+]

@@ -10,14 +10,19 @@ the :class:`~repro.experiments.spec.RunSpec`:
   content-addressed disk cache (:mod:`repro.core.diskcache`) so repeated
   invocations across processes skip simulation entirely.
 * :func:`run_specs` — any collection of cells, deduplicated on their
-  canonical form and fanned across cores with a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells are
-  independent, deterministic simulations, so parallel results are
-  bit-identical to the serial path; each worker process keeps warm
-  program/trace caches between the cells it executes.  Sampled windows
+  canonical form and executed through a pluggable
+  :class:`~repro.core.exec.Backend` (serial, thread pool or process
+  pool — DESIGN.md Section 10).  Cells are independent, deterministic
+  simulations, so every backend is bit-identical to the serial path;
+  cells are grouped into cost-balanced work units that pool workers
+  drain work-stealing-style, each worker keeping warm program/trace
+  caches between the cells it executes.  Sampled windows
   (:class:`~repro.experiments.spec.SampleSpec`) arrive here as ordinary
   cells with distinct window seeds, so they cache and parallelise like
-  everything else.
+  everything else.  Progress is observable through structured events
+  (``progress=``) and every resolved cell can be journalled
+  (``journal=``) so interrupted invocations resume with zero
+  recomputation.
 * :func:`run_scheme` / :func:`run_schemes` / :func:`run_grid` — the
   label-oriented conveniences built on top (one cell, one workload row,
   a full workload × scheme grid).
@@ -34,22 +39,35 @@ from __future__ import annotations
 
 import contextlib
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, \
-    Sequence
+import threading
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, \
+    Optional, Sequence, Union
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.core import diskcache
+from repro.core.exec import Backend, ProgressTracker, RunJournal, \
+    chunk_specs, get_backend, spec_cost, stderr_progress
+from repro.core.exec import progress as progress_events
 from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
+from repro.errors import ReproError
 from repro.experiments.spec import DEFAULT_TRACE_BLOCKS, RunSpec
 from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
 from repro.workloads.profiles import build_program, build_trace, \
-    get_profile, iter_profiles
+    get_profile
 
 #: Environment switch for the grid runner: ``REPRO_PARALLEL=0`` forces
 #: serial execution, any other value (or unset) allows fan-out.
 _ENV_PARALLEL = "REPRO_PARALLEL"
+
+#: Environment overrides for the backend layer, set (scoped) by the CLI:
+#: ``REPRO_BACKEND`` names the execution backend, ``REPRO_MAX_WORKERS``
+#: caps its pool, ``REPRO_PROGRESS=1`` turns on stderr progress events
+#: and ``REPRO_JOURNAL`` points at the invocation's run-journal file.
+_ENV_BACKEND = "REPRO_BACKEND"
+_ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
+_ENV_PROGRESS = "REPRO_PROGRESS"
+_ENV_JOURNAL = "REPRO_JOURNAL"
 
 #: In-process result memo, keyed by canonical :class:`RunSpec`.
 _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
@@ -64,11 +82,22 @@ _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 #: first).  A fully-cached run — serial or parallel — adds zero.
 simulations = 0
 
+#: Guards ``simulations``: the thread backend executes :func:`run_spec`
+#: from several threads, and a bare ``+= 1`` can lose increments.
+_SIM_LOCK = threading.Lock()
+
+
+def _count_simulation() -> None:
+    global simulations
+    with _SIM_LOCK:
+        simulations += 1
+
 
 def reset_simulation_counter() -> None:
     """Zero the process-local simulation counter (tests)."""
     global simulations
-    simulations = 0
+    with _SIM_LOCK:
+        simulations = 0
 
 
 class SimulationMeter:
@@ -107,7 +136,6 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     With ``use_cache`` the in-process memo is consulted first, then the
     persistent disk cache; a simulated result is written back to both.
     """
-    global simulations
     spec = spec.canonical()
     if use_cache and spec in _RESULT_CACHE:
         return _RESULT_CACHE[spec]
@@ -128,7 +156,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         trace, scheme, params=spec.params,
         l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
     )
-    simulations += 1
+    _count_simulation()
     if use_cache:
         _RESULT_CACHE[spec] = result
         if disk_key is not None:
@@ -179,51 +207,93 @@ def _cell_scheme_name(label: Hashable,
     )
 
 
-def _run_spec_cell(spec: RunSpec,
-                   use_cache: bool = True) -> SimulationResult:
-    """Worker entry point: one canonical cell.
-
-    Runs inside a pool worker process; ``run_spec`` gives the worker
-    warm program/trace caches across the cells it executes and persists
-    each result to the shared disk cache (unless caching is off).
-    """
-    return run_spec(spec, use_cache=use_cache)
-
-
-def _worker_init(profiles) -> None:
-    """Pool-worker initializer: mirror the parent's workload registry.
-
-    Workers started by the ``spawn`` method (macOS/Windows defaults)
-    re-import the package and therefore only see the profiles that
-    register at import time — user registrations and ``replace=True``
-    overrides made in the parent would be missing or stale.  The parent
-    ships its full registry and the worker re-registers every entry.
-    Under ``fork`` the worker inherits the registry anyway and this is
-    a harmless no-op re-registration.
-    """
-    from repro.workloads.profiles import register_profile
-    for profile in profiles:
-        register_profile(profile, replace=True)
-
-
 def _parallel_allowed() -> bool:
     return os.environ.get(_ENV_PARALLEL, "1") not in ("0", "false", "no")
+
+
+def _env_backend() -> Optional[str]:
+    value = os.environ.get(_ENV_BACKEND, "").strip()
+    return value.lower() or None
+
+
+def _env_max_workers() -> Optional[int]:
+    value = os.environ.get(_ENV_MAX_WORKERS, "").strip()
+    if not value:
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ReproError(
+            f"{_ENV_MAX_WORKERS} must be an integer, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ReproError(f"{_ENV_MAX_WORKERS} must be >= 1, got {workers}")
+    return workers
+
+
+def _progress_enabled() -> bool:
+    return os.environ.get(_ENV_PROGRESS, "0") not in ("0", "false", "no", "")
+
+
+def _default_backend(parallel: Optional[bool], n_pending: int,
+                     max_workers: int) -> str:
+    """Backend when the caller named none: the legacy ``parallel`` map.
+
+    ``parallel=False`` is the serial path, ``parallel=True`` the
+    process pool, and ``None`` decides from ``REPRO_PARALLEL``, the
+    pending-cell count and the core count — exactly the decision the
+    pre-backend runner made.  A single worker (or a single pending
+    cell) degrades to serial: a pool of one costs spawn overhead and
+    buys nothing.
+    """
+    if parallel is False:
+        return "serial"
+    if max_workers == 1 or n_pending == 1:
+        return "serial"
+    if parallel is True:
+        return "process"
+    cpu_count = os.cpu_count() or 1
+    if _parallel_allowed() and n_pending > 1 and cpu_count > 1:
+        return "process"
+    return "serial"
 
 
 def run_specs(specs: Iterable[RunSpec],
               parallel: Optional[bool] = None,
               max_workers: Optional[int] = None,
               use_cache: bool = True,
+              backend: Optional[Union[str, Backend]] = None,
+              progress: Optional[Callable] = None,
+              journal: Optional[RunJournal] = None,
               ) -> Dict[RunSpec, SimulationResult]:
-    """Simulate a collection of cells, fanned across cores.
+    """Simulate a collection of cells through a pluggable backend.
 
     Cells are deduplicated on their canonical form, so a grid whose
     rows share one baseline simulates it once.  Returns a mapping from
     canonical spec to result (look up with ``spec.canonical()``).
     Cells are independent deterministic simulations, so results are
-    bit-identical whichever path executes them.
+    bit-identical whichever backend executes them.
+
+    Args:
+        parallel: legacy switch — ``False`` forces the serial backend,
+            ``True`` the process backend, ``None`` auto-decides.
+            ``backend`` (or the scoped ``REPRO_BACKEND`` environment
+            override the CLI sets) wins over it.
+        max_workers: pool size cap (default ``REPRO_MAX_WORKERS`` or
+            the machine's core count), clamped to the pending work.
+        backend: a backend name (``serial``/``thread``/``process``) or
+            a configured :class:`~repro.core.exec.Backend` instance.
+        progress: callback receiving structured
+            :class:`~repro.core.exec.ProgressEvent` values (default:
+            stderr rendering when ``REPRO_PROGRESS`` is set).
+        journal: a :class:`~repro.core.exec.RunJournal` recording every
+            resolved cell (default: the file ``REPRO_JOURNAL`` names).
+            Together with the disk cache this makes an interrupted
+            collection resumable with zero recomputation.
+
+    A fully-cached collection returns before any backend is resolved:
+    no pool, no workers, no executor — repeated runs cost file reads.
     """
-    global simulations
     ordered: List[RunSpec] = []
     seen = set()
     for spec in specs:
@@ -232,8 +302,16 @@ def run_specs(specs: Iterable[RunSpec],
             seen.add(canonical)
             ordered.append(canonical)
 
+    if progress is None and _progress_enabled():
+        progress = stderr_progress()
+    if journal is None:
+        journal_path = os.environ.get(_ENV_JOURNAL)
+        if journal_path:
+            journal = RunJournal(journal_path)
+
     results: Dict[RunSpec, SimulationResult] = {}
     pending: List[RunSpec] = []
+    disk_keys: Dict[RunSpec, str] = {}
     probe_disk = use_cache and diskcache.enabled()
     for spec in ordered:
         hit = _RESULT_CACHE.get(spec) if use_cache else None
@@ -241,44 +319,77 @@ def run_specs(specs: Iterable[RunSpec],
             # Probe the disk cache in the parent before deciding to fan
             # out: a fully-cached collection (e.g. a repeated sampled
             # run) then costs a few file reads instead of a worker pool.
-            hit = diskcache.load(diskcache.spec_key(spec))
+            disk_keys[spec] = diskcache.spec_key(spec)
+            hit = diskcache.load(disk_keys[spec])
             if hit is not None:
                 _RESULT_CACHE[spec] = hit
         if hit is not None:
             results[spec] = hit
         else:
             pending.append(spec)
+
+    def cell_key(spec: RunSpec) -> str:
+        key = disk_keys.get(spec)
+        return key if key is not None else diskcache.spec_key(spec)
+
+    tracker: Optional[ProgressTracker] = None
+    if progress is not None:
+        tracker = ProgressTracker(
+            total=len(ordered),
+            total_cost=sum(spec_cost(spec) for spec in ordered),
+            callback=progress,
+        )
+        tracker.prime_cached(
+            len(results), sum(spec_cost(spec) for spec in results))
+    if journal is not None:
+        journal.begin(len(ordered))
+        for spec in results:
+            journal.record(cell_key(spec), progress_events.CACHED)
+    if tracker is not None:
+        tracker.start()
+
     if not pending:
+        # Fully cached: the scheduler never materialises — the
+        # no-executor guarantee the regression tests pin.
+        if journal is not None:
+            journal.finish(simulated=0, cached=len(results))
+        if tracker is not None:
+            tracker.finish()
         return results
 
-    cpu_count = os.cpu_count() or 1
-    if parallel is None:
-        parallel = _parallel_allowed() and len(pending) > 1 and cpu_count > 1
     if max_workers is None:
-        max_workers = cpu_count
-    max_workers = max(1, min(max_workers, len(pending)))
+        max_workers = _env_max_workers() or os.cpu_count() or 1
+    workers = max(1, min(max_workers, len(pending)))
+    chosen = backend if backend is not None else _env_backend()
+    if chosen is None:
+        chosen = _default_backend(parallel, len(pending), workers)
+    engine = get_backend(chosen, max_workers=workers)
 
-    if not parallel or max_workers == 1:
-        for spec in pending:
-            results[spec] = run_spec(spec, use_cache=use_cache)
-        return results
-
-    with ProcessPoolExecutor(max_workers=max_workers,
-                             initializer=_worker_init,
-                             initargs=(iter_profiles(),)) as pool:
-        futures = [(spec, pool.submit(_run_spec_cell, spec, use_cache))
-                   for spec in pending]
-        for spec, future in futures:
-            result = future.result()
-            results[spec] = result
+    simulated = 0
+    for spec, result in engine.execute(chunk_specs(pending,
+                                                   engine.max_workers),
+                                       use_cache=use_cache):
+        results[spec] = result
+        simulated += 1
+        if engine.remote:
             # The worker simulated in its own process; mirror the cost
             # into the parent counter so budget/zero-simulation
             # observers see parallel work (both caches were probed
-            # before dispatch, so this cell was a genuine miss here).
-            simulations += 1
+            # before dispatch, so this cell was a genuine miss here),
+            # and mirror the result into the parent memo so later
+            # serial calls hit.
+            _count_simulation()
             if use_cache:
-                # Mirror into the parent memo so later serial calls hit.
                 _RESULT_CACHE[spec] = result
+        if journal is not None:
+            journal.record(cell_key(spec), progress_events.SIMULATED)
+        if tracker is not None:
+            tracker.cell(spec, progress_events.SIMULATED, spec_cost(spec))
+    if journal is not None:
+        journal.finish(simulated=simulated,
+                       cached=len(ordered) - len(pending))
+    if tracker is not None:
+        tracker.finish()
     return results
 
 

@@ -447,13 +447,17 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
                   parallel: Optional[bool] = None,
                   max_workers: Optional[int] = None,
                   use_cache: bool = True,
+                  backend=None,
+                  progress: Optional[Callable] = None,
                   post: Optional[Callable[[ExperimentResult],
                                           ExperimentResult]] = None,
                   ) -> ExperimentResult:
     """Execute a :class:`GridSpec` through the shared sweep path.
 
-    Distinct canonical cells (baselines dedupe naturally) fan across
-    cores and hit the in-process/disk caches exactly like
+    Distinct canonical cells (baselines dedupe naturally) run through
+    the execution-backend layer (``backend`` names or carries a
+    :class:`~repro.core.exec.Backend`; ``progress`` observes structured
+    events) and hit the in-process/disk caches exactly like
     :func:`repro.core.sweep.run_grid`; the named metric reducer then
     folds raw simulation results into the experiment's table.
 
@@ -466,7 +470,8 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
     """
     from repro.core.sweep import run_specs
     results = run_specs(spec.run_specs(n_blocks), parallel=parallel,
-                        max_workers=max_workers, use_cache=use_cache)
+                        max_workers=max_workers, use_cache=use_cache,
+                        backend=backend, progress=progress)
     metric = METRICS[spec.metric]
 
     values: Dict[str, Dict[str, float]] = {}

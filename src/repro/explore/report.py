@@ -55,13 +55,15 @@ class _Evaluator:
                  objectives: Tuple[Objective, ...],
                  budget: Optional[int], n_blocks: int,
                  parallel: Optional[bool] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 backend=None) -> None:
         self.space = space
         self.objectives = objectives
         self.budget = budget
         self.n_blocks = n_blocks
         self._parallel = parallel
         self._max_workers = max_workers
+        self._backend = backend
         self._needs_baseline = any(obj.name == "speedup"
                                    for obj in objectives)
         self._charged: Set[RunSpec] = set()
@@ -95,7 +97,8 @@ class _Evaluator:
                 f"{self.budget}-cell budget remain"
             )
         results = run_specs(specs, parallel=self._parallel,
-                            max_workers=self._max_workers)
+                            max_workers=self._max_workers,
+                            backend=self._backend)
         self._charged.update(fresh)
 
         values: List[Tuple[str, float]] = []
@@ -259,13 +262,16 @@ def explore(space: ParamSpace,
             n_blocks: Optional[int] = None,
             seed: int = 0,
             parallel: Optional[bool] = None,
-            max_workers: Optional[int] = None) -> ExploreResult:
+            max_workers: Optional[int] = None,
+            backend=None) -> ExploreResult:
     """Run one budgeted exploration of *space* and extract its frontier.
 
     Deterministic given ``(space, strategy, objectives, budget, seed,
-    n_blocks)`` regardless of cache state; every evaluated cell flows
-    through :func:`repro.core.sweep.run_specs`, so repeats are served
-    from the in-process memo and the persistent disk cache.
+    n_blocks)`` regardless of cache state *and* of ``backend`` — the
+    execution backend only decides where cells simulate; every
+    evaluated cell flows through :func:`repro.core.sweep.run_specs`, so
+    repeats are served from the in-process memo and the persistent disk
+    cache.
     """
     from repro.core.sweep import simulation_meter
     if isinstance(strategy, str):
@@ -278,7 +284,8 @@ def explore(space: ParamSpace,
     if budget is not None and budget < 1:
         raise ExperimentError("explore budget must be at least one cell")
     evaluator = _Evaluator(space, resolved, budget, blocks,
-                           parallel=parallel, max_workers=max_workers)
+                           parallel=parallel, max_workers=max_workers,
+                           backend=backend)
     rng = random.Random(seed)
     with simulation_meter() as meter:
         try:

@@ -216,3 +216,117 @@ class TestSampledMode:
         labels = [row["label"] for row in payload["rows"]]
         assert "Oracle" in labels and "Microservice" in labels
         assert payload["columns"][-1] == "Ideal"
+
+
+class TestBackendFlags:
+    def test_backend_thread_matches_serial_output(self, tmp_path,
+                                                  monkeypatch, capsys):
+        # Cold caches before each invocation, so the second run really
+        # simulates through the thread backend rather than replaying
+        # the memo — this is a true end-to-end equivalence check.
+        from repro.core.sweep import clear_result_cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_result_cache()
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline,ideal", "--blocks", "2000",
+                     "--backend", "serial"]) == 0
+        first = capsys.readouterr()
+        assert "2 simulated" in first.err
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "thread"))
+        clear_result_cache()
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline,ideal", "--blocks", "2000",
+                     "--backend", "thread", "--max-workers", "2"]) == 0
+        second = capsys.readouterr()
+        assert "2 simulated" in second.err
+        assert second.out == first.out
+        clear_result_cache()
+
+    def test_backend_conflicts_with_serial_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "nutch", "--schemes",
+                  "baseline", "--backend", "process", "--serial"])
+
+    def test_cell_accounting_line_on_stderr(self, capsys):
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "2000"]) == 0
+        err = capsys.readouterr().err
+        assert "simulated" in err and "cached]" in err
+
+    def test_progress_events_on_stderr(self, tmp_path, monkeypatch,
+                                       capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.core.sweep import clear_result_cache
+        clear_result_cache()
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000", "--serial",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep:" in err and "[sweep done:" in err
+        clear_result_cache()
+
+    def test_invalid_max_workers_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000",
+                     "--max-workers", "0"]) == 2
+        assert "at least one worker" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "nutch", "--schemes",
+                  "baseline", "--backend", "gpu"])
+
+
+class TestResume:
+    def test_resume_reports_and_skips_completed_cells(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        from repro.core.sweep import clear_result_cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_result_cache()
+        argv = ["sweep", "--workloads", "nutch", "--schemes",
+                "baseline,ideal", "--blocks", "1000", "--serial"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 simulated" in first.err
+        # The journal survives the invocation and names its work set.
+        journals = os.listdir(str(tmp_path / "cache" / "journals"))
+        assert len(journals) == 1
+
+        clear_result_cache()  # simulate a fresh process
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "[resume: journal" in second.err
+        assert "0 simulated" in second.err
+        clear_result_cache()
+
+    def test_resume_without_journal_starts_fresh(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000", "--serial",
+                     "--resume"]) == 0
+        assert "[resume: no journal" in capsys.readouterr().err
+
+    def test_resume_requires_the_disk_cache(self, capsys):
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000", "--resume",
+                     "--no-cache"]) == 2
+        assert "--resume needs the disk result cache" \
+            in capsys.readouterr().err
+
+    def test_journal_identity_ignores_execution_policy(self):
+        from repro.cli import _invocation_material, build_parser
+        parser = build_parser()
+        base = parser.parse_args(["sweep", "--workloads", "nutch",
+                                  "--schemes", "baseline"])
+        tweaked = parser.parse_args(["sweep", "--workloads", "nutch",
+                                     "--schemes", "baseline",
+                                     "--backend", "thread",
+                                     "--max-workers", "3", "--resume",
+                                     "--progress"])
+        assert _invocation_material(base) == _invocation_material(tweaked)
+        other = parser.parse_args(["sweep", "--workloads", "nutch",
+                                   "--schemes", "ideal"])
+        assert _invocation_material(base) != _invocation_material(other)

@@ -1,0 +1,325 @@
+"""Tests for the execution-backend layer: backends, chunking, journal,
+progress, interrupt/resume, and the no-executor-when-cached guarantee."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core import diskcache
+from repro.core.exec import (
+    BACKENDS,
+    ProcessBackend,
+    RunJournal,
+    SerialBackend,
+    ThreadBackend,
+    WorkUnit,
+    chunk_specs,
+    get_backend,
+    invocation_id,
+    spec_cost,
+)
+from repro.core.sweep import clear_result_cache, run_specs, \
+    simulation_meter
+from repro.errors import ReproError
+from repro.experiments.spec import RunSpec, SampleSpec
+
+
+def _fresh(tmp_path, monkeypatch):
+    """Point the disk cache at an empty directory and drop the memo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_result_cache()
+
+
+# ---------------------------------------------------------------------------
+# Chunking
+# ---------------------------------------------------------------------------
+
+class TestChunking:
+    def specs(self, blocks):
+        return [RunSpec(workload="nutch", scheme="baseline",
+                        n_blocks=b, seed=i)
+                for i, b in enumerate(blocks)]
+
+    def test_covers_every_spec_exactly_once(self):
+        specs = self.specs([4000, 1000, 2000, 8000, 500, 500])
+        units = chunk_specs(specs, max_workers=2)
+        chunked = [spec for unit in units for spec in unit.specs]
+        assert sorted(chunked, key=lambda s: s.seed) \
+            == sorted(specs, key=lambda s: s.seed)
+
+    def test_units_ordered_longest_first(self):
+        specs = self.specs([100, 9000, 300, 8000, 200])
+        units = chunk_specs(specs, max_workers=4)
+        costs = [unit.cost for unit in units]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_costly_cells_get_singleton_units(self):
+        specs = self.specs([100_000, 100, 100, 100])
+        units = chunk_specs(specs, max_workers=2)
+        assert units[0].specs == (specs[0],)
+        assert units[0].cost == 100_000
+
+    def test_deterministic(self):
+        specs = self.specs([700, 700, 1400, 2100, 350])
+        assert chunk_specs(specs, max_workers=3) \
+            == chunk_specs(specs, max_workers=3)
+
+    def test_empty(self):
+        assert chunk_specs([], max_workers=4) == []
+
+    def test_spec_cost_is_trace_length(self):
+        assert spec_cost(RunSpec(workload="nutch", scheme="baseline",
+                                 n_blocks=1234)) == 1234
+        assert spec_cost(RunSpec(workload="nutch", scheme="baseline")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+class TestBackendRegistry:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown execution backend"):
+            get_backend("gpu")
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(max_workers=3)
+        assert get_backend(backend) is backend
+
+    def test_worker_floor(self):
+        with pytest.raises(ReproError):
+            SerialBackend(max_workers=0)
+
+    def test_only_process_is_remote(self):
+        assert ProcessBackend.remote
+        assert not SerialBackend.remote
+        assert not ThreadBackend.remote
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+class TestRunJournal:
+    def test_round_trip(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "run.jsonl"))
+        journal.begin(total=3)
+        journal.record("aaa", "simulated")
+        journal.record("bbb", "cached")
+        assert not journal.finished
+        journal.finish(simulated=1, cached=1)
+        reread = RunJournal(journal.path)
+        assert reread.completed == {"aaa", "bbb"}
+        assert reread.finished
+        assert reread.total == 3
+
+    def test_duplicate_keys_recorded_once(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "run.jsonl"))
+        journal.begin(total=1)
+        journal.record("aaa", "simulated")
+        journal.record("aaa", "cached")
+        with open(journal.path, "r", encoding="utf-8") as handle:
+            cells = [json.loads(line) for line in handle
+                     if json.loads(line)["kind"] == "cell"]
+        assert len(cells) == 1
+
+    def test_truncated_trailing_line_ignored(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "run.jsonl"))
+        journal.begin(total=2)
+        journal.record("aaa", "simulated")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "key": "bb')  # crash mid-write
+        reread = RunJournal(journal.path)
+        assert reread.completed == {"aaa"}
+        assert not reread.finished
+
+    def test_reset_discards(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "run.jsonl"))
+        journal.begin(total=1)
+        journal.record("aaa", "simulated")
+        journal.reset()
+        assert not journal.exists()
+        assert RunJournal(journal.path).completed == set()
+
+    def test_invocation_id_ignores_dict_order_not_content(self):
+        assert invocation_id({"a": 1, "b": 2}) \
+            == invocation_id({"b": 2, "a": 1})
+        assert invocation_id({"a": 1}) != invocation_id({"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# run_specs through the backends
+# ---------------------------------------------------------------------------
+
+SAMPLED_CELL = SampleSpec(n_windows=3).window_specs(
+    RunSpec(workload="nutch", scheme="shotgun"), 1500)
+
+EXPLORE_KWARGS = dict(strategy="random", objectives=("speedup",
+                                                     "storage_bits"),
+                      budget=6, n_blocks=1500, seed=7)
+
+
+class TestBackendEquivalence:
+    def test_sampled_frontier_cell_bit_identical(self, tmp_path,
+                                                 monkeypatch):
+        """Serial, thread and process runs of a sampled cell's windows
+        produce byte-identical stats from cold caches."""
+        reference = None
+        for backend in ("serial", "thread", "process"):
+            _fresh(tmp_path / backend, monkeypatch)
+            results = run_specs(SAMPLED_CELL, backend=backend,
+                                max_workers=2)
+            stats = [results[spec.canonical()].stats
+                     for spec in SAMPLED_CELL]
+            if reference is None:
+                reference = stats
+            else:
+                assert stats == reference, backend
+        clear_result_cache()
+
+    def test_explore_invocation_bit_identical(self, tmp_path,
+                                              monkeypatch):
+        """A whole explore run — points, order, JSONL bytes — is
+        backend-independent from cold caches."""
+        from repro.explore.report import explore
+        from repro.explore.space import get_space
+        space = replace(get_space("btb_budget"), workloads=("nutch",))
+        reference = None
+        for backend in ("serial", "thread", "process"):
+            _fresh(tmp_path / backend, monkeypatch)
+            result = explore(space, backend=backend, **EXPLORE_KWARGS)
+            payload = result.to_jsonl()
+            if reference is None:
+                reference = payload
+            else:
+                assert payload == reference, backend
+        clear_result_cache()
+
+    def test_thread_backend_counts_every_simulation(self, tmp_path,
+                                                    monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        specs = [RunSpec(workload="nutch", scheme=scheme, n_blocks=1000)
+                 for scheme in ("baseline", "ideal", "fdip", "rdip")]
+        with simulation_meter() as meter:
+            run_specs(specs, backend="thread", max_workers=4)
+        assert meter.count == len(specs)
+        clear_result_cache()
+
+
+class TestInterruptResume:
+    SPECS = tuple(
+        RunSpec(workload=workload, scheme=scheme, n_blocks=1000)
+        for workload in ("nutch", "streaming")
+        for scheme in ("baseline", "ideal")
+    )
+
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path,
+                                                         monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        simulated = []
+
+        def interrupt_after_two(event):
+            if event.kind == "cell":
+                simulated.append(event.spec)
+                if len(simulated) == 2:
+                    raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_specs(self.SPECS, backend="serial",
+                      progress=interrupt_after_two, journal=journal)
+        assert len(journal.completed) == 2
+        assert not journal.finished
+
+        # Resume: the journalled cells are served from the disk cache —
+        # zero re-simulations — and only the remainder runs.
+        clear_result_cache()
+        resumed = RunJournal(journal.path)
+        with simulation_meter() as meter:
+            results = run_specs(self.SPECS, backend="serial",
+                                journal=resumed)
+        assert meter.count == len(self.SPECS) - 2
+        assert len(results) == len(self.SPECS)
+        assert resumed.finished
+        assert len(resumed.completed) == len(self.SPECS)
+
+        # A third pass is fully cached: nothing simulates at all.
+        clear_result_cache()
+        with simulation_meter() as meter:
+            run_specs(self.SPECS, backend="serial",
+                      journal=RunJournal(journal.path))
+        assert meter.count == 0
+        clear_result_cache()
+
+    def test_interrupt_cancels_queued_pool_units(self, tmp_path,
+                                                 monkeypatch):
+        """Abandoning a pool backend's iterator cancels unstarted units
+        instead of draining the whole sweep."""
+        _fresh(tmp_path, monkeypatch)
+        backend = ThreadBackend(max_workers=1)
+        units = chunk_specs(list(self.SPECS), max_workers=1,
+                            units_per_worker=len(self.SPECS))
+        assert len(units) >= 2
+        iterator = backend.execute(units)
+        next(iterator)
+        iterator.close()
+        with simulation_meter() as meter:
+            clear_result_cache()
+            run_specs(self.SPECS, backend="serial")
+        # At least the last unit never ran: resuming had work left.
+        assert meter.count >= 1
+        clear_result_cache()
+
+
+class TestFullyCachedRunsNeverSchedule:
+    """The satellite fix: cache probing happens before any backend or
+    pool exists, so a fully-cached collection costs file reads only."""
+
+    def test_no_backend_constructed_when_fully_cached(self, tmp_path,
+                                                      monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        specs = [RunSpec(workload="nutch", scheme=scheme, n_blocks=1000)
+                 for scheme in ("baseline", "ideal")]
+        run_specs(specs, backend="serial")
+
+        def explode(*args, **kwargs):
+            raise AssertionError(
+                "a fully-cached run must not resolve a backend")
+
+        monkeypatch.setattr("repro.core.sweep.get_backend", explode)
+        # Memo path (same process) ...
+        results = run_specs(specs, parallel=True, max_workers=4)
+        assert len(results) == len(specs)
+        # ... and disk path (fresh process simulated by clearing memo).
+        clear_result_cache()
+        results = run_specs(specs, parallel=True, max_workers=4)
+        assert len(results) == len(specs)
+        clear_result_cache()
+
+    def test_no_executor_constructed_when_fully_cached(self, tmp_path,
+                                                       monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        specs = [RunSpec(workload="nutch", scheme="baseline",
+                         n_blocks=1000)]
+        run_specs(specs, backend="serial")
+        clear_result_cache()
+
+        def explode(*args, **kwargs):
+            raise AssertionError(
+                "a fully-cached run must not construct an executor")
+
+        monkeypatch.setattr(
+            "repro.core.exec.backends.ProcessPoolExecutor", explode)
+        monkeypatch.setattr(
+            "repro.core.exec.backends.ThreadPoolExecutor", explode)
+        for backend in ("process", "thread"):
+            results = run_specs(specs, backend=backend)
+            assert len(results) == len(specs)
+        clear_result_cache()
