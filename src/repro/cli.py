@@ -30,9 +30,10 @@ Subcommands:
     point plus a summary.  Deterministic given ``--seed``; repeated
     invocations are served entirely from the result caches.
 ``cache``
-    Inspect (``stats``) or reclaim (``prune``) the persistent disk
-    result cache; ``prune`` drops entries from stale engine versions
-    and, with ``--days N``, entries older than N days.
+    Inspect (``stats``), audit (``verify`` — checksum every entry,
+    ``--fix`` deletes corrupt ones) or reclaim (``prune``) the
+    persistent disk result cache; ``prune`` drops entries from stale
+    engine versions and, with ``--days N``, entries older than N days.
 
 Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
 budget split across windows), ``--backend {serial,thread,process}`` /
@@ -40,9 +41,13 @@ budget split across windows), ``--backend {serial,thread,process}`` /
 10), ``--parallel``/``--serial`` (legacy shorthands for the process and
 serial backends), ``--no-cache`` (disable the persistent disk cache for
 this invocation), ``--progress`` (structured per-cell progress on
-stderr, with a cost-weighted ETA), and ``--resume`` (continue an
+stderr, with a cost-weighted ETA), ``--resume`` (continue an
 interrupted invocation from the disk cache plus its run journal —
-completed cells are never re-simulated).
+completed cells are never re-simulated), and the fault-tolerance trio
+``--retries N`` / ``--unit-timeout S`` / ``--on-error
+{fail,skip,degrade}`` (DESIGN.md Section 11: retry failing work units
+with seeded backoff, time out hung ones, and either quarantine poison
+cells or degrade the backend instead of dying).
 
 Every ``run``/``sweep``/``report``/``explore`` invocation writes a run
 journal keyed by its *work set* (command, experiments, blocks, seeds —
@@ -66,14 +71,17 @@ from repro.errors import ReproError
 
 
 _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
-                  "REPRO_MAX_WORKERS", "REPRO_PROGRESS", "REPRO_JOURNAL")
+                  "REPRO_MAX_WORKERS", "REPRO_PROGRESS", "REPRO_JOURNAL",
+                  "REPRO_RETRIES", "REPRO_UNIT_TIMEOUT", "REPRO_ON_ERROR")
 
 #: Args that never change *which cells* an invocation runs — excluded
 #: from the journal identity, so an interrupted process-backend run can
-#: be resumed serially, to a different --out, with --progress, etc.
+#: be resumed serially, to a different --out, with --progress, with a
+#: different retry policy, etc.
 _JOURNAL_IRRELEVANT = frozenset((
     "func", "command", "backend", "max_workers", "parallel", "no_cache",
     "progress", "resume", "out", "json", "chart",
+    "retries", "unit_timeout", "on_error",
 ))
 
 #: Default window count for ``--sampled`` without an explicit ``--windows``.
@@ -116,10 +124,18 @@ def _setup_journal(args) -> None:
     journal = RunJournal.for_invocation(_invocation_material(args))
     if getattr(args, "resume", False):
         if journal.exists():
+            if journal.corrupt_records:
+                dropped = journal.recover()
+                print(f"[resume: journal had {dropped} corrupt "
+                      "record(s); salvaged the intact ones]",
+                      file=sys.stderr)
             done = len(journal.completed)
-            state = "complete" if journal.finished else "interrupted"
+            state = "complete" if journal.complete else "interrupted"
+            quarantined = len(journal.quarantined)
+            extra = f", {quarantined} quarantined" if quarantined else ""
             print(f"[resume: journal {os.path.basename(journal.path)} "
-                  f"({state}, {done} cells recorded)]", file=sys.stderr)
+                  f"({state}, {done} cells recorded{extra})]",
+                  file=sys.stderr)
         else:
             print("[resume: no journal for this invocation, starting "
                   "fresh]", file=sys.stderr)
@@ -157,6 +173,16 @@ def _execution_env(args):
             os.environ["REPRO_MAX_WORKERS"] = str(args.max_workers)
         if getattr(args, "progress", False):
             os.environ["REPRO_PROGRESS"] = "1"
+        if getattr(args, "retries", None) is not None:
+            if args.retries < 0:
+                raise ReproError("--retries must be >= 0")
+            os.environ["REPRO_RETRIES"] = str(args.retries)
+        if getattr(args, "unit_timeout", None) is not None:
+            if args.unit_timeout <= 0:
+                raise ReproError("--unit-timeout must be positive")
+            os.environ["REPRO_UNIT_TIMEOUT"] = str(args.unit_timeout)
+        if getattr(args, "on_error", None):
+            os.environ["REPRO_ON_ERROR"] = args.on_error
         if hasattr(args, "resume"):
             os.environ.pop("REPRO_JOURNAL", None)
             _setup_journal(args)
@@ -234,6 +260,24 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
              "cache plus its run journal (completed cells are never "
              "re-simulated)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed/hung work unit up to N times (with seeded "
+             "exponential backoff; a failing multi-cell unit re-runs "
+             "per cell to isolate the culprit)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="wall-clock timeout per work unit in seconds (a hung "
+             "worker is killed and the unit retried)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("fail", "skip", "degrade"), default=None,
+        help="after retries are exhausted: fail the run (default), "
+             "skip — quarantine the poison cell and keep going — or "
+             "degrade, which also falls back process -> thread -> "
+             "serial when the pool itself is unrecoverable",
+    )
 
 
 @contextlib.contextmanager
@@ -246,12 +290,17 @@ def _cell_accounting(label: str):
     ``0 simulated``, which the CI kill-and-resume step asserts.
     """
     from repro.core import diskcache
+    from repro.core import sweep
     from repro.core.sweep import simulation_meter
     hits_before = diskcache.hits
+    quarantined_before = sweep.quarantines
     with simulation_meter() as meter:
         yield
+    quarantined = sweep.quarantines - quarantined_before
+    suffix = f", {quarantined} quarantined" if quarantined else ""
     print(f"[{label}: {meter.count} simulated, "
-          f"{diskcache.hits - hits_before} cached]", file=sys.stderr)
+          f"{diskcache.hits - hits_before} cached{suffix}]",
+          file=sys.stderr)
 
 
 def _resolve_ids(requested: List[str]) -> List[str]:
@@ -381,7 +430,7 @@ def _sampled_sweep_lines(workloads, schemes, args,
     for workload in workloads:
         base_specs = cell_windows.get((workload, "baseline"))
         for scheme in schemes:
-            windows = [results[spec]
+            windows = [results.get(spec)
                        for spec in cell_windows[(workload, scheme)]]
             record = {
                 "workload": workload,
@@ -390,11 +439,20 @@ def _sampled_sweep_lines(workloads, schemes, args,
                 "window_blocks": window_blocks,
                 "seed_base": sample.seed_base,
             }
+            if any(res is None for res in windows):
+                # One of the cell's windows was quarantined by
+                # --on-error skip/degrade: the cell has no trustworthy
+                # statistics, so it is emitted as an error record.
+                record["error"] = "quarantined"
+                lines.append(json.dumps(record, sort_keys=False))
+                continue
             for metric in _SWEEP_METRICS:
                 values = [getattr(res, metric) for res in windows]
                 record[metric] = SAMPLE_REDUCERS["mean"](values)
                 record[metric + "_ci95"] = SAMPLE_REDUCERS["ci95"](values)
-            if base_specs is not None and scheme != "baseline":
+            if base_specs is not None and scheme != "baseline" \
+                    and all(results.get(base) is not None
+                            for base in base_specs):
                 values = [
                     speedup(results[base], res)
                     for base, res in zip(base_specs, windows)
@@ -439,6 +497,13 @@ def _cmd_sweep(args) -> int:
                     "n_blocks": args.blocks,
                     "seed": args.seed,
                 }
+                if result is None:
+                    # Quarantined under --on-error skip/degrade: emit
+                    # an explicit error record so downstream consumers
+                    # see the hole instead of a silently missing line.
+                    record["error"] = "quarantined"
+                    lines.append(json.dumps(record, sort_keys=False))
+                    continue
                 record.update({
                     metric: getattr(result, metric)
                     for metric in _SWEEP_METRICS
@@ -507,8 +572,10 @@ def _cmd_explore(args) -> int:
         print(payload)
     # Cache accounting goes to stderr: it depends on cache state, and
     # stdout must stay bit-reproducible for a given --seed.
+    failures = f", {result.failures} quarantined" if result.failures else ""
     print(f"[{result.cells} cells: {result.simulations} simulated, "
-          f"{result.cells - result.simulations} cached]", file=sys.stderr)
+          f"{result.cells - result.simulations} cached{failures}]",
+          file=sys.stderr)
     return 0
 
 
@@ -545,10 +612,29 @@ def _cmd_cache(args) -> int:
         return 0
     if args.cache_command == "prune":
         report = diskcache.prune(days=args.days)
+        skipped = f", {report['skipped']} unreadable skipped" \
+            if report.get("skipped") else ""
         print(f"pruned {report['removed']} entries "
-              f"({_format_bytes(report['freed_bytes'])} freed)")
+              f"({_format_bytes(report['freed_bytes'])} freed{skipped})")
+        for path in report.get("skipped_paths", ()):
+            print(f"  skipped: {path}", file=sys.stderr)
         return 0
-    raise ReproError("cache needs a subcommand: stats or prune")
+    if args.cache_command == "verify":
+        report = diskcache.verify(fix=args.fix)
+        if args.json:
+            print(json.dumps(report, sort_keys=False))
+        else:
+            print(f"verified {report['entries']} entries: "
+                  f"{report['ok']} ok, {report['legacy']} legacy, "
+                  f"{report['corrupt']} corrupt"
+                  + (f" ({report['removed']} removed)"
+                     if args.fix else ""))
+            for path in report["corrupt_paths"]:
+                print(f"  corrupt: {path}", file=sys.stderr)
+        # Corrupt entries still on disk after the audit: exit nonzero so
+        # CI and scripts notice (with --fix they were deleted).
+        return 1 if report["corrupt"] - report["removed"] > 0 else 0
+    raise ReproError("cache needs a subcommand: stats, verify or prune")
 
 
 def _cmd_report(args) -> int:
@@ -682,6 +768,18 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats = cache_commands.add_parser(
         "stats", help="entry count and bytes, grouped by engine version")
     cache_stats.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON",
+    )
+    cache_verify = cache_commands.add_parser(
+        "verify", help="checksum-audit every cache entry; exits 1 when "
+                       "corrupt entries remain")
+    cache_verify.add_argument(
+        "--fix", action="store_true",
+        help="delete corrupt entries (their cells re-simulate on the "
+             "next run)",
+    )
+    cache_verify.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON",
     )

@@ -25,6 +25,13 @@ fingerprint hashing the source of every simulation-affecting module in
 the package — so editing engine code invalidates the cache without any
 manual step, while unchanged builds keep sharing entries across
 processes.
+
+Integrity (DESIGN.md Section 11): every entry is stamped with a
+``checksum`` — the SHA-256 of its canonical payload — verified on every
+read.  Truncation (full disk, killed writer) and bit rot are detected
+instead of served; a corrupt entry is evicted on read so the cell
+simply re-simulates, and ``python -m repro cache verify`` audits the
+whole cache offline.
 """
 
 from __future__ import annotations
@@ -94,9 +101,12 @@ _ENV_DISABLE = "REPRO_DISK_CACHE"
 _ENV_DIR = "REPRO_CACHE_DIR"
 
 #: Process-local counters (observability, used by tests and benchmarks).
+#: ``corrupt`` counts entries evicted because their bytes failed the
+#: checksum (or could not be parsed at all) — every one is also a miss.
 hits = 0
 misses = 0
 stores = 0
+corrupt = 0
 
 
 def enabled() -> bool:
@@ -182,18 +192,65 @@ def spec_key(spec) -> str:
                       spec.seed, spec.config, spec.params)
 
 
-def _entry_path(key: str) -> str:
+def entry_path(key: str) -> str:
+    """Filesystem path of *key*'s entry (whether or not it exists)."""
     return os.path.join(cache_dir(), key[:2], key + ".json")
 
 
+#: Backwards-compatible alias (pre-integrity-layer name).
+_entry_path = entry_path
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 of the canonical payload, excluding the checksum itself."""
+    material = {name: value for name, value in payload.items()
+                if name != "checksum"}
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _evict_corrupt(path: str) -> None:
+    global corrupt
+    corrupt += 1
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
 def load(key: str) -> Optional[SimulationResult]:
-    """Fetch a cached result, or None on miss/corruption/disabled."""
+    """Fetch a cached result, or None on miss/corruption/disabled.
+
+    A present-but-damaged entry — unparseable bytes (truncation) or a
+    checksum mismatch (bit rot) — is *evicted* and counted in
+    :data:`corrupt`, so the caller re-simulates and the next store
+    replaces it with intact bytes.  Entries written before the checksum
+    stamp existed are unreachable from this build anyway (the source
+    fingerprint in their keys differs) and are accepted if ever seen.
+    """
     global hits, misses
     if not enabled():
         return None
+    path = entry_path(key)
     try:
-        with open(_entry_path(key), "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+    except FileNotFoundError:
+        misses += 1
+        return None
+    except (OSError, ValueError):
+        _evict_corrupt(path)
+        misses += 1
+        return None
+    try:
+        if not isinstance(payload, dict):
+            raise ValueError("entry payload is not an object")
+        if "checksum" in payload \
+                and payload["checksum"] != _payload_checksum(payload):
+            _evict_corrupt(path)
+            misses += 1
+            return None
         stat_fields = {f.name for f in fields(EngineStats)}
         raw = payload["stats"]
         if set(raw) != stat_fields:
@@ -203,7 +260,8 @@ def load(key: str) -> Optional[SimulationResult]:
             return None
         result = SimulationResult(scheme=payload["scheme"],
                                   stats=EngineStats(**raw))
-    except (OSError, ValueError, KeyError, TypeError):
+    except (ValueError, KeyError, TypeError):
+        _evict_corrupt(path)
         misses += 1
         return None
     hits += 1
@@ -215,7 +273,7 @@ def store(key: str, result: SimulationResult) -> None:
     global stores
     if not enabled():
         return
-    path = _entry_path(key)
+    path = entry_path(key)
     directory = os.path.dirname(path)
     try:
         os.makedirs(directory, exist_ok=True)
@@ -224,6 +282,7 @@ def store(key: str, result: SimulationResult) -> None:
             "scheme": result.scheme,
             "stats": asdict(result.stats),
         }
+        payload["checksum"] = _payload_checksum(payload)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -241,33 +300,125 @@ def store(key: str, result: SimulationResult) -> None:
     stores += 1
 
 
-def _iter_entries():
-    """Yield ``(path, engine_version, size_bytes, mtime)`` per entry.
+def _verify_payload(payload) -> str:
+    """Classify one parsed entry payload: ``ok``/``legacy``/``corrupt``."""
+    if not isinstance(payload, dict):
+        return "corrupt"
+    if "checksum" not in payload:
+        return "legacy"  # pre-integrity entry: unreachable but harmless
+    if payload["checksum"] != _payload_checksum(payload):
+        return "corrupt"
+    return "ok"
+
+
+def verify_entry(key: str) -> bool:
+    """Whether *key*'s stored bytes are intact.
+
+    True when the cache is disabled or the entry is absent (there is
+    nothing to distrust, and nothing a re-store could repair); False
+    only for a present entry whose bytes fail to parse or whose
+    checksum does not match.  This is the write-verify hook
+    :func:`~repro.core.sweep.run_spec` uses to heal an entry corrupted
+    between store and read.
+    """
+    if not enabled():
+        return True
+    path = entry_path(key)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return True
+    except (OSError, ValueError):
+        return False
+    return _verify_payload(payload) != "corrupt"
+
+
+def verify(fix: bool = False) -> dict:
+    """Audit every cache entry's integrity (``cache verify``).
+
+    Returns ``{entries, ok, legacy, corrupt, corrupt_paths, removed}``:
+    ``ok`` entries parse and match their checksum, ``legacy`` entries
+    predate the checksum stamp (unreachable from this build, but not
+    damaged), ``corrupt`` entries fail to parse or fail their checksum.
+    With *fix*, corrupt entries are deleted (they would be evicted on
+    first read anyway; deleting them makes the audit converge).
+    """
+    skipped: list = []
+    ok = legacy = corrupt_count = 0
+    corrupt_paths = []
+    removed = 0
+    for path, _version, _size, _mtime, payload in _iter_entries(
+            skipped=skipped, with_payload=True):
+        verdict = "corrupt" if payload is None else _verify_payload(payload)
+        if verdict == "ok":
+            ok += 1
+        elif verdict == "legacy":
+            legacy += 1
+        else:
+            corrupt_count += 1
+            corrupt_paths.append(path)
+            if fix:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+    return {
+        "cache_dir": cache_dir(),
+        "entries": ok + legacy + corrupt_count,
+        "ok": ok,
+        "legacy": legacy,
+        "corrupt": corrupt_count,
+        "corrupt_paths": sorted(corrupt_paths),
+        "removed": removed,
+        "skipped": len(skipped),
+    }
+
+
+def _iter_entries(skipped=None, with_payload: bool = False):
+    """Yield ``(path, engine_version, size_bytes, mtime[, payload])``.
 
     ``engine_version`` is the version recorded *inside* the payload
     (entries written by other builds remain readable metadata even
     though their keys are unreachable from this build); unreadable or
     corrupt entries yield ``None`` so callers can treat them as stale.
+    Directories that cannot be listed are appended to *skipped* (when
+    given) and skipped — one unreadable shard must not abort a whole
+    prune or audit.
     """
     root = cache_dir()
-    if not os.path.isdir(root):
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
         return
-    for name in sorted(os.listdir(root)):
+    for name in names:
         shard = os.path.join(root, name)
         if not (os.path.isdir(shard) and len(name) == 2):
             continue
-        for entry in sorted(os.listdir(shard)):
+        try:
+            entries = sorted(os.listdir(shard))
+        except OSError:
+            if skipped is not None:
+                skipped.append(shard)
+            continue
+        for entry in entries:
             if not entry.endswith(".json"):
                 continue
             path = os.path.join(shard, entry)
+            payload = None
             try:
                 stat = os.stat(path)
                 with open(path, "r", encoding="utf-8") as handle:
-                    version = json.load(handle).get("engine_version")
+                    payload = json.load(handle)
+                version = payload.get("engine_version") \
+                    if isinstance(payload, dict) else None
             except (OSError, ValueError):
-                yield path, None, 0, 0.0
+                yield (path, None, 0, 0.0) + \
+                    ((None,) if with_payload else ())
                 continue
-            yield path, version, stat.st_size, stat.st_mtime
+            yield (path, version, stat.st_size, stat.st_mtime) + \
+                ((payload,) if with_payload else ())
 
 
 def stats() -> dict:
@@ -310,12 +461,17 @@ def prune(days: Optional[float] = None) -> dict:
     signal we have for them.  Run-journal files older than *days* are
     pruned the same way (they only matter while their run might still
     be resumed).  Empty shard directories are cleaned up.
+
+    Unreadable shards and entries that cannot be deleted are *skipped
+    and reported* (the ``skipped`` count / ``skipped_paths`` list) —
+    one damaged file must not abort the whole prune.
     """
     import time
     cutoff = time.time() - days * 86400.0 if days is not None else None
     removed = 0
     freed = 0
-    for path, version, size, mtime in _iter_entries():
+    skipped_paths: list = []
+    for path, version, size, mtime in _iter_entries(skipped=skipped_paths):
         stale = version != ENGINE_VERSION
         aged = cutoff is not None and mtime < cutoff
         if not (stale or aged):
@@ -323,12 +479,18 @@ def prune(days: Optional[float] = None) -> dict:
         try:
             os.unlink(path)
         except OSError:
+            skipped_paths.append(path)
             continue
         removed += 1
         freed += size
     journals = os.path.join(cache_dir(), "journals")
     if cutoff is not None and os.path.isdir(journals):
-        for name in sorted(os.listdir(journals)):
+        try:
+            journal_names = sorted(os.listdir(journals))
+        except OSError:
+            journal_names = []
+            skipped_paths.append(journals)
+        for name in journal_names:
             path = os.path.join(journals, name)
             try:
                 if os.stat(path).st_mtime >= cutoff:
@@ -336,20 +498,27 @@ def prune(days: Optional[float] = None) -> dict:
                 size = os.stat(path).st_size
                 os.unlink(path)
             except OSError:
+                skipped_paths.append(path)
                 continue
             removed += 1
             freed += size
     root = cache_dir()
     if os.path.isdir(root):
-        for name in os.listdir(root):
+        try:
+            shard_names = os.listdir(root)
+        except OSError:
+            shard_names = []
+        for name in shard_names:
             shard = os.path.join(root, name)
-            if os.path.isdir(shard) and len(name) == 2 \
-                    and not os.listdir(shard):
-                try:
+            try:
+                if os.path.isdir(shard) and len(name) == 2 \
+                        and not os.listdir(shard):
                     os.rmdir(shard)
-                except OSError:
-                    pass
-    return {"removed": removed, "freed_bytes": freed}
+            except OSError:
+                pass
+    return {"removed": removed, "freed_bytes": freed,
+            "skipped": len(skipped_paths),
+            "skipped_paths": sorted(skipped_paths)}
 
 
 def clear() -> int:
@@ -369,6 +538,6 @@ def clear() -> int:
 
 
 def reset_counters() -> None:
-    """Zero the process-local hit/miss/store counters (tests)."""
-    global hits, misses, stores
-    hits = misses = stores = 0
+    """Zero the process-local hit/miss/store/corrupt counters (tests)."""
+    global hits, misses, stores, corrupt
+    hits = misses = stores = corrupt = 0

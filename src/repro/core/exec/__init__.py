@@ -13,6 +13,11 @@ simulate stays in the sweep layer, *how and where* lives here.
   with zero recomputation.
 * :mod:`~repro.core.exec.progress` — structured progress events
   (cells done / simulated / cached, cost-weighted ETA) for the CLI.
+* :mod:`~repro.core.exec.supervisor` — the fault-tolerance wrapper
+  (timeouts, seeded retry/backoff, quarantine, graceful degradation —
+  DESIGN.md Section 11).
+* :mod:`~repro.core.exec.faults` — deterministic, seeded fault
+  injection: the test harness that proves the supervisor works.
 
 None of it affects simulation output, so the package is excluded from
 the disk cache's engine fingerprint: scheduler changes never invalidate
@@ -29,11 +34,25 @@ from repro.core.exec.backends import (
 )
 from repro.core.exec.chunking import UNITS_PER_WORKER, WorkUnit, \
     chunk_specs, spec_cost
+from repro.core.exec.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    active_plan,
+)
 from repro.core.exec.journal import RunJournal, invocation_id, journals_dir
 from repro.core.exec.progress import (
     ProgressEvent,
     ProgressTracker,
     stderr_progress,
+)
+from repro.core.exec.supervisor import (
+    ON_ERROR_POLICIES,
+    CellFailure,
+    FailureReport,
+    SupervisedBackend,
+    SupervisorEvent,
 )
 
 __all__ = [
@@ -53,4 +72,14 @@ __all__ = [
     "ProgressEvent",
     "ProgressTracker",
     "stderr_progress",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedCrash",
+    "active_plan",
+    "SupervisedBackend",
+    "FailureReport",
+    "CellFailure",
+    "SupervisorEvent",
+    "ON_ERROR_POLICIES",
 ]

@@ -63,9 +63,35 @@ def _process_worker_init(profiles) -> None:
     Under ``fork`` the worker inherits the registry anyway and this is
     a harmless no-op re-registration.
     """
+    from repro.core.exec import faults
     from repro.workloads.profiles import register_profile
+    faults.mark_worker()
     for profile in profiles:
         register_profile(profile, replace=True)
+
+
+def _ensure_picklable(units: Sequence[WorkUnit]) -> None:
+    """Fail fast with a clear error when a unit cannot cross a pipe.
+
+    A scheme or workload carrying a closure (a lambda miss-latency
+    model, a locally-defined profile) pickles fine right up until the
+    pool tries to ship it, at which point the raw ``PicklingError``
+    surfaces from deep inside :mod:`concurrent.futures` with no hint of
+    which cell is at fault.  Probe each unit up front instead.
+    """
+    import pickle
+    for unit in units:
+        for spec in unit.specs:
+            try:
+                pickle.dumps(spec)
+            except Exception as exc:
+                raise ReproError(
+                    f"cell {spec.workload}/{spec.scheme} cannot be sent to "
+                    f"a worker process ({type(exc).__name__}: {exc}); "
+                    f"schemes/workloads used with the process backend must "
+                    f"be picklable — avoid lambdas and locally-defined "
+                    f"functions, or run with --backend thread/serial"
+                ) from exc
 
 
 class Backend:
@@ -158,6 +184,11 @@ class ProcessBackend(_PoolBackend):
     name = "process"
     remote = True
 
+    def execute(self, units: Sequence[WorkUnit],
+                use_cache: bool = True) -> Iterator[CellResult]:
+        _ensure_picklable(units)
+        return super().execute(units, use_cache=use_cache)
+
     def _make_pool(self, n_units: int):
         from repro.workloads.profiles import iter_profiles
         return ProcessPoolExecutor(
@@ -201,4 +232,5 @@ __all__ = [
     "BACKENDS",
     "get_backend",
     "CellResult",
+    "_ensure_picklable",
 ]

@@ -1,0 +1,412 @@
+"""Deterministic, seeded fault injection for the execution layer.
+
+The fault-tolerance machinery in :mod:`~repro.core.exec.supervisor`
+exists for failures that are miserable to reproduce: a worker process
+dying mid-unit, a cell hanging forever, a cache entry truncated by a
+full disk.  This module makes those failures *injectable and
+deterministic* so the retry/quarantine/degradation paths can be tested
+like any other code.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultRule` values.
+Each rule names a fault ``kind`` and matches cells by their spec fields
+(``workload``/``scheme``/``seed``/``n_blocks``; omitted fields match
+everything) or by a deterministic per-cell ``probability``.  Kinds:
+
+``raise``
+    Raise :class:`InjectedFault` instead of simulating the cell.
+``crash``
+    Kill the executing worker: ``os._exit`` inside a process-pool
+    worker (the parent sees a broken pool, exactly like a real crash);
+    in-process execution raises :class:`InjectedCrash` instead — a
+    test process must never kill itself.
+``hang``
+    Block for ``seconds`` (in small cancellable slices), then raise —
+    the cell never completes.  The supervisor's per-unit timeout is
+    what recovers from this; :func:`cancel_hangs` releases in-process
+    hangs when a thread pool is abandoned.
+``delay``
+    Sleep ``seconds`` and then simulate normally (straggler injection).
+``corrupt``
+    After the cell's result is persisted, truncate the disk-cache
+    entry in place — the bit-rot/truncation scenario the integrity
+    layer (checksummed entries, ``cache verify``) must detect.
+
+**Determinism across processes and retries.**  A rule fires at most
+``times`` times *per cell*, counted in an on-disk scoreboard (atomic
+``O_EXCL`` claim files under ``<state_dir>``), so "crash the first two
+attempts, then succeed" holds even when every attempt runs in a
+different worker process.  ``times: null`` means unlimited — a poison
+cell that must end up quarantined.  ``probability`` rules hash
+``(plan seed, rule index, cell identity)``, so the same plan poisons
+the same cells regardless of execution order or backend.
+
+Activation: the ``REPRO_FAULT_PLAN`` environment variable (a JSON file
+path, or inline JSON starting with ``{``) reaches every process — pool
+workers inherit the parent's environment — and ``run_specs(faults=...)``
+scopes a plan to one call via :meth:`FaultPlan.activated`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ReproError
+
+_ENV_PLAN = "REPRO_FAULT_PLAN"
+
+#: Fault kinds a rule may inject.
+KINDS = ("raise", "crash", "hang", "delay", "corrupt")
+
+#: Slice length for cancellable hang sleeps.
+_HANG_SLICE = 0.05
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised by an active :class:`FaultPlan` (not a bug)."""
+
+
+class InjectedCrash(InjectedFault):
+    """A crash fault fired outside a pool worker (in-process stand-in)."""
+
+
+# -- Worker / hang bookkeeping ---------------------------------------------
+
+#: True in process-pool workers (set by the pool initializer): a crash
+#: fault may really ``os._exit`` there without killing the test runner.
+_IS_WORKER = False
+
+#: Bumped by :func:`cancel_hangs`; in-flight hangs notice and raise, so
+#: an abandoned thread pool's stuck workers unwind promptly.
+_hang_generation = 0
+_hang_lock = threading.Lock()
+
+
+def mark_worker() -> None:
+    """Declare this process a pool worker (crash faults become real)."""
+    global _IS_WORKER
+    _IS_WORKER = True
+
+
+def in_worker() -> bool:
+    return _IS_WORKER
+
+
+def cancel_hangs() -> None:
+    """Release every in-flight injected hang (they raise immediately)."""
+    global _hang_generation
+    with _hang_lock:
+        _hang_generation += 1
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: a fault kind plus its cell-matching filter.
+
+    ``workload``/``scheme``/``seed``/``n_blocks`` are exact-match
+    filters (None matches everything); ``probability`` additionally
+    gates matching cells through a deterministic per-cell hash.
+    ``times`` bounds how often the rule fires per cell (None =
+    unlimited); ``seconds`` sizes hangs and delays.
+    """
+
+    kind: str
+    workload: Optional[str] = None
+    scheme: Optional[str] = None
+    seed: Optional[int] = None
+    n_blocks: Optional[int] = None
+    probability: Optional[float] = None
+    times: Optional[int] = 1
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}"
+            )
+        if self.probability is not None \
+                and not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ReproError(f"fault times must be >= 1, got {self.times}")
+
+    def matches(self, spec: Any) -> bool:
+        """Field-filter match (probability/times are applied separately)."""
+        if self.workload is not None \
+                and self.workload.lower() != str(spec.workload).lower():
+            return False
+        if self.scheme is not None \
+                and self.scheme.lower() != str(spec.scheme).lower():
+            return False
+        if self.seed is not None and self.seed != getattr(spec, "seed", None):
+            return False
+        if self.n_blocks is not None \
+                and self.n_blocks != getattr(spec, "n_blocks", None):
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for name in ("workload", "scheme", "seed", "n_blocks",
+                     "probability"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        payload["times"] = self.times
+        payload["seconds"] = self.seconds
+        return payload
+
+
+def _cell_id(spec: Any) -> str:
+    """Stable, filesystem-safe identity of one cell for the scoreboard."""
+    material = (f"{spec.workload}|{spec.scheme}|"
+                f"{getattr(spec, 'seed', '')}|"
+                f"{getattr(spec, 'n_blocks', '')}")
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of injection rules."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    #: Scoreboard directory for ``times`` accounting (default: the
+    #: ``fault-state`` subdirectory of the disk-cache root, so every
+    #: process of a sweep shares it).
+    state_dir: Optional[str] = None
+
+    # -- Construction / serialisation ----------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        try:
+            rules = tuple(FaultRule(**rule)
+                          for rule in payload.get("rules", ()))
+        except TypeError as error:
+            raise ReproError(f"bad fault rule: {error}") from None
+        return cls(rules=rules, seed=int(payload.get("seed", 0)),
+                   state_dir=payload.get("state_dir"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ReproError(f"fault plan is not valid JSON: {error}") \
+                from None
+        if not isinstance(payload, dict):
+            raise ReproError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+        if self.state_dir is not None:
+            payload["state_dir"] = self.state_dir
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def activated(self) -> "_Activation":
+        """``with plan.activated(): ...`` — scope this plan to a block."""
+        return _Activation(self)
+
+    # -- Firing decisions ----------------------------------------------
+
+    def _state_dir(self) -> str:
+        if self.state_dir:
+            return self.state_dir
+        from repro.core import diskcache
+        return os.path.join(diskcache.cache_dir(), "fault-state")
+
+    def _probability_fires(self, index: int, rule: FaultRule,
+                           spec: Any) -> bool:
+        material = f"{self.seed}|{index}|{_cell_id(spec)}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < (rule.probability or 0.0)
+
+    def _claim(self, index: int, rule: FaultRule, spec: Any) -> bool:
+        """Atomically claim one firing of *rule* for *spec*.
+
+        The scoreboard is a set of ``O_CREAT|O_EXCL`` marker files, so
+        the claim is race-free across worker processes and survives
+        worker death — which is exactly when it matters: a crash
+        fault's count must advance even though the worker that fired it
+        never returns.
+        """
+        if rule.times is None:
+            return True
+        root = self._state_dir()
+        try:
+            os.makedirs(root, exist_ok=True)
+        except OSError:
+            return True  # no scoreboard: fire (fail-open is noisier)
+        for attempt in range(rule.times):
+            path = os.path.join(
+                root, f"r{index}-{_cell_id(spec)}.{attempt}")
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+            except OSError:
+                return True
+        return False
+
+    def _firing_rules(self, spec: Any,
+                      kinds: Tuple[str, ...]) -> Iterable[Tuple[int,
+                                                                FaultRule]]:
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in kinds or not rule.matches(spec):
+                continue
+            if rule.probability is not None \
+                    and not self._probability_fires(index, rule, spec):
+                continue
+            if self._claim(index, rule, spec):
+                yield index, rule
+
+    # -- Injection hooks (called from run_spec) ------------------------
+
+    def before_cell(self, spec: Any) -> None:
+        """Fire any matching pre-simulation fault for *spec*."""
+        for index, rule in self._firing_rules(
+                spec, ("delay", "hang", "crash", "raise")):
+            if rule.kind == "delay":
+                time.sleep(rule.seconds)
+            elif rule.kind == "hang":
+                self._hang(rule.seconds, spec)
+            elif rule.kind == "crash":
+                if in_worker():
+                    os._exit(57)
+                raise InjectedCrash(
+                    f"injected crash (rule {index}) on "
+                    f"{spec.workload}/{spec.scheme}"
+                )
+            else:
+                raise InjectedFault(
+                    f"injected fault (rule {index}) on "
+                    f"{spec.workload}/{spec.scheme}"
+                )
+
+    def _hang(self, seconds: float, spec: Any) -> None:
+        start = time.monotonic()
+        generation = _hang_generation
+        while time.monotonic() - start < seconds:
+            if _hang_generation != generation:
+                raise InjectedFault(
+                    f"injected hang cancelled on "
+                    f"{spec.workload}/{spec.scheme}"
+                )
+            time.sleep(min(_HANG_SLICE, seconds))
+        raise InjectedFault(
+            f"injected hang elapsed ({seconds}s) on "
+            f"{spec.workload}/{spec.scheme}"
+        )
+
+    def after_store(self, spec: Any, entry_path: str) -> None:
+        """Fire any matching ``corrupt`` fault on the cell's cache entry.
+
+        Truncates the entry to half its size in place — invalid JSON
+        with a plausible prefix, the classic full-disk/kill signature
+        the checksummed read path must catch.
+        """
+        for _index, _rule in self._firing_rules(spec, ("corrupt",)):
+            try:
+                size = os.path.getsize(entry_path)
+                with open(entry_path, "r+b") as handle:
+                    handle.truncate(max(1, size // 2))
+            except OSError:
+                pass
+            return
+
+
+# -- Active-plan resolution -------------------------------------------------
+
+#: Plan activated in-process (wins over the environment).
+_active_override: Optional[FaultPlan] = None
+
+#: Parse cache for environment-named plans, keyed by the raw env value.
+_env_cache: Dict[str, Optional[FaultPlan]] = {}
+
+
+def _load_env_plan(value: str) -> FaultPlan:
+    text = value
+    if not value.lstrip().startswith("{"):
+        try:
+            with open(value, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ReproError(
+                f"cannot read fault plan file {value!r}: {error}"
+            ) from None
+    return FaultPlan.from_json(text)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan injection hooks consult (override, else environment)."""
+    if _active_override is not None:
+        return _active_override
+    value = os.environ.get(_ENV_PLAN, "").strip()
+    if not value:
+        return None
+    if value not in _env_cache:
+        _env_cache[value] = _load_env_plan(value)
+    return _env_cache[value]
+
+
+class _Activation:
+    """Context manager scoping a plan (module override + environment)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._saved_env: Optional[str] = None
+        self._saved_override: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _active_override
+        self._saved_override = _active_override
+        self._saved_env = os.environ.get(_ENV_PLAN)
+        _active_override = self._plan
+        # Pool workers inherit the environment, not module globals.
+        os.environ[_ENV_PLAN] = self._plan.to_json()
+        return self._plan
+
+    def __exit__(self, *exc_info) -> None:
+        global _active_override
+        _active_override = self._saved_override
+        if self._saved_env is None:
+            os.environ.pop(_ENV_PLAN, None)
+        else:
+            os.environ[_ENV_PLAN] = self._saved_env
+
+
+def activated(plan: FaultPlan) -> _Activation:
+    """``with activated(plan): ...`` — scope *plan* to a block."""
+    return _Activation(plan)
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedCrash",
+    "KINDS",
+    "active_plan",
+    "activated",
+    "cancel_hangs",
+    "in_worker",
+    "mark_worker",
+]

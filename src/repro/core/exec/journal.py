@@ -15,18 +15,34 @@ hashes the invocation's canonical description (command, experiments,
 blocks, seeds, ...) but none of ``--backend``/``--max-workers`` — an
 interrupted process-backend run may be resumed on the thread backend.
 
-Format (one JSON object per line)::
+Format (one JSON object per line, each stamped with a CRC32 of its own
+canonical serialisation)::
 
-    {"kind": "begin", "total": 24, "engine_version": 2}
-    {"kind": "cell", "key": "<sha256>", "source": "simulated"}
-    {"kind": "cell", "key": "<sha256>", "source": "cached"}
+    {"kind": "begin", "total": 24, "engine_version": 2, "crc": ...}
+    {"kind": "cell", "key": "<sha256>", "source": "simulated", "crc": ...}
+    {"kind": "cell", "key": "<sha256>", "source": "cached", "crc": ...}
+    {"kind": "cell_failed", "key": "<sha256>", "error": "...",
+     "attempts": [...], "crc": ...}
     ...
-    {"kind": "end", "simulated": 23, "cached": 1}
+    {"kind": "end", "simulated": 22, "cached": 1, "failed": 1, "crc": ...}
+
+``cell_failed`` records are written when the fault-tolerant executor
+quarantines a cell (DESIGN.md Section 11): they carry the exception and
+per-attempt history, and a resumed invocation treats them as resolved
+(not to be re-simulated) unless a later ``cell`` record supersedes them.
 
 A file may hold several begin/end segments (an invocation that calls
 :func:`~repro.core.sweep.run_specs` more than once appends one segment
-per call); readers fold all segments together.  A truncated trailing
-line — the signature of a crash mid-write — is ignored on load.
+per call); readers fold all segments together.  Corruption is contained
+line by line: a truncated trailing line — the signature of a crash
+mid-write — is ignored on load, and any line whose CRC does not match
+its content (bit rot, interleaved writes) is skipped and counted in
+:attr:`RunJournal.corrupt_records`; :meth:`RunJournal.recover` rewrites
+the file keeping every intact record.  A journal that recorded all of
+its cells but lost the final ``end`` marker (killed between the last
+cache write and the journal append) still reads as
+:attr:`RunJournal.complete`, so resume reports it as such instead of
+pretending work remains.
 """
 
 from __future__ import annotations
@@ -34,10 +50,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, Optional, Set
+import zlib
+from typing import Any, Dict, List, Optional, Set
 
 BEGIN = "begin"
 CELL = "cell"
+CELL_FAILED = "cell_failed"
 END = "end"
 
 
@@ -60,14 +78,24 @@ def invocation_id(material: Dict[str, Any]) -> str:
     return digest[:16]
 
 
+def _record_crc(record: Dict[str, Any]) -> int:
+    """CRC32 of a record's canonical serialisation (sans the crc field)."""
+    material = {key: value for key, value in record.items() if key != "crc"}
+    return zlib.crc32(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ) & 0xFFFFFFFF
+
+
 class RunJournal:
     """Append-only record of one invocation's resolved cells."""
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._completed: Optional[Set[str]] = None
+        self._failed: Set[str] = set()
         self._finished = False
         self._total = 0
+        self._corrupt = 0
 
     @classmethod
     def for_invocation(cls, material: Dict[str, Any]) -> "RunJournal":
@@ -76,31 +104,55 @@ class RunJournal:
 
     # -- Reading -------------------------------------------------------
 
+    def _valid_records(self):
+        """Yield every parseable, CRC-intact record; count the rest."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == len(lines) - 1:
+                    continue  # truncated trailing line (crash mid-write)
+                self._corrupt += 1
+                continue
+            if not isinstance(record, dict):
+                self._corrupt += 1
+                continue
+            if "crc" in record and _record_crc(record) != record["crc"]:
+                self._corrupt += 1
+                continue
+            yield record
+
     def _load(self) -> None:
         if self._completed is not None:
             return
         completed: Set[str] = set()
+        failed: Set[str] = set()
         finished = False
         total = 0
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue  # truncated trailing line (crash)
-                    kind = record.get("kind")
-                    if kind == CELL and "key" in record:
-                        completed.add(record["key"])
-                        finished = False
-                    elif kind == BEGIN:
-                        total = max(total, int(record.get("total", 0)))
-                        finished = False
-                    elif kind == END:
-                        finished = True
-        except (OSError, ValueError):
-            pass
+        self._corrupt = 0
+        for record in self._valid_records():
+            kind = record.get("kind")
+            if kind == CELL and "key" in record:
+                completed.add(record["key"])
+                failed.discard(record["key"])
+                finished = False
+            elif kind == CELL_FAILED and "key" in record:
+                failed.add(record["key"])
+                finished = False
+            elif kind == BEGIN:
+                total = max(total, int(record.get("total", 0)))
+                finished = False
+            elif kind == END:
+                finished = True
         self._completed = completed
+        self._failed = failed
         self._finished = finished
         self._total = total
 
@@ -111,10 +163,32 @@ class RunJournal:
         return set(self._completed or ())
 
     @property
+    def quarantined(self) -> Set[str]:
+        """Keys quarantined by the executor and never later completed."""
+        self._load()
+        return set(self._failed)
+
+    @property
     def finished(self) -> bool:
         """Whether the journal's last segment ran to its end marker."""
         self._load()
         return self._finished
+
+    @property
+    def complete(self) -> bool:
+        """Whether every declared cell was resolved, ``end`` marker or not.
+
+        A process killed between its last cache write and the journal's
+        ``end`` append leaves a journal with all cells recorded but no
+        end marker; treating that as "interrupted with work remaining"
+        would misreport a finished run.  Quarantined cells count as
+        resolved — they were decided, not lost.
+        """
+        self._load()
+        if self._finished:
+            return True
+        resolved = len(self._completed or ()) + len(self._failed)
+        return self._total > 0 and resolved >= self._total
 
     @property
     def total(self) -> int:
@@ -122,12 +196,50 @@ class RunJournal:
         self._load()
         return self._total
 
+    @property
+    def corrupt_records(self) -> int:
+        """Lines dropped on load (bad JSON mid-file or CRC mismatch)."""
+        self._load()
+        return self._corrupt
+
     def exists(self) -> bool:
         return os.path.exists(self.path)
+
+    def recover(self) -> int:
+        """Rewrite the journal keeping every intact record.
+
+        Salvages the journal after detected corruption: all parseable,
+        CRC-valid records survive (in order), everything else is
+        dropped.  Returns the number of lines discarded.  Atomic — a
+        crash mid-recovery leaves the original file in place.
+        """
+        self._load()
+        dropped = self._corrupt
+        records: List[Dict[str, Any]] = []
+        self._corrupt = 0
+        records = list(self._valid_records())
+        tmp_path = self.path + ".recover"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    record.setdefault("crc", _record_crc(record))
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return 0
+        self._completed = None  # force reload
+        self._load()
+        return dropped
 
     # -- Writing -------------------------------------------------------
 
     def _append(self, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record["crc"] = _record_crc(record)
         try:
             os.makedirs(os.path.dirname(self.path), exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as handle:
@@ -150,13 +262,28 @@ class RunJournal:
         assert self._completed is not None
         if key not in self._completed:
             self._completed.add(key)
+            self._failed.discard(key)
             self._append({"kind": CELL, "key": key, "source": source})
 
-    def finish(self, simulated: int, cached: int) -> None:
+    def record_failure(self, key: str, error: str,
+                       attempts: Optional[List[Dict[str, Any]]] = None
+                       ) -> None:
+        """Record a quarantined cell with its attempt history."""
+        self._load()
+        if key in self._failed or key in (self._completed or ()):
+            return
+        self._failed.add(key)
+        self._append({"kind": CELL_FAILED, "key": key,
+                      "error": str(error)[:500],
+                      "attempts": list(attempts or ())})
+
+    def finish(self, simulated: int, cached: int, failed: int = 0) -> None:
         self._load()
         self._finished = True
-        self._append({"kind": END, "simulated": simulated,
-                      "cached": cached})
+        record = {"kind": END, "simulated": simulated, "cached": cached}
+        if failed:
+            record["failed"] = failed
+        self._append(record)
 
     def reset(self) -> None:
         """Discard any previous record (a fresh, non-resumed run)."""
@@ -165,9 +292,11 @@ class RunJournal:
         except OSError:
             pass
         self._completed = set()
+        self._failed = set()
         self._finished = False
         self._total = 0
+        self._corrupt = 0
 
 
 __all__ = ["RunJournal", "invocation_id", "journals_dir",
-           "BEGIN", "CELL", "END"]
+           "BEGIN", "CELL", "CELL_FAILED", "END"]

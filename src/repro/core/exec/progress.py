@@ -24,9 +24,17 @@ from typing import Any, Callable, Optional
 
 #: Event kinds, in emission order: one ``start``, then one ``cell`` per
 #: resolved cell, then one ``done`` (absent if the sweep is interrupted).
+#: Under fault-tolerant execution (DESIGN.md Section 11) three more kinds
+#: may interleave with ``cell``: ``retry`` (a unit failed and was
+#: rescheduled), ``quarantine`` (a cell exhausted its retries and was
+#: recorded as failed), and ``degrade`` (the supervisor fell back to a
+#: less fragile backend).
 START = "start"
 CELL = "cell"
 DONE = "done"
+RETRY = "retry"
+QUARANTINE = "quarantine"
+DEGRADE = "degrade"
 
 #: Cell resolution sources.
 CACHED = "cached"
@@ -51,10 +59,15 @@ class ProgressEvent:
     cached: int
     elapsed: float
     eta_seconds: Optional[float] = None
-    #: The cell just resolved (``cell`` events only).
+    #: The cell just resolved (``cell``/``retry``/``quarantine`` events).
     spec: Optional[Any] = None
     #: ``cached`` or ``simulated`` (``cell`` events only).
     source: Optional[str] = None
+    #: Cells quarantined so far (counted in ``done`` but in neither
+    #: ``simulated`` nor ``cached``).
+    failed: int = 0
+    #: Human-readable context (``retry``/``quarantine``/``degrade``).
+    detail: Optional[str] = None
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -79,6 +92,7 @@ class ProgressTracker:
         self.done = 0
         self.simulated = 0
         self.cached = 0
+        self.failed = 0
         self._done_cost = 0
         self._simulated_cost = 0
 
@@ -95,12 +109,13 @@ class ProgressTracker:
         return remaining / rate
 
     def _emit(self, kind: str, spec: Any = None,
-              source: Optional[str] = None) -> None:
+              source: Optional[str] = None,
+              detail: Optional[str] = None) -> None:
         self._callback(ProgressEvent(
             kind=kind, done=self.done, total=self.total,
             simulated=self.simulated, cached=self.cached,
             elapsed=self._elapsed(), eta_seconds=self._eta(),
-            spec=spec, source=source,
+            spec=spec, source=source, failed=self.failed, detail=detail,
         ))
 
     def prime_cached(self, count: int, cost: int) -> None:
@@ -129,6 +144,26 @@ class ProgressTracker:
             self.cached += 1
         self._emit(CELL, spec=spec, source=source)
 
+    def retry(self, spec: Any, detail: str) -> None:
+        """Record a unit retry (no counters move — nothing resolved)."""
+        self._emit(RETRY, spec=spec, detail=detail)
+
+    def quarantine(self, spec: Any, cost: int, detail: str) -> None:
+        """Record a cell quarantined after exhausting its retries.
+
+        The cell counts as *done* (its fate is decided; the sweep will
+        not revisit it) and its cost leaves the ETA denominator, but it
+        is neither simulated nor cached.
+        """
+        self.done += 1
+        self.failed += 1
+        self._done_cost += cost
+        self._emit(QUARANTINE, spec=spec, detail=detail)
+
+    def degrade(self, detail: str) -> None:
+        """Record a supervisor backend fallback (process → thread → ...)."""
+        self._emit(DEGRADE, detail=detail)
+
     def finish(self) -> None:
         self._emit(DONE)
 
@@ -155,9 +190,20 @@ def stderr_progress(stream=None) -> ProgressCallback:
         elif event.kind == START:
             print(f"[sweep: {event.total} cells, "
                   f"{event.cached} already cached]", file=out)
-        else:
+        elif event.kind == RETRY:
+            print(f"[retry: {event.detail}]", file=out)
+        elif event.kind == QUARANTINE:
+            label = ""
+            if event.spec is not None:
+                label = f"{event.spec.workload}/{event.spec.scheme}: "
+            print(f"[quarantined {label}{event.detail}]", file=out)
+        elif event.kind == DEGRADE:
+            print(f"[warning: {event.detail}]", file=out)
+        elif event.kind == DONE:
+            failed = (f", {event.failed} quarantined"
+                      if event.failed else "")
             print(f"[sweep done: {event.simulated} simulated, "
-                  f"{event.cached} cached in {event.elapsed:.1f}s]",
+                  f"{event.cached} cached{failed} in {event.elapsed:.1f}s]",
                   file=out)
 
     return render
@@ -171,6 +217,9 @@ __all__ = [
     "START",
     "CELL",
     "DONE",
+    "RETRY",
+    "QUARANTINE",
+    "DEGRADE",
     "CACHED",
     "SIMULATED",
 ]

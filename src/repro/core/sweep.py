@@ -47,7 +47,10 @@ from repro.config import MicroarchParams, SchemeConfig
 from repro.core import diskcache
 from repro.core.exec import Backend, ProgressTracker, RunJournal, \
     chunk_specs, get_backend, spec_cost, stderr_progress
+from repro.core.exec import faults as faultlib
 from repro.core.exec import progress as progress_events
+from repro.core.exec.supervisor import CellFailure, FailureReport, \
+    SupervisedBackend, SupervisorEvent
 from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
@@ -69,6 +72,15 @@ _ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
 _ENV_PROGRESS = "REPRO_PROGRESS"
 _ENV_JOURNAL = "REPRO_JOURNAL"
 
+#: Fault-tolerance overrides (DESIGN.md Section 11), set (scoped) by the
+#: CLI's ``--retries``/``--unit-timeout``/``--on-error`` flags;
+#: ``REPRO_BACKOFF_BASE`` shrinks retry backoff for tests and CI chaos
+#: runs.
+_ENV_RETRIES = "REPRO_RETRIES"
+_ENV_UNIT_TIMEOUT = "REPRO_UNIT_TIMEOUT"
+_ENV_ON_ERROR = "REPRO_ON_ERROR"
+_ENV_BACKOFF_BASE = "REPRO_BACKOFF_BASE"
+
 #: In-process result memo, keyed by canonical :class:`RunSpec`.
 _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 
@@ -87,17 +99,51 @@ simulations = 0
 _SIM_LOCK = threading.Lock()
 
 
+#: Process-local count of cells quarantined by supervised execution
+#: (each one completed no simulation and has no result).  The CLI's
+#: accounting line and the explore budget report read deltas of this.
+quarantines = 0
+
+#: Structured report of the most recent supervised :func:`run_specs`
+#: call that quarantined, retried or degraded anything (None when the
+#: last call was clean or unsupervised).
+last_failures: Optional[FailureReport] = None
+
+
 def _count_simulation() -> None:
     global simulations
     with _SIM_LOCK:
         simulations += 1
 
 
+def _count_quarantine() -> None:
+    global quarantines
+    with _SIM_LOCK:
+        quarantines += 1
+
+
+def note_remote_result(spec: RunSpec, result: SimulationResult,
+                       use_cache: bool = True) -> None:
+    """Mirror one worker-simulated cell into this process's accounting.
+
+    Process-pool workers simulate in their own interpreters: the parent
+    must count the simulation (budget/zero-simulation observers) and
+    memoise the result (so later serial calls hit).  Both the plain
+    process backend's drain loop and the supervisor's process mode call
+    this once per dispatched cell — both caches were probed before
+    dispatch, so every dispatched cell was a genuine miss here.
+    """
+    _count_simulation()
+    if use_cache:
+        _RESULT_CACHE[spec] = result
+
+
 def reset_simulation_counter() -> None:
-    """Zero the process-local simulation counter (tests)."""
-    global simulations
+    """Zero the process-local simulation/quarantine counters (tests)."""
+    global simulations, quarantines
     with _SIM_LOCK:
         simulations = 0
+        quarantines = 0
 
 
 class SimulationMeter:
@@ -148,6 +194,13 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
             _RESULT_CACHE[spec] = cached
             return cached
 
+    plan = faultlib.active_plan()
+    if plan is not None:
+        # Injection point for the fault-tolerance harness (DESIGN.md
+        # Section 11): cached cells are never poisoned — the plan fires
+        # only where real failures can happen, during simulation.
+        plan.before_cell(spec)
+
     profile = get_profile(spec.workload)
     generated = build_program(spec.workload)
     trace = build_trace(spec.workload, spec.n_blocks, seed=spec.seed)
@@ -161,6 +214,15 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         _RESULT_CACHE[spec] = result
         if disk_key is not None:
             diskcache.store(disk_key, result)
+            if plan is not None:
+                plan.after_store(spec, diskcache.entry_path(disk_key))
+            if not diskcache.verify_entry(disk_key):
+                # Write-verify heal: the entry on disk does not match
+                # what we just computed (truncation by a full disk, or
+                # an injected corrupt fault).  The result is still in
+                # memory — store it again rather than leaving a poisoned
+                # entry for the next reader to evict and re-simulate.
+                diskcache.store(disk_key, result)
     return result
 
 
@@ -235,6 +297,41 @@ def _progress_enabled() -> bool:
     return os.environ.get(_ENV_PROGRESS, "0") not in ("0", "false", "no", "")
 
 
+def _env_int(name: str, minimum: int) -> Optional[int]:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ReproError(
+            f"{name} must be an integer, got {value!r}"
+        ) from None
+    if parsed < minimum:
+        raise ReproError(f"{name} must be >= {minimum}, got {parsed}")
+    return parsed
+
+
+def _env_float(name: str) -> Optional[float]:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ReproError(
+            f"{name} must be a number, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise ReproError(f"{name} must be positive, got {parsed}")
+    return parsed
+
+
+def _env_on_error() -> Optional[str]:
+    value = os.environ.get(_ENV_ON_ERROR, "").strip().lower()
+    return value or None
+
+
 def _default_backend(parallel: Optional[bool], n_pending: int,
                      max_workers: int) -> str:
     """Backend when the caller named none: the legacy ``parallel`` map.
@@ -265,6 +362,10 @@ def run_specs(specs: Iterable[RunSpec],
               backend: Optional[Union[str, Backend]] = None,
               progress: Optional[Callable] = None,
               journal: Optional[RunJournal] = None,
+              faults: Optional[faultlib.FaultPlan] = None,
+              retries: Optional[int] = None,
+              unit_timeout: Optional[float] = None,
+              on_error: Optional[str] = None,
               ) -> Dict[RunSpec, SimulationResult]:
     """Simulate a collection of cells through a pluggable backend.
 
@@ -290,10 +391,30 @@ def run_specs(specs: Iterable[RunSpec],
             resolved cell (default: the file ``REPRO_JOURNAL`` names).
             Together with the disk cache this makes an interrupted
             collection resumable with zero recomputation.
+        faults: a :class:`~repro.core.exec.faults.FaultPlan` scoped to
+            this call (the test harness; an inherited
+            ``REPRO_FAULT_PLAN`` environment plan reaches here too).
+        retries: per-unit retry budget (default ``REPRO_RETRIES`` or 0).
+        unit_timeout: per-unit wall-clock timeout in seconds (default
+            ``REPRO_UNIT_TIMEOUT`` or none).
+        on_error: ``fail`` (default — raise on the first cell that
+            exhausts its retries), ``skip`` (quarantine it and keep
+            going; the returned mapping omits it) or ``degrade`` (skip
+            plus backend fallback process → thread → serial).  Any
+            non-default fault-tolerance setting routes execution
+            through the :class:`~repro.core.exec.supervisor.
+            SupervisedBackend` (DESIGN.md Section 11).
 
     A fully-cached collection returns before any backend is resolved:
     no pool, no workers, no executor — repeated runs cost file reads.
+    Quarantined cells are recorded in the journal (``cell_failed``) and
+    in :data:`last_failures`; a resumed invocation carries them forward
+    (under ``skip``/``degrade``) instead of retrying them.
     """
+    global last_failures
+    from repro.core.exec.supervisor import DEFAULT_BACKOFF_BASE, \
+        ON_ERROR_POLICIES
+
     ordered: List[RunSpec] = []
     seen = set()
     for spec in specs:
@@ -308,6 +429,16 @@ def run_specs(specs: Iterable[RunSpec],
         journal_path = os.environ.get(_ENV_JOURNAL)
         if journal_path:
             journal = RunJournal(journal_path)
+    if retries is None:
+        retries = _env_int(_ENV_RETRIES, 0)
+    if unit_timeout is None:
+        unit_timeout = _env_float(_ENV_UNIT_TIMEOUT)
+    policy = (on_error or _env_on_error() or "fail").lower()
+    if policy not in ON_ERROR_POLICIES:
+        raise ReproError(
+            f"unknown on-error policy {policy!r}; choose from "
+            f"{ON_ERROR_POLICIES}"
+        )
 
     results: Dict[RunSpec, SimulationResult] = {}
     pending: List[RunSpec] = []
@@ -327,10 +458,34 @@ def run_specs(specs: Iterable[RunSpec],
             results[spec] = hit
         else:
             pending.append(spec)
+    n_cached = len(results)
 
     def cell_key(spec: RunSpec) -> str:
         key = disk_keys.get(spec)
         return key if key is not None else diskcache.spec_key(spec)
+
+    # Quarantines recorded by a previous (resumed) invocation are
+    # carried forward: those cells were decided, not lost, so a resume
+    # must not silently retry them — and must not re-simulate anything.
+    carried: List[RunSpec] = []
+    if journal is not None and pending:
+        quarantined_keys = journal.quarantined
+        if quarantined_keys:
+            still_pending: List[RunSpec] = []
+            for spec in pending:
+                if cell_key(spec) in quarantined_keys:
+                    carried.append(spec)
+                else:
+                    still_pending.append(spec)
+            pending = still_pending
+    if carried and policy == "fail":
+        first = carried[0]
+        raise ReproError(
+            f"{len(carried)} cell(s) were quarantined by a previous "
+            f"invocation (first: {first.workload}/{first.scheme}); rerun "
+            "with --on-error skip/degrade to carry them forward, or "
+            "start fresh without --resume to retry them"
+        )
 
     tracker: Optional[ProgressTracker] = None
     if progress is not None:
@@ -347,12 +502,37 @@ def run_specs(specs: Iterable[RunSpec],
             journal.record(cell_key(spec), progress_events.CACHED)
     if tracker is not None:
         tracker.start()
+    for spec in carried:
+        _count_quarantine()
+        if tracker is not None:
+            tracker.quarantine(spec, spec_cost(spec),
+                               "quarantined by a previous invocation")
+
+    def _finish_report(report: Optional[FailureReport]) -> int:
+        """Fold carried + fresh failures into :data:`last_failures`."""
+        global last_failures
+        cells = [CellFailure(spec=spec, carried=True) for spec in carried]
+        retries_done = 0
+        degraded: List = []
+        if report is not None:
+            cells.extend(report.cells)
+            retries_done = report.retries
+            degraded = list(report.degraded)
+        if cells or retries_done or degraded:
+            last_failures = FailureReport(cells=cells,
+                                          retries=retries_done,
+                                          degraded=degraded)
+        else:
+            last_failures = None
+        return len(cells)
 
     if not pending:
-        # Fully cached: the scheduler never materialises — the
-        # no-executor guarantee the regression tests pin.
+        # Fully cached (or fully carried): the scheduler never
+        # materialises — the no-executor guarantee the regression
+        # tests pin.
+        failed = _finish_report(None)
         if journal is not None:
-            journal.finish(simulated=0, cached=len(results))
+            journal.finish(simulated=0, cached=n_cached, failed=failed)
         if tracker is not None:
             tracker.finish()
         return results
@@ -365,29 +545,76 @@ def run_specs(specs: Iterable[RunSpec],
         chosen = _default_backend(parallel, len(pending), workers)
     engine = get_backend(chosen, max_workers=workers)
 
+    def _notify(event: SupervisorEvent) -> None:
+        if event.kind == "retry":
+            if tracker is not None:
+                tracker.retry(event.spec,
+                              f"unit of {event.unit_size}, attempt "
+                              f"{event.attempt} ({event.error})")
+        elif event.kind == "quarantine":
+            _count_quarantine()
+            if journal is not None:
+                journal.record_failure(cell_key(event.spec), event.error,
+                                       list(event.attempts))
+            if tracker is not None:
+                tracker.quarantine(event.spec, spec_cost(event.spec),
+                                   event.error)
+        elif event.kind == "degrade":
+            if tracker is not None:
+                tracker.degrade(f"execution degraded {event.mode} -> "
+                                f"{event.to_mode}: {event.error}")
+
+    supervise = bool(retries) or unit_timeout is not None \
+        or policy in ("skip", "degrade")
+    if supervise and not isinstance(engine, SupervisedBackend):
+        engine = SupervisedBackend(
+            inner=engine,
+            retries=retries or 0,
+            unit_timeout=unit_timeout,
+            on_error=policy,
+            notify=_notify,
+            backoff_base=_env_float(_ENV_BACKOFF_BASE)
+            or DEFAULT_BACKOFF_BASE,
+        )
+
+    plan_scope = faults.activated() if faults is not None \
+        else contextlib.nullcontext()
     simulated = 0
-    for spec, result in engine.execute(chunk_specs(pending,
-                                                   engine.max_workers),
-                                       use_cache=use_cache):
-        results[spec] = result
-        simulated += 1
-        if engine.remote:
-            # The worker simulated in its own process; mirror the cost
-            # into the parent counter so budget/zero-simulation
-            # observers see parallel work (both caches were probed
-            # before dispatch, so this cell was a genuine miss here),
-            # and mirror the result into the parent memo so later
-            # serial calls hit.
-            _count_simulation()
-            if use_cache:
-                _RESULT_CACHE[spec] = result
-        if journal is not None:
-            journal.record(cell_key(spec), progress_events.SIMULATED)
-        if tracker is not None:
-            tracker.cell(spec, progress_events.SIMULATED, spec_cost(spec))
+    recovered_cached = 0
+    with plan_scope:
+        for spec, result in engine.execute(
+                chunk_specs(pending, engine.max_workers),
+                use_cache=use_cache):
+            results[spec] = result
+            recovered = getattr(engine, "recovered", None)
+            if recovered is not None and spec in recovered:
+                # A retry re-probe served this cell from the disk cache
+                # (its first attempt persisted it before the unit
+                # failed) — a cache hit, not a simulation.
+                recovered_cached += 1
+                if use_cache:
+                    _RESULT_CACHE[spec] = result
+                source = progress_events.CACHED
+            else:
+                simulated += 1
+                source = progress_events.SIMULATED
+                if engine.remote:
+                    # The worker simulated in its own process; mirror
+                    # the cost into the parent counter so budget/
+                    # zero-simulation observers see parallel work (both
+                    # caches were probed before dispatch, so this cell
+                    # was a genuine miss here), and mirror the result
+                    # into the parent memo so later serial calls hit.
+                    note_remote_result(spec, result, use_cache=use_cache)
+            if journal is not None:
+                journal.record(cell_key(spec), source)
+            if tracker is not None:
+                tracker.cell(spec, source, spec_cost(spec))
+    failed = _finish_report(getattr(engine, "report", None))
     if journal is not None:
         journal.finish(simulated=simulated,
-                       cached=len(ordered) - len(pending))
+                       cached=n_cached + recovered_cached,
+                       failed=failed)
     if tracker is not None:
         tracker.finish()
     return results
@@ -432,9 +659,11 @@ def run_grid(workloads: Sequence[str], schemes: Sequence[Hashable],
             )
     results = run_specs(cell_specs.values(), parallel=parallel,
                         max_workers=max_workers)
+    # .get: under --on-error skip/degrade a quarantined cell has no
+    # result; its grid slot is None and consumers decide how to react.
     return {
         workload: {
-            label: results[cell_specs[(workload, label)].canonical()]
+            label: results.get(cell_specs[(workload, label)].canonical())
             for label in schemes
         }
         for workload in workloads

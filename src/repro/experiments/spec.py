@@ -474,6 +474,17 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
                         backend=backend, progress=progress)
     metric = METRICS[spec.metric]
 
+    def lookup(run):
+        try:
+            return results[run]
+        except KeyError:
+            raise ExperimentError(
+                f"{spec.experiment_id}: cell {run.workload}/{run.scheme} "
+                f"was quarantined by the fault-tolerant executor; "
+                f"experiment tables need every cell — rerun without "
+                f"--on-error skip/degrade (or fix the failing cell)"
+            ) from None
+
     values: Dict[str, Dict[str, float]] = {}
     half_widths: Dict[str, Dict[str, float]] = {}
     for cell in spec.cells:
@@ -482,15 +493,15 @@ def run_grid_spec(spec: GridSpec, n_blocks: Optional[int] = None,
             base_windows = spec.sample.window_specs(cell.baseline, n_blocks) \
                 if cell.baseline is not None else [None] * len(windows)
             stats: SampleStats = aggregate([
-                metric(results[window],
-                       results[base] if base is not None else None)
+                metric(lookup(window),
+                       lookup(base) if base is not None else None)
                 for window, base in zip(windows, base_windows)
             ])
             values.setdefault(cell.row, {})[cell.col] = stats.mean
             half_widths.setdefault(cell.row, {})[cell.col] = stats.ci95
         else:
-            res = results[cell.spec.canonical(n_blocks)]
-            base = results[cell.baseline.canonical(n_blocks)] \
+            res = lookup(cell.spec.canonical(n_blocks))
+            base = lookup(cell.baseline.canonical(n_blocks)) \
                 if cell.baseline is not None else None
             values.setdefault(cell.row, {})[cell.col] = metric(res, base)
 

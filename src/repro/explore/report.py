@@ -99,6 +99,15 @@ class _Evaluator:
         results = run_specs(specs, parallel=self._parallel,
                             max_workers=self._max_workers,
                             backend=self._backend)
+        missing = [spec for spec in specs if spec not in results]
+        if missing:
+            cell = missing[0]
+            raise ExperimentError(
+                f"cell {cell.workload}/{cell.scheme} was quarantined by "
+                f"the fault-tolerant executor; exploration objectives "
+                f"need every cell — rerun without --on-error "
+                f"skip/degrade (or fix the failing cell) and try again"
+            )
         self._charged.update(fresh)
 
         values: List[Tuple[str, float]] = []
@@ -142,7 +151,10 @@ class ExploreResult:
     fidelity, best-first.  ``cells`` is the budget actually charged;
     ``simulations`` is how many of those cells the engine really ran
     this time (0 when the disk cache served everything) — reported out
-    of band because it depends on cache state.
+    of band because it depends on cache state.  ``failures`` counts
+    cells the fault-tolerant executor quarantined during the search
+    (normally zero: a quarantined cell aborts the evaluation that
+    needed it with a clear error).
     """
 
     space: ParamSpace
@@ -155,6 +167,7 @@ class ExploreResult:
     frontier: List[EvaluatedPoint] = field(default_factory=list)
     cells: int = 0
     simulations: int = 0
+    failures: int = 0
 
     def find(self, **assignment: Any) -> EvaluatedPoint:
         """The highest-fidelity evaluated point matching *assignment*.
@@ -273,6 +286,7 @@ def explore(space: ParamSpace,
     repeats are served from the in-process memo and the persistent disk
     cache.
     """
+    from repro.core import sweep
     from repro.core.sweep import simulation_meter
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
@@ -287,6 +301,7 @@ def explore(space: ParamSpace,
                            parallel=parallel, max_workers=max_workers,
                            backend=backend)
     rng = random.Random(seed)
+    quarantined_before = sweep.quarantines
     with simulation_meter() as meter:
         try:
             strategy.search(space, evaluator, rng)
@@ -304,6 +319,7 @@ def explore(space: ParamSpace,
         frontier=pareto_frontier(evaluator.evaluated, resolved),
         cells=evaluator.cells,
         simulations=simulations,
+        failures=sweep.quarantines - quarantined_before,
     )
 
 

@@ -330,3 +330,124 @@ class TestResume:
         other = parser.parse_args(["sweep", "--workloads", "nutch",
                                    "--schemes", "ideal"])
         assert _invocation_material(base) != _invocation_material(other)
+
+
+class TestFaultTolerance:
+    """CLI surface of the fault-tolerant executor: flags, quarantine
+    accounting, error records, resume, and ``cache verify``."""
+
+    def _poison_env(self, tmp_path, monkeypatch, scheme="ideal"):
+        from repro.core.exec.faults import FaultPlan, FaultRule
+        from repro.core.sweep import clear_result_cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_BACKOFF_BASE", "0.01")
+        clear_result_cache()
+        plan = FaultPlan(
+            rules=(FaultRule(kind="raise", workload="nutch",
+                             scheme=scheme, times=None),),
+            state_dir=str(tmp_path / "faults"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+
+    def test_skip_emits_error_record_and_accounting(self, tmp_path,
+                                                    monkeypatch,
+                                                    capsys):
+        from repro.core.sweep import clear_result_cache
+        self._poison_env(tmp_path, monkeypatch)
+        assert main(["sweep", "--workloads", "nutch",
+                     "--schemes", "baseline,ideal", "--blocks", "1000",
+                     "--serial", "--retries", "1",
+                     "--on-error", "skip"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line)
+                   for line in captured.out.splitlines() if line]
+        by_scheme = {record["scheme"]: record for record in records}
+        assert by_scheme["ideal"].get("error") == "quarantined"
+        assert "error" not in by_scheme["baseline"]
+        assert "1 quarantined" in captured.err
+        clear_result_cache()
+
+    def test_fail_policy_fails_the_run(self, tmp_path, monkeypatch,
+                                       capsys):
+        from repro.core.sweep import clear_result_cache
+        self._poison_env(tmp_path, monkeypatch)
+        assert main(["sweep", "--workloads", "nutch",
+                     "--schemes", "baseline,ideal", "--blocks", "1000",
+                     "--serial", "--retries", "1",
+                     "--on-error", "fail"]) == 2
+        assert "failed after" in capsys.readouterr().err
+        clear_result_cache()
+
+    def test_resume_reports_carried_quarantine(self, tmp_path,
+                                               monkeypatch, capsys):
+        from repro.core.sweep import clear_result_cache
+        self._poison_env(tmp_path, monkeypatch)
+        argv = ["sweep", "--workloads", "nutch",
+                "--schemes", "baseline,ideal", "--blocks", "1000",
+                "--serial", "--on-error", "skip"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        clear_result_cache()
+        assert main(argv + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "1 quarantined)]" in err
+        assert "0 simulated" in err
+        clear_result_cache()
+
+    def test_flag_validation(self, capsys):
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000", "--serial",
+                     "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline", "--blocks", "1000", "--serial",
+                     "--unit-timeout", "0"]) == 2
+        assert "--unit-timeout" in capsys.readouterr().err
+
+    def test_on_error_choices_enforced_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "nutch", "--schemes",
+                  "baseline", "--on-error", "explode"])
+
+
+class TestCacheVerifyCommand:
+    def _populate(self, tmp_path, monkeypatch, capsys):
+        from repro.core import diskcache
+        from repro.core.sweep import clear_result_cache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_result_cache()
+        assert main(["sweep", "--workloads", "nutch", "--schemes",
+                     "baseline,ideal", "--blocks", "1000",
+                     "--serial"]) == 0
+        capsys.readouterr()
+        clear_result_cache()
+        from repro.experiments.spec import RunSpec
+        spec = RunSpec(workload="nutch", scheme="baseline",
+                       n_blocks=1000)
+        return diskcache.entry_path(diskcache.spec_key(spec))
+
+    def test_verify_exit_codes_and_fix(self, tmp_path, monkeypatch,
+                                       capsys):
+        path = self._populate(tmp_path, monkeypatch, capsys)
+        assert main(["cache", "verify"]) == 0
+        assert "2 ok" in capsys.readouterr().out
+
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify"]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert path in captured.err
+
+        assert main(["cache", "verify", "--fix"]) == 0
+        assert "(1 removed)" in capsys.readouterr().out
+        assert main(["cache", "verify"]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_verify_json(self, tmp_path, monkeypatch, capsys):
+        path = self._populate(tmp_path, monkeypatch, capsys)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] == 1
+        assert report["corrupt_paths"] == [path]

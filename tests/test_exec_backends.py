@@ -103,6 +103,47 @@ class TestBackendRegistry:
         assert not ThreadBackend.remote
 
 
+class TestPicklabilityGuard:
+    """Un-picklable work must fail fast with a clear error naming the
+    cell, not a raw PicklingError from inside concurrent.futures."""
+
+    def _unpicklable_spec(self):
+        from dataclasses import dataclass
+
+        from repro.config import SchemeConfig
+
+        @dataclass(frozen=True)
+        class LocalConfig(SchemeConfig):  # class defined in a function:
+            pass                          # pickle cannot look it up
+
+        return RunSpec(workload="nutch", scheme="shotgun", n_blocks=400,
+                       config=LocalConfig())
+
+    def test_process_backend_fails_fast_before_spawning(self, tmp_path,
+                                                        monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        spec = self._unpicklable_spec()
+        monkeypatch.setattr(
+            "repro.core.exec.backends.ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("pool must not be built for bad work")))
+        with pytest.raises(ReproError, match="nutch/shotgun"):
+            run_specs([spec], backend="process")
+        clear_result_cache()
+
+    def test_error_suggests_thread_or_serial(self, tmp_path,
+                                             monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        spec = self._unpicklable_spec()
+        with pytest.raises(ReproError,
+                           match="--backend thread/serial"):
+            run_specs([spec], backend="process")
+        # The same work runs fine where no pipe is involved.
+        results = run_specs([spec], backend="serial")
+        assert len(results) == 1
+        clear_result_cache()
+
+
 # ---------------------------------------------------------------------------
 # Journal
 # ---------------------------------------------------------------------------

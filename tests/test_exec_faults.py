@@ -1,0 +1,229 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.exec import faults
+from repro.core.exec.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    active_plan,
+)
+from repro.errors import ReproError
+from repro.experiments.spec import RunSpec
+
+
+def _spec(workload="nutch", scheme="baseline", n_blocks=500, seed=0):
+    return RunSpec(workload=workload, scheme=scheme, n_blocks=n_blocks,
+                   seed=seed)
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultRule(kind="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ReproError, match="probability"):
+            FaultRule(kind="raise", probability=1.5)
+
+    def test_times_floor(self):
+        with pytest.raises(ReproError, match="times"):
+            FaultRule(kind="raise", times=0)
+
+    def test_matching_is_field_subset(self):
+        rule = FaultRule(kind="raise", workload="nutch", scheme="shotgun")
+        assert rule.matches(_spec(scheme="shotgun"))
+        assert not rule.matches(_spec(scheme="baseline"))
+        assert not rule.matches(_spec(workload="streaming",
+                                      scheme="shotgun"))
+
+    def test_empty_filter_matches_everything(self):
+        rule = FaultRule(kind="delay")
+        assert rule.matches(_spec())
+        assert rule.matches(_spec(workload="streaming", scheme="ideal"))
+
+    def test_n_blocks_and_seed_filters(self):
+        rule = FaultRule(kind="raise", n_blocks=500, seed=3)
+        assert rule.matches(_spec(n_blocks=500, seed=3))
+        assert not rule.matches(_spec(n_blocks=500, seed=4))
+        assert not rule.matches(_spec(n_blocks=600, seed=3))
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", workload="nutch", times=2),
+                   FaultRule(kind="hang", probability=0.25,
+                             seconds=1.5, times=None)),
+            seed=7, state_dir=str(tmp_path),
+        )
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt == plan
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ReproError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ReproError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ReproError, match="bad fault rule"):
+            FaultPlan.from_json('{"rules": [{"kind": "raise", "x": 1}]}')
+
+    def test_raise_rule_fires_and_respects_times(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(kind="raise", times=2),),
+                        state_dir=str(tmp_path))
+        spec = _spec()
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.before_cell(spec)
+        # Third attempt: the scoreboard is exhausted, the cell runs.
+        plan.before_cell(spec)
+
+    def test_times_scoreboard_is_per_cell(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(kind="raise", times=1),),
+                        state_dir=str(tmp_path))
+        with pytest.raises(InjectedFault):
+            plan.before_cell(_spec(scheme="baseline"))
+        # A different cell has its own count.
+        with pytest.raises(InjectedFault):
+            plan.before_cell(_spec(scheme="ideal"))
+        plan.before_cell(_spec(scheme="baseline"))
+
+    def test_scoreboard_shared_via_directory(self, tmp_path):
+        """Two plan objects (stand-ins for two processes) share counts."""
+        make = lambda: FaultPlan(  # noqa: E731 - local factory
+            rules=(FaultRule(kind="raise", times=1),),
+            state_dir=str(tmp_path))
+        with pytest.raises(InjectedFault):
+            make().before_cell(_spec())
+        make().before_cell(_spec())  # already claimed by the "other side"
+
+    def test_crash_in_process_raises_instead_of_exiting(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(kind="crash"),),
+                        state_dir=str(tmp_path))
+        assert not faults.in_worker()
+        with pytest.raises(InjectedCrash):
+            plan.before_cell(_spec())
+
+    def test_probability_is_deterministic_per_cell(self, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="raise", probability=0.5, times=None),),
+            seed=3, state_dir=str(tmp_path))
+        specs = [_spec(seed=i) for i in range(40)]
+
+        def poisoned():
+            hit = []
+            for spec in specs:
+                try:
+                    plan.before_cell(spec)
+                except InjectedFault:
+                    hit.append(spec)
+            return hit
+
+        first = poisoned()
+        assert first == poisoned()  # same plan -> same cells, any order
+        assert 0 < len(first) < len(specs)
+
+    def test_probability_depends_on_plan_seed(self, tmp_path):
+        specs = [_spec(seed=i) for i in range(40)]
+
+        def poisoned(seed):
+            plan = FaultPlan(
+                rules=(FaultRule(kind="raise", probability=0.5,
+                                 times=None),),
+                seed=seed, state_dir=str(tmp_path / str(seed)))
+            hit = []
+            for spec in specs:
+                try:
+                    plan.before_cell(spec)
+                except InjectedFault:
+                    hit.append(spec)
+            return hit
+
+        assert poisoned(1) != poisoned(2)
+
+    def test_hang_cancel(self, tmp_path):
+        import threading
+        plan = FaultPlan(rules=(FaultRule(kind="hang", seconds=60.0),),
+                        state_dir=str(tmp_path))
+        outcome = []
+
+        def hang():
+            try:
+                plan.before_cell(_spec())
+            except InjectedFault as error:
+                outcome.append(str(error))
+
+        thread = threading.Thread(target=hang)
+        thread.start()
+        import time
+        time.sleep(0.2)
+        faults.cancel_hangs()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert "cancelled" in outcome[0]
+
+    def test_corrupt_truncates_entry(self, tmp_path):
+        entry = tmp_path / "entry.json"
+        entry.write_text("x" * 100)
+        plan = FaultPlan(rules=(FaultRule(kind="corrupt"),),
+                        state_dir=str(tmp_path / "state"))
+        plan.after_store(_spec(), str(entry))
+        assert entry.stat().st_size == 50
+        # The claim was consumed: a second store is left intact.
+        entry.write_text("y" * 100)
+        plan.after_store(_spec(), str(entry))
+        assert entry.stat().st_size == 100
+
+
+class TestActivation:
+    def test_no_plan_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert active_plan() is None
+
+    def test_env_inline_json(self, monkeypatch, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(kind="delay", seconds=0.01),),
+                        state_dir=str(tmp_path))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        assert active_plan() == plan
+
+    def test_env_file_path(self, monkeypatch, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(kind="raise", workload="x"),),
+                        seed=9)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        assert active_plan() == plan
+
+    def test_env_missing_file_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "/no/such/plan.json")
+        with pytest.raises(ReproError, match="cannot read fault plan"):
+            active_plan()
+
+    def test_activated_scopes_override_and_environment(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        plan = FaultPlan(rules=(FaultRule(kind="raise"),),
+                        state_dir=str(tmp_path))
+        with plan.activated():
+            assert active_plan() == plan
+            # Pool workers inherit the plan through the environment.
+            inherited = FaultPlan.from_json(
+                os.environ["REPRO_FAULT_PLAN"])
+            assert inherited == plan
+        assert active_plan() is None
+        assert "REPRO_FAULT_PLAN" not in os.environ
+
+    def test_env_json_round_trips_through_activation(self, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", times=2),
+                   FaultRule(kind="corrupt", scheme="shotgun")),
+            seed=4, state_dir=str(tmp_path))
+        payload = json.loads(plan.to_json())
+        assert FaultPlan.from_dict(payload) == plan
