@@ -1,0 +1,92 @@
+"""Static analysis of the repro package's correctness invariants.
+
+The cache/fingerprint/determinism contracts that make sweep results
+trustworthy (DESIGN.md Section 12) are enforced here as AST-level lint
+rules rather than tribal knowledge.  Typical entry points::
+
+    python -m repro analyze --strict        # CI gate
+    python -m repro.analysis --json         # same, module shortcut
+
+or programmatically::
+
+    from repro.analysis import analyze
+    report = analyze()
+    assert report.ok, report.render_text()
+
+``analyze`` parses the package sources (never importing them), runs
+every registered rule, filters findings through inline
+``# repro: allow[...]`` suppressions, and returns an
+:class:`~repro.analysis.reporting.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import repro.analysis.rules  # noqa: F401  (registers the built-in rules)
+from repro.analysis.registry import (
+    Rule,
+    get_rule,
+    register_rule,
+    registered_rules,
+    select_rules,
+    unregister_rule,
+)
+from repro.analysis.reporting import AnalysisReport, Finding, Suppression
+from repro.analysis.suppressions import (
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.analysis.walker import Module, Project, load_project
+
+
+def analyze(root: Optional[str] = None,
+            rule_ids: Optional[Sequence[str]] = None) -> AnalysisReport:
+    """Run the invariant linter over one source tree.
+
+    *root* defaults to the installed ``repro`` package; *rule_ids*
+    filters to a subset of registered rules (``None`` = all).
+    Suppression-hygiene findings (RPR000) are always included — a
+    malformed waiver must surface no matter which rules were requested.
+    """
+    project = load_project(root)
+    rules = select_rules(rule_ids)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.check is not None:
+            raw.extend(rule.check(project))
+    suppressions: Dict[str, List[Suppression]] = {}
+    for relpath in sorted(project.modules):
+        parsed, hygiene = parse_suppressions(project.modules[relpath])
+        if parsed:
+            suppressions[relpath] = parsed
+        raw.extend(hygiene)
+    kept, suppressed = apply_suppressions(raw, suppressions)
+    reported_rules = list(rules)
+    hygiene_rule = get_rule("RPR000")
+    if hygiene_rule not in reported_rules:
+        reported_rules.insert(0, hygiene_rule)
+    return AnalysisReport(
+        root=project.root,
+        module_count=len(project.modules),
+        rules=reported_rules,
+        findings=sorted(set(kept)),
+        suppressed=sorted(suppressed, key=lambda pair: pair[0]),
+    )
+
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "Suppression",
+    "analyze",
+    "get_rule",
+    "load_project",
+    "register_rule",
+    "registered_rules",
+    "select_rules",
+    "unregister_rule",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — shortcut for ``python -m repro analyze``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["analyze"] + sys.argv[1:]))

@@ -1,0 +1,107 @@
+"""Rule registry for the invariant linter.
+
+Mirrors the :func:`repro.workloads.profiles.register_profile` idiom: a
+process-global table keyed by rule id, duplicate registration is an
+error unless ``replace=True``, lookups raise with the list of valid
+choices.  Rules are plain frozen dataclasses wrapping a check callable,
+so tests can register throwaway rules and tear them down again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.reporting import Finding
+    from repro.analysis.walker import Project
+
+CheckFn = Callable[["Project"], List["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check.
+
+    ``check`` receives the parsed :class:`~repro.analysis.walker.Project`
+    and returns raw findings; suppression filtering happens later in the
+    driver, so checks stay pure functions of the tree.
+    """
+
+    rule_id: str
+    name: str
+    description: str
+    check: Optional[CheckFn] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.rule_id or not self.rule_id.isalnum():
+            raise AnalysisError(
+                f"rule id must be alphanumeric, got {self.rule_id!r}")
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule, replace: bool = False) -> Rule:
+    """Add *rule* to the registry.
+
+    Raises :class:`~repro.errors.AnalysisError` if the id is already
+    taken, unless ``replace=True``.  Returns the rule for chaining.
+    """
+    key = rule.rule_id.upper()
+    if key in _RULES and not replace:
+        raise AnalysisError(
+            f"rule {rule.rule_id!r} is already registered; "
+            "pass replace=True to overwrite")
+    _RULES[key] = rule
+    return rule
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule (used by tests); unknown ids are a no-op."""
+    _RULES.pop(rule_id.upper(), None)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (case-insensitive)."""
+    try:
+        return _RULES[rule_id.upper()]
+    except KeyError:
+        choices = ", ".join(sorted(_RULES)) or "<none>"
+        raise AnalysisError(
+            f"unknown rule {rule_id!r}; registered rules: {choices}"
+        ) from None
+
+
+def registered_rules() -> List[Rule]:
+    """All registered rules, sorted by id."""
+    return [_RULES[key] for key in sorted(_RULES)]
+
+
+def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve a user-supplied rule filter to concrete rules.
+
+    ``None`` (or empty) selects every registered rule that has a check
+    callable; explicit ids may select any registered rule and raise on
+    unknowns.
+    """
+    if not rule_ids:
+        return [rule for rule in registered_rules() if rule.check is not None]
+    selected: List[Rule] = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        if rule not in selected:
+            selected.append(rule)
+    return selected
+
+
+__all__ = [
+    "Rule",
+    "get_rule",
+    "register_rule",
+    "registered_rules",
+    "select_rules",
+    "unregister_rule",
+]

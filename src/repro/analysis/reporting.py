@@ -1,0 +1,144 @@
+"""Finding/report types and text, JSON, and SARIF renderers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.registry import Rule
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source line."""
+
+    path: str      # posix-style path relative to the analysis root
+    line: int      # 1-based
+    rule_id: str
+    message: str
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    path: str
+    line: int                   # line the comment covers (not the comment's)
+    rule_ids: Tuple[str, ...]
+    justification: str
+    scope: str                  # "line" or "file"
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.path != self.path:
+            return False
+        if finding.rule_id.upper() not in self.rule_ids:
+            return False
+        return self.scope == "file" or finding.line == self.line
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    root: str
+    module_count: int
+    rules: List[Rule]
+    findings: List[Finding]
+    suppressed: List[Tuple[Finding, Suppression]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        return (f"repro analyze: {len(self.findings)} finding(s), "
+                f"{len(self.suppressed)} suppressed, "
+                f"{self.module_count} module(s), "
+                f"{len(self.rules)} rule(s)")
+
+    # -- renderers ------------------------------------------------------
+
+    def render_text(self) -> str:
+        names = {rule.rule_id: rule.name for rule in self.rules}
+        lines = []
+        for f in self.findings:
+            label = f.rule_id
+            if f.rule_id in names:
+                label = f"{f.rule_id} {names[f.rule_id]}"
+            lines.append(f"{f.path}:{f.line}: {label}: {f.message}")
+        if not lines:
+            lines.append("no findings")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "root": self.root,
+            "modules": self.module_count,
+            "rules": [
+                {"id": rule.rule_id, "name": rule.name,
+                 "description": rule.description}
+                for rule in self.rules
+            ],
+            "findings": [
+                {"path": f.path, "line": f.line,
+                 "rule": f.rule_id, "message": f.message}
+                for f in self.findings
+            ],
+            "suppressed": [
+                {"path": f.path, "line": f.line, "rule": f.rule_id,
+                 "message": f.message, "scope": s.scope,
+                 "justification": s.justification}
+                for f, s in self.suppressed
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 log for CI annotation and artifact upload."""
+        rule_index: Dict[str, int] = {
+            rule.rule_id: i for i, rule in enumerate(self.rules)}
+        results = []
+        for f in self.findings:
+            result = {
+                "ruleId": f.rule_id,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line},
+                    },
+                }],
+            }
+            if f.rule_id in rule_index:
+                result["ruleIndex"] = rule_index[f.rule_id]
+            results.append(result)
+        log = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri":
+                            "https://example.invalid/repro/analysis",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription":
+                                    {"text": rule.description},
+                            }
+                            for rule in self.rules
+                        ],
+                    },
+                },
+                "results": results,
+            }],
+        }
+        return json.dumps(log, indent=2, sort_keys=True)
+
+
+__all__ = ["AnalysisReport", "Finding", "Suppression"]

@@ -1,0 +1,663 @@
+"""The built-in invariant rules (RPR001-RPR004).
+
+Each rule is a pure function from a parsed
+:class:`~repro.analysis.walker.Project` to findings; registration
+happens at import time via :func:`~repro.analysis.registry.register_rule`.
+
+Rule catalogue
+==============
+
+RPR000 suppression-hygiene
+    Malformed ``# repro: allow[...]`` comments (missing justification,
+    unknown rule id).  Emitted by the driver, never suppressible.
+
+RPR001 cache-key-completeness
+    Every field of a key-material class (``SchemeConfig``,
+    ``MicroarchParams``, ``RunSpec``, ``WorkloadProfile``) that engine
+    code reads must flow into ``result_key``/``spec_key``/
+    ``_workload_material``.  An added-but-unkeyed field silently serves
+    stale cached results.
+
+RPR002 fingerprint-layering
+    Fingerprinted modules must not import from ``_FINGERPRINT_EXCLUDE``
+    subtrees (excluded source could then change engine behaviour without
+    changing the fingerprint), and excluded modules must not assign
+    attributes on fingerprinted modules (same hazard, other direction).
+
+RPR003 determinism
+    No wall-clock reads, unseeded RNGs, ``os.urandom``/``uuid4``/
+    ``secrets``, ``id()`` values, or set-iteration feeding numeric
+    accumulation outside the execution layer.  Bit-identical replay is
+    the contract every backend is verified against.
+
+RPR004 fork-safety
+    Module-level mutable state on worker-executable paths must only be
+    mutated under a module-level lock (the ``_SIM_LOCK`` pattern), and
+    lambdas/closures must not be handed to process pools (they do not
+    pickle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.reporting import Finding
+from repro.analysis.walker import (
+    Module,
+    Project,
+    class_fields,
+    import_aliases,
+    resolve_dotted,
+)
+
+# ---------------------------------------------------------------------------
+# RPR001 · cache-key-completeness
+# ---------------------------------------------------------------------------
+
+#: Classes whose instances are cache-key material.
+_TRACKED_CLASSES = (
+    "SchemeConfig", "MicroarchParams", "RunSpec", "WorkloadProfile")
+
+#: Functions that define the key material.
+_KEY_FUNCTIONS = ("result_key", "spec_key", "_workload_material")
+
+#: Variable-name conventions used when no annotation is available.  The
+#: repo is strict about these spellings (``config`` is always the
+#: scheme config, ``params`` the microarch params, ...), which is what
+#: makes name-based inference sound enough for a linter.
+_RECEIVER_NAMES = {
+    "config": "SchemeConfig",
+    "params": "MicroarchParams",
+    "spec": "RunSpec",
+    "profile": "WorkloadProfile",
+}
+
+#: Field-of-field hops: ``spec.config.<attr>`` is a SchemeConfig read.
+_FIELD_TYPES = {
+    ("RunSpec", "config"): "SchemeConfig",
+    ("RunSpec", "params"): "MicroarchParams",
+}
+
+
+def _annotation_class(node: Optional[ast.AST]) -> Optional[str]:
+    """Tracked class named by an annotation, if any."""
+    while isinstance(node, ast.Subscript):  # Optional[SchemeConfig] etc.
+        node = node.slice
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.rsplit(".", 1)[-1]
+    return name if name in _TRACKED_CLASSES else None
+
+
+def _function_receivers(func: ast.AST) -> Dict[str, str]:
+    """name -> tracked-class map for one function body."""
+    receivers: Dict[str, str] = {}
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = list(func.args.posonlyargs) + list(func.args.args) \
+            + list(func.args.kwonlyargs)
+        for arg in args:
+            cls = _annotation_class(arg.annotation)
+            if cls:
+                receivers[arg.arg] = cls
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            cls = _annotation_class(node.annotation)
+            if cls:
+                receivers[node.target.id] = cls
+    for name, cls in _RECEIVER_NAMES.items():
+        receivers.setdefault(name, cls)
+    return receivers
+
+
+def _attr_reads(func: ast.AST, receivers: Dict[str, str],
+                declared: Dict[str, Tuple[str, ...]]) \
+        -> List[Tuple[str, str, int]]:
+    """(class, field, line) for every tracked-field read in *func*."""
+    reads: List[Tuple[str, str, int]] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)):
+            continue
+        cls = None
+        if isinstance(node.value, ast.Name):
+            cls = receivers.get(node.value.id)
+        elif isinstance(node.value, ast.Attribute) \
+                and isinstance(node.value.value, ast.Name):
+            base = receivers.get(node.value.value.id)
+            if base:
+                cls = _FIELD_TYPES.get((base, node.value.attr))
+        if cls and node.attr in declared.get(cls, ()):
+            reads.append((cls, node.attr, node.lineno))
+    return reads
+
+
+def _keyed_fields(project: Project,
+                  declared: Dict[str, Tuple[str, ...]]) \
+        -> Tuple[Set[Tuple[str, str]], Set[str]]:
+    """(keyed (class, field) pairs, relpaths of the keying modules)."""
+    keyed: Set[Tuple[str, str]] = set()
+    key_modules: Set[str] = set()
+    for func_name in _KEY_FUNCTIONS:
+        found = project.find_function(func_name)
+        if found is None:
+            continue
+        module, func = found
+        key_modules.add(module.relpath)
+        receivers = _function_receivers(func)
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(func):
+            # asdict(x) keys every declared field of x's class at once.
+            if isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted in ("dataclasses.asdict", "asdict") and node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Name):
+                        cls = receivers.get(arg.id)
+                        if cls:
+                            keyed.update(
+                                (cls, f) for f in declared.get(cls, ()))
+        for cls, field_name, _ in _attr_reads(func, receivers, declared):
+            keyed.add((cls, field_name))
+    return keyed, key_modules
+
+
+def check_cache_key_completeness(project: Project) -> List[Finding]:
+    declared: Dict[str, Tuple[str, ...]] = {}
+    for cls_name in _TRACKED_CLASSES:
+        found = project.find_class(cls_name)
+        if found is not None:
+            declared[cls_name] = class_fields(found[1])
+    if not declared:
+        return []
+    keyed, key_modules = _keyed_fields(project, declared)
+    if not key_modules:
+        return []  # no keying functions in this tree: nothing to check
+    findings: List[Finding] = []
+    scope = project.engine_modules() - key_modules
+    for relpath in sorted(scope):
+        module = project.modules[relpath]
+        seen: Set[Tuple[str, str]] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            receivers = _function_receivers(func)
+            for cls, field_name, line in _attr_reads(
+                    func, receivers, declared):
+                if (cls, field_name) in keyed or (cls, field_name) in seen:
+                    continue
+                seen.add((cls, field_name))
+                findings.append(Finding(
+                    path=relpath, line=line, rule_id="RPR001",
+                    message=(
+                        f"engine code reads {cls}.{field_name} but the "
+                        f"field never enters result_key/spec_key material; "
+                        f"cached results will go stale when it changes"),
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR002 · fingerprint-layering
+# ---------------------------------------------------------------------------
+
+def check_fingerprint_layering(project: Project) -> List[Finding]:
+    if not project.exclude:
+        return []
+    findings: List[Finding] = []
+    # Direction 1: fingerprinted code importing excluded code.
+    for module in project.fingerprinted():
+        for node in ast.walk(module.tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    targets.extend(project.resolve_import(alias.name))
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                base = node.module or ""
+                targets.extend(project.resolve_import(base))
+                for alias in node.names:
+                    if alias.name != "*":
+                        sub = f"{base}.{alias.name}" if base else alias.name
+                        targets.extend(project.resolve_import(sub))
+            else:
+                continue
+            bad = sorted({project.exclude_entry(t) for t in targets
+                          if project.is_excluded(t)} - {None})
+            if bad:
+                findings.append(Finding(
+                    path=module.relpath, line=node.lineno, rule_id="RPR002",
+                    message=(
+                        f"fingerprinted module imports from excluded "
+                        f"subtree {', '.join(bad)}; excluded source could "
+                        f"change engine output without changing "
+                        f"engine_fingerprint()"),
+                ))
+    # Direction 2: excluded code assigning attributes on fingerprinted
+    # modules (monkey-patching engine state from outside the fingerprint).
+    for module in project.excluded():
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            target = None
+            if isinstance(node, ast.Assign) and node.targets:
+                target = node.targets[0]
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, (ast.Name, ast.Attribute))):
+                continue
+            dotted = resolve_dotted(target.value, aliases)
+            if not dotted:
+                continue
+            resolved = project.resolve_import(dotted)
+            hit = [r for r in resolved if not project.is_excluded(r)]
+            if hit:
+                findings.append(Finding(
+                    path=module.relpath, line=node.lineno, rule_id="RPR002",
+                    message=(
+                        f"excluded module assigns {target.attr!r} on "
+                        f"fingerprinted module {hit[0]}; simulation-"
+                        f"affecting state must live inside the "
+                        f"fingerprint"),
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR003 · determinism
+# ---------------------------------------------------------------------------
+
+#: Subtrees where nondeterminism is the point (timeout/backoff clocks in
+#: the execution layer; the analyzer itself never runs in a simulation).
+_RPR003_EXEMPT_SUBTREES = ("core/exec", "analysis")
+
+_WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+_ENTROPY_CALLS = {
+    "os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom",
+}
+
+#: Methods that consume the process-global (implicitly-seeded) RNG.
+_GLOBAL_RNG_METHODS = {
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "rand", "randn", "permutation", "normal", "standard_normal", "bytes",
+}
+
+
+def _is_set_expr(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = resolve_dotted(node.func, aliases)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+def _enclosing_functions(tree: ast.Module) -> Dict[int, str]:
+    """line -> innermost enclosing function name (for aggregation)."""
+    owner: Dict[int, str] = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{current}.{child.name}" if current else child.name
+            if hasattr(child, "lineno"):
+                owner.setdefault(child.lineno, name)
+            visit(child, name)
+
+    visit(tree, "")
+    return owner
+
+
+def check_determinism(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for relpath in sorted(project.modules):
+        if any(relpath == sub or relpath.startswith(sub + "/")
+               for sub in _RPR003_EXEMPT_SUBTREES):
+            continue
+        module = project.modules[relpath]
+        aliases = import_aliases(module.tree)
+        owner = _enclosing_functions(module.tree)
+        hits: Dict[Tuple[str, str], int] = {}  # (scope, what) -> first line
+
+        def record(line: int, what: str, message: str) -> None:
+            key = (owner.get(line, ""), what)
+            if key not in hits:
+                hits[key] = line
+                findings.append(Finding(
+                    path=relpath, line=line, rule_id="RPR003",
+                    message=message))
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted is None:
+                    continue
+                if dotted in _WALLCLOCK_CALLS:
+                    record(node.lineno, dotted,
+                           f"wall-clock read {dotted}() in deterministic "
+                           f"code; results must not depend on when they "
+                           f"were computed")
+                elif dotted in _ENTROPY_CALLS \
+                        or dotted.startswith("secrets."):
+                    record(node.lineno, dotted,
+                           f"entropy source {dotted}() breaks bit-"
+                           f"identical replay")
+                elif dotted == "id":
+                    record(node.lineno, dotted,
+                           "id() values differ across processes; never "
+                           "key or order anything by them")
+                elif dotted.startswith("random.") \
+                        and dotted.split(".", 1)[1] in _GLOBAL_RNG_METHODS:
+                    record(node.lineno, dotted,
+                           f"{dotted}() uses the process-global RNG; "
+                           f"construct a seeded random.Random(seed) "
+                           f"instead")
+                elif dotted in ("random.Random", "numpy.random.default_rng",
+                                "numpy.random.Generator") \
+                        and not node.args and not node.keywords:
+                    record(node.lineno, dotted,
+                           f"{dotted}() without a seed draws from OS "
+                           f"entropy; pass an explicit seed")
+                elif dotted.startswith("numpy.random.") \
+                        and dotted.rsplit(".", 1)[1] in _GLOBAL_RNG_METHODS:
+                    record(node.lineno, dotted,
+                           f"{dotted}() uses numpy's global RNG; use a "
+                           f"seeded default_rng(seed) instead")
+            elif isinstance(node, ast.For) \
+                    and _is_set_expr(node.iter, aliases):
+                accumulates = any(
+                    isinstance(inner, ast.AugAssign)
+                    for stmt in node.body for inner in ast.walk(stmt))
+                if accumulates:
+                    record(node.lineno, "set-iteration",
+                           "iterating a set while accumulating; set order "
+                           "is hash-randomized, so floating-point sums "
+                           "differ between runs — sort first")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR004 · fork-safety / races
+# ---------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "collections.defaultdict", "defaultdict",
+    "collections.deque", "deque", "collections.OrderedDict", "OrderedDict",
+    "collections.Counter", "Counter",
+}
+
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock", "Lock", "RLock"}
+
+_MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "popitem", "clear", "setdefault",
+    "extend", "remove", "discard", "insert", "appendleft",
+}
+
+_POOL_FACTORIES = {
+    "concurrent.futures.ProcessPoolExecutor", "ProcessPoolExecutor",
+    "multiprocessing.Pool",
+}
+
+
+def _module_level_bindings(module: Module, aliases: Dict[str, str]) \
+        -> Tuple[Set[str], Set[str], Set[str]]:
+    """(mutable-container names, lock names, all module-level names)."""
+    mutables: Set[str] = set()
+    locks: Set[str] = set()
+    all_names: Set[str] = set()
+    for stmt in module.tree.body:
+        targets: Sequence[ast.AST] = ()
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            all_names.add(target.id)
+            if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                  ast.ListComp, ast.DictComp, ast.SetComp)):
+                mutables.add(target.id)
+            elif isinstance(value, ast.Call):
+                dotted = resolve_dotted(value.func, aliases)
+                if dotted in _MUTABLE_FACTORIES:
+                    mutables.add(target.id)
+                elif dotted in _LOCK_FACTORIES:
+                    locks.add(target.id)
+    return mutables, locks, all_names
+
+
+def _function_locals(func: ast.AST, globals_declared: Set[str]) -> Set[str]:
+    """Names bound locally in *func* (shadowing module-level names)."""
+    bound: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = func.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            bound.add(arg.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound - globals_declared
+
+
+def _scan_function_mutations(
+    module: Module,
+    func: ast.AST,
+    func_label: str,
+    mutables: Set[str],
+    locks: Set[str],
+    module_names: Set[str],
+    findings: List[Finding],
+    seen: Set[Tuple[str, str]],
+) -> None:
+    """Flag unlocked mutations of module-level state inside *func*."""
+    globals_declared: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+    local_names = _function_locals(func, globals_declared)
+
+    def root_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def emit(line: int, name: str, what: str) -> None:
+        key = (func_label, name)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(
+            path=module.relpath, line=line, rule_id="RPR004",
+            message=(
+                f"{what} of module-level {name!r} in {func_label}() "
+                f"without holding a module lock; worker threads racing "
+                f"here corrupt shared state (use the _SIM_LOCK pattern)"),
+        ))
+
+    def walk(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            now_locked = locked or any(
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in locks
+                for item in node.items)
+            for item in node.items:
+                walk(item.context_expr, locked)
+            for stmt in node.body:
+                walk(stmt, now_locked)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not func:
+            return  # nested functions get their own scan
+        if not locked:
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = node.targets if isinstance(
+                    node, (ast.Assign, ast.Delete)) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id in globals_declared \
+                            and target.id in module_names:
+                        emit(node.lineno, target.id, "rebinding")
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        name = root_name(target)
+                        if name and name in mutables \
+                                and name not in local_names:
+                            emit(node.lineno, name, "mutation")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                name = root_name(node.func)
+                if name and name in mutables and name not in local_names:
+                    emit(node.lineno, name, "mutation")
+        for child in ast.iter_child_nodes(node):
+            walk(child, locked)
+
+    for stmt in getattr(func, "body", []):
+        walk(stmt, False)
+
+
+def _check_pool_lambdas(module: Module, aliases: Dict[str, str],
+                        findings: List[Finding]) -> None:
+    """Lambdas/closures handed to process pools never unpickle."""
+    pool_names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        value = None
+        names: List[str] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            value = node.context_expr
+            if isinstance(node.optional_vars, ast.Name):
+                names = [node.optional_vars.id]
+        if isinstance(value, ast.Call):
+            dotted = resolve_dotted(value.func, aliases)
+            if dotted in _POOL_FACTORIES:
+                pool_names.update(names)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        bad_target = None
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("submit", "map") \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in pool_names:
+            bad_target = f"{node.func.value.id}.{node.func.attr}"
+        else:
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted and dotted.rsplit(".", 1)[-1] == "ProcessBackend":
+                bad_target = "ProcessBackend"
+        if bad_target and any(isinstance(arg, ast.Lambda)
+                              for arg in node.args):
+            findings.append(Finding(
+                path=module.relpath, line=node.lineno, rule_id="RPR004",
+                message=(
+                    f"lambda passed to {bad_target}; lambdas and local "
+                    f"closures cannot be pickled to worker processes — "
+                    f"pass a module-level function"),
+            ))
+
+
+def check_fork_safety(project: Project) -> List[Finding]:
+    analysis_modules = {m.relpath for m in project.subtree("analysis")}
+    # Shared-state races only matter on worker-executable paths; a
+    # lambda handed to a process pool fails to pickle from anywhere.
+    mutation_scope = set(project.engine_modules())
+    mutation_scope.update(m.relpath for m in project.subtree("core/exec"))
+    mutation_scope -= analysis_modules
+    findings: List[Finding] = []
+    for relpath in sorted(set(project.modules) - analysis_modules):
+        module = project.modules[relpath]
+        aliases = import_aliases(module.tree)
+        if relpath in mutation_scope:
+            mutables, locks, module_names = _module_level_bindings(
+                module, aliases)
+            seen: Set[Tuple[str, str]] = set()
+
+            def scan(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        label = f"{prefix}.{child.name}" if prefix \
+                            else child.name
+                        _scan_function_mutations(
+                            module, child, label, mutables, locks,
+                            module_names, findings, seen)
+                        scan(child, label)
+                    else:
+                        scan(child, prefix)
+
+            scan(module.tree, "")
+        _check_pool_lambdas(module, aliases, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+register_rule(Rule(
+    rule_id="RPR000", name="suppression-hygiene",
+    description=("Suppression comments must list registered rules and "
+                 "carry a '-- justification'; malformed waivers are "
+                 "findings themselves and cannot be suppressed."),
+    check=None))
+
+register_rule(Rule(
+    rule_id="RPR001", name="cache-key-completeness",
+    description=("Config/spec/profile fields read by fingerprinted engine "
+                 "code must flow into result_key/spec_key material."),
+    check=check_cache_key_completeness))
+
+register_rule(Rule(
+    rule_id="RPR002", name="fingerprint-layering",
+    description=("Fingerprinted modules must not import from "
+                 "_FINGERPRINT_EXCLUDE subtrees, and excluded modules must "
+                 "not assign state on fingerprinted ones."),
+    check=check_fingerprint_layering))
+
+register_rule(Rule(
+    rule_id="RPR003", name="determinism",
+    description=("No wall-clock, entropy sources, unseeded RNGs, id(), or "
+                 "set-order-dependent accumulation outside the execution "
+                 "layer."),
+    check=check_determinism))
+
+register_rule(Rule(
+    rule_id="RPR004", name="fork-safety",
+    description=("Module-level mutable state on worker paths must be "
+                 "mutated under a lock; no lambdas to process pools."),
+    check=check_fork_safety))
+
+
+__all__ = [
+    "check_cache_key_completeness",
+    "check_determinism",
+    "check_fingerprint_layering",
+    "check_fork_safety",
+]

@@ -1,0 +1,140 @@
+"""Inline suppression comments for the invariant linter.
+
+Grammar (one comment per line)::
+
+    # repro: allow[RPR003] -- wall-clock is display-only here
+    # repro: allow[RPR002,RPR004] -- shared justification for two rules
+    # repro: allow-file[RPR004] -- registry caches; see module docstring
+
+``allow`` covers a single line: the line the comment sits on when it is
+a trailing comment, or the next non-blank, non-comment line when it
+stands alone (so long justifications can sit above the code they
+excuse).  ``allow-file`` covers the whole file for the listed rules.
+
+The justification after ``--`` is mandatory and the rule ids must be
+registered: a malformed suppression is itself reported as an RPR000
+finding rather than silently ignored, because an unexplained waiver is
+exactly the tribal knowledge this subsystem exists to eliminate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Tuple
+
+from repro.analysis.registry import _RULES
+from repro.analysis.reporting import Finding, Suppression
+from repro.analysis.walker import Module
+
+_PATTERN = re.compile(
+    r"^#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]\s*(?:--\s*(\S.*))?$")
+
+HYGIENE_RULE_ID = "RPR000"
+
+
+def _comment_tokens(module: Module) -> List[Tuple[int, int, str]]:
+    """(line, col, text) of every comment, tolerant of tokenize errors."""
+    comments: List[Tuple[int, int, str]] = []
+    reader = io.StringIO(module.source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string.strip()))
+    except tokenize.TokenError:
+        pass
+    return comments
+
+
+def _covered_line(module: Module, comment_line: int, comment_col: int) -> int:
+    """The source line an ``allow`` comment applies to."""
+    lines = module.source.splitlines()
+    before = lines[comment_line - 1][:comment_col].strip() \
+        if comment_line <= len(lines) else ""
+    if before:
+        return comment_line  # trailing comment: covers its own line
+    for lineno in range(comment_line + 1, len(lines) + 1):
+        text = lines[lineno - 1].strip()
+        if text and not text.startswith("#"):
+            return lineno
+    return comment_line
+
+
+def parse_suppressions(
+    module: Module,
+) -> Tuple[List[Suppression], List[Finding]]:
+    """All suppressions in *module*, plus hygiene findings for bad ones."""
+    suppressions: List[Suppression] = []
+    hygiene: List[Finding] = []
+    for line, col, text in _comment_tokens(module):
+        match = _PATTERN.match(text)
+        if match is None:
+            if re.match(r"^#\s*repro:", text):
+                hygiene.append(Finding(
+                    path=module.relpath, line=line, rule_id=HYGIENE_RULE_ID,
+                    message=(
+                        "malformed suppression comment; expected "
+                        "'# repro: allow[RULE,...] -- justification'"),
+                ))
+            continue
+        scope_kw, rules_text, justification = match.groups()
+        rule_ids = tuple(
+            r.strip().upper() for r in rules_text.split(",") if r.strip())
+        problems = []
+        if not rule_ids:
+            problems.append("no rule ids listed")
+        unknown = [r for r in rule_ids
+                   if r not in _RULES or r == HYGIENE_RULE_ID]
+        if unknown:
+            problems.append("unknown rule id(s): " + ", ".join(unknown))
+        if not justification:
+            problems.append("missing '-- justification'")
+        if problems:
+            hygiene.append(Finding(
+                path=module.relpath, line=line, rule_id=HYGIENE_RULE_ID,
+                message="invalid suppression: " + "; ".join(problems),
+            ))
+            continue
+        if scope_kw == "allow-file":
+            covered, scope = 0, "file"
+        else:
+            covered, scope = _covered_line(module, line, col), "line"
+        suppressions.append(Suppression(
+            path=module.relpath, line=covered, rule_ids=rule_ids,
+            justification=justification.strip(), scope=scope,
+        ))
+    return suppressions, hygiene
+
+
+def apply_suppressions(
+    findings: List[Finding],
+    suppressions: Dict[str, List[Suppression]],
+) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
+    """Split findings into (kept, suppressed-with-why).
+
+    RPR000 hygiene findings are never suppressible — a broken waiver
+    cannot waive itself.
+    """
+    kept: List[Finding] = []
+    suppressed: List[Tuple[Finding, Suppression]] = []
+    for finding in findings:
+        match = None
+        if finding.rule_id != HYGIENE_RULE_ID:
+            for suppression in suppressions.get(finding.path, ()):
+                if suppression.covers(finding):
+                    match = suppression
+                    break
+        if match is None:
+            kept.append(finding)
+        else:
+            suppressed.append((finding, match))
+    return kept, suppressed
+
+
+__all__ = [
+    "HYGIENE_RULE_ID",
+    "apply_suppressions",
+    "parse_suppressions",
+]

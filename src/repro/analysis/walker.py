@@ -1,0 +1,344 @@
+"""Project model for the invariant linter: parsed modules + layering.
+
+The analyzer never imports the code it checks — it parses every module
+under a root directory into ASTs and answers the structural questions
+the rules need:
+
+* which modules are *fingerprinted* (hashed into
+  :func:`repro.core.diskcache.engine_fingerprint`) versus *excluded*
+  (listed in ``_FINGERPRINT_EXCLUDE``) — the exclusion tuple is read
+  statically from the tree under analysis, so the linter always checks
+  the layering the tree itself declares;
+* where a class or function is defined (``find_class`` /
+  ``find_function``), and which fields a dataclass declares;
+* the intra-package import graph and reachability over it —
+  :meth:`Project.engine_modules` is the import closure of the module
+  defining ``run_spec``, i.e. everything that can execute on a worker's
+  simulation path.
+
+Working on a plain directory (rather than the installed package) is
+what makes the rules testable against fixture mini-trees: a fixture
+declares its own ``_FINGERPRINT_EXCLUDE`` and its own config classes,
+and the rules check *its* invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file."""
+
+    relpath: str  # posix-style path relative to the project root
+    path: str     # absolute filesystem path
+    source: str = field(repr=False)
+    tree: ast.Module = field(repr=False, compare=False)
+
+    @property
+    def dotted(self) -> str:
+        """Dotted module name relative to the root (no package prefix)."""
+        name = self.relpath[:-3] if self.relpath.endswith(".py") \
+            else self.relpath
+        if name.endswith("/__init__"):
+            name = name[: -len("/__init__")]
+        elif name == "__init__":
+            name = ""
+        return name.replace("/", ".")
+
+
+def _name_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None if not one)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map every imported alias in *tree* to its fully-dotted target.
+
+    ``import numpy as np`` yields ``np -> numpy``; ``from time import
+    time as now`` yields ``now -> time.time``; ``import os.path`` binds
+    the root ``os -> os``.  Function-local imports are included — the
+    map over-approximates scope, which is the safe direction for a
+    linter.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                aliases[alias.asname or alias.name] = target
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully-expanded dotted name of a Name/Attribute chain, or None."""
+    parts = _name_chain(node)
+    if not parts:
+        return None
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])
+
+
+def class_fields(classdef: ast.ClassDef) -> Tuple[str, ...]:
+    """Declared dataclass field names (annotated, non-ClassVar, public)."""
+    names: List[str] = []
+    for stmt in classdef.body:
+        if not (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            continue
+        annotation = stmt.annotation
+        if isinstance(annotation, ast.Subscript):
+            chain = _name_chain(annotation.value)
+            if chain and chain[-1] == "ClassVar":
+                continue
+        if not stmt.target.id.startswith("_"):
+            names.append(stmt.target.id)
+    return tuple(names)
+
+
+def _eval_exclude_element(node: ast.AST) -> Optional[str]:
+    """Evaluate one ``_FINGERPRINT_EXCLUDE`` element to a posix path.
+
+    Handles string literals and ``os.path.join(<literals>)`` calls (the
+    shape the real tuple uses); anything else is skipped.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.replace(os.sep, "/")
+    if isinstance(node, ast.Call):
+        chain = _name_chain(node.func)
+        if chain and chain[-1] == "join":
+            parts = []
+            for arg in node.args:
+                if not (isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)):
+                    return None
+                parts.append(arg.value)
+            return "/".join(parts)
+    return None
+
+
+@dataclass
+class Project:
+    """Every parsed module under one root, plus the layering metadata."""
+
+    root: str
+    package: str
+    modules: Dict[str, Module]
+    exclude: Tuple[str, ...]
+
+    # -- layering -------------------------------------------------------
+
+    def is_excluded(self, relpath: str) -> bool:
+        """Whether *relpath* lies in a fingerprint-excluded subtree."""
+        return any(relpath == entry or relpath.startswith(entry + "/")
+                   for entry in self.exclude)
+
+    def exclude_entry(self, relpath: str) -> Optional[str]:
+        """The exclusion-tuple entry covering *relpath*, if any."""
+        for entry in self.exclude:
+            if relpath == entry or relpath.startswith(entry + "/"):
+                return entry
+        return None
+
+    def fingerprinted(self) -> List[Module]:
+        return [m for p, m in sorted(self.modules.items())
+                if not self.is_excluded(p)]
+
+    def excluded(self) -> List[Module]:
+        return [m for p, m in sorted(self.modules.items())
+                if self.is_excluded(p)]
+
+    def subtree(self, prefix: str) -> List[Module]:
+        """Modules under a directory prefix (posix-style)."""
+        return [m for p, m in sorted(self.modules.items())
+                if p == prefix or p.startswith(prefix + "/")]
+
+    # -- lookups --------------------------------------------------------
+
+    def find_class(self, name: str) -> Optional[Tuple[Module, ast.ClassDef]]:
+        """First module-level class definition called *name*."""
+        for _, module in sorted(self.modules.items()):
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+                    return module, stmt
+        return None
+
+    def find_function(self, name: str) \
+            -> Optional[Tuple[Module, ast.FunctionDef]]:
+        """First module-level function definition called *name*."""
+        for _, module in sorted(self.modules.items()):
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and stmt.name == name:
+                    return module, stmt
+        return None
+
+    # -- import graph ---------------------------------------------------
+
+    def resolve_import(self, dotted: str) -> List[str]:
+        """Project relpaths a dotted import target may refer to.
+
+        Tries the name as given and with the package prefix stripped
+        (``repro.core.sweep`` and ``core.sweep`` both resolve inside a
+        root named ``repro``), as both a module file and a package
+        ``__init__``.
+        """
+        candidates: List[str] = []
+        for parts in self._import_part_variants(dotted):
+            rel = "/".join(parts)
+            options = (rel + ".py", rel + "/__init__.py") if rel \
+                else ("__init__.py",)
+            for option in options:
+                if option in self.modules and option not in candidates:
+                    candidates.append(option)
+        return candidates
+
+    def _import_part_variants(self, dotted: str) -> Iterable[List[str]]:
+        parts = [p for p in dotted.split(".") if p]
+        if parts[:1] == [self.package]:
+            yield parts[1:]
+        yield parts
+
+    def module_imports(self, module: Module) -> Set[str]:
+        """Relpaths this module imports (module-level and nested)."""
+        targets: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    targets.update(self.resolve_import(alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    pkg = module.relpath.split("/")[:-1]
+                    pkg = pkg[: len(pkg) - (node.level - 1)] \
+                        if node.level > 1 else pkg
+                    base = ".".join(pkg + ([base] if base else []))
+                targets.update(self.resolve_import(base))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    sub = f"{base}.{alias.name}" if base else alias.name
+                    targets.update(self.resolve_import(sub))
+        targets.discard(module.relpath)
+        return targets
+
+    def reachable_from(self, seeds: Iterable[str]) -> Set[str]:
+        """Transitive import closure (relpaths), including the seeds."""
+        frontier = [s for s in seeds if s in self.modules]
+        seen: Set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for target in self.module_imports(self.modules[current]):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def engine_modules(self) -> Set[str]:
+        """Relpaths that can execute on a worker's simulation path.
+
+        The import closure of the module defining ``run_spec`` (the
+        cell-execution primitive every backend worker calls).  When no
+        such module exists — ad-hoc fixture trees — every module is
+        considered engine code, which is the conservative direction.
+        """
+        seed = self.find_function("run_spec")
+        if seed is None:
+            return set(self.modules)
+        return self.reachable_from([seed[0].relpath])
+
+
+def load_project(root: Optional[str] = None) -> Project:
+    """Parse every ``.py`` file under *root* into a :class:`Project`.
+
+    *root* defaults to the installed ``repro`` package directory, so
+    ``python -m repro analyze`` checks the running build.  Raises
+    :class:`~repro.errors.AnalysisError` on unreadable roots or files
+    that fail to parse — an invariant linter must not silently skip
+    what it cannot read.
+    """
+    if root is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.abspath(root)
+    if not os.path.isdir(root):
+        raise AnalysisError(f"analysis root {root!r} is not a directory")
+    modules: Dict[str, Module] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            relpath = os.path.relpath(path, root).replace(os.sep, "/")
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                tree = ast.parse(source, filename=path)
+            except (OSError, SyntaxError, ValueError) as error:
+                raise AnalysisError(
+                    f"cannot parse {relpath}: {error}"
+                ) from error
+            modules[relpath] = Module(relpath=relpath, path=path,
+                                      source=source, tree=tree)
+    if not modules:
+        raise AnalysisError(f"no Python modules under {root!r}")
+    return Project(
+        root=root,
+        package=os.path.basename(root),
+        modules=modules,
+        exclude=_find_exclude(modules),
+    )
+
+
+def _find_exclude(modules: Dict[str, Module]) -> Tuple[str, ...]:
+    """Statically read ``_FINGERPRINT_EXCLUDE`` from the tree, if present."""
+    for _, module in sorted(modules.items()):
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name)
+                       and t.id == "_FINGERPRINT_EXCLUDE"
+                       for t in stmt.targets):
+                continue
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                entries = []
+                for element in stmt.value.elts:
+                    value = _eval_exclude_element(element)
+                    if value is not None:
+                        entries.append(value)
+                return tuple(entries)
+    return ()
+
+
+__all__ = [
+    "Module",
+    "Project",
+    "class_fields",
+    "import_aliases",
+    "load_project",
+    "resolve_dotted",
+]

@@ -34,6 +34,13 @@ Subcommands:
     ``--fix`` deletes corrupt ones) or reclaim (``prune``) the
     persistent disk result cache; ``prune`` drops entries from stale
     engine versions and, with ``--days N``, entries older than N days.
+``analyze``
+    Run the invariant linter (:mod:`repro.analysis`) over the package
+    sources: cache-key completeness, fingerprint layering, determinism
+    and fork-safety rules (DESIGN.md Section 12).  ``--strict`` exits
+    nonzero on findings (the CI gate), ``--json``/``--sarif`` switch
+    the report format, ``--rule ID`` filters rules, ``--root PATH``
+    points at another tree (used by the fixture tests).
 
 Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
 budget split across windows), ``--backend {serial,thread,process}`` /
@@ -58,6 +65,10 @@ observable.
 """
 
 from __future__ import annotations
+
+# repro: allow-file[RPR002] -- the CLI is pure orchestration: it wires the
+# engine to the excluded experiments/explore/exec layers by design, and no
+# value computed here feeds back into simulation output or key material.
 
 import argparse
 import contextlib
@@ -375,6 +386,7 @@ def _cmd_run(args) -> int:
     with _cell_accounting("run " + " ".join(ids)):
         for experiment_id in ids:
             runner = get_experiment(experiment_id)
+            # repro: allow[RPR003] -- elapsed-time display on stderr only
             started = time.time()
             if n_windows is not None:
                 result = _run_sampled(experiment_id, args.blocks, n_windows)
@@ -643,6 +655,7 @@ def _cmd_report(args) -> int:
     os.makedirs(args.out, exist_ok=True)
     with _cell_accounting("report"):
         for experiment_id in ids:
+            # repro: allow[RPR003] -- elapsed-time display on stdout only
             started = time.time()
             result = get_experiment(experiment_id)(n_blocks=args.blocks)
             elapsed = time.time() - started
@@ -654,6 +667,26 @@ def _cmd_report(args) -> int:
             print(f"[{experiment_id} written to {args.out} "
                   f"in {elapsed:.1f}s]")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import analyze
+    report = analyze(root=args.root, rule_ids=args.rule or None)
+    if args.sarif:
+        rendered = report.to_sarif()
+    elif args.json:
+        rendered = report.to_json()
+    else:
+        rendered = report.render_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    # The summary always lands on stderr so machine-readable stdout/file
+    # output stays clean while humans and CI logs still see the verdict.
+    print(report.summary(), file=sys.stderr)
+    return 1 if (args.strict and not report.ok) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -804,6 +837,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="output directory (default ./results)",
     )
     report_parser.set_defaults(func=_cmd_report)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="statically check the invariant rules (cache keys, "
+             "fingerprint layering, determinism, fork safety)")
+    analyze_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any unsuppressed finding remains (CI gate)",
+    )
+    analyze_format = analyze_parser.add_mutually_exclusive_group()
+    analyze_format.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    analyze_format.add_argument(
+        "--sarif", action="store_true",
+        help="emit a SARIF 2.1.0 log (for CI annotation/upload)",
+    )
+    analyze_parser.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule (repeatable, e.g. --rule RPR003)",
+    )
+    analyze_parser.add_argument(
+        "--root", metavar="PATH", default=None,
+        help="source tree to analyze (default: the installed repro "
+             "package)",
+    )
+    analyze_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the report to a file instead of stdout",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     return parser
 

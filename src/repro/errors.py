@@ -28,3 +28,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was misconfigured or produced no data."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis subsystem was misconfigured or cannot run."""

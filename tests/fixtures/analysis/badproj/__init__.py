@@ -1,0 +1,1 @@
+"""Known-bad fixture tree: every analyzer rule fires somewhere in here."""

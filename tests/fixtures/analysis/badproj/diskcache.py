@@ -1,0 +1,29 @@
+"""Keying module with deliberately incomplete key material.
+
+Unlike the real diskcache (which keys whole dataclasses via asdict),
+this one cherry-picks fields — so reads of any other field in engine
+code must trip RPR001.
+"""
+
+import hashlib
+import json
+
+_FINGERPRINT_EXCLUDE = ("reports",)
+
+
+def result_key(workload, scheme_name, n_blocks, config, params):
+    material = {
+        "workload": workload,
+        "scheme": scheme_name,
+        "n_blocks": n_blocks,
+        "btb_entries": config.btb_entries,
+        "ftq_size": params.ftq_size,
+    }
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()).hexdigest()
+
+
+def spec_key(spec):
+    # Deliberately omits spec.seed: engine reads of it are unkeyed.
+    return result_key(spec.workload, spec.scheme, spec.n_blocks,
+                      spec.config, spec.params)

@@ -1,0 +1,35 @@
+"""Engine module packed with determinism and keying violations."""
+
+import random
+import time
+
+import numpy
+
+CACHE = {}
+
+
+def simulate(spec, config, params):
+    # RPR001: unkeyed fields of all three tracked classes.
+    knob = config.new_knob
+    latency = params.llc_latency
+    window = spec.seed
+
+    # RPR003: wall clock, global RNG, unseeded generator.
+    started = time.time()
+    jitter = random.random()
+    rng = numpy.random.default_rng()
+
+    total = 0.0
+    # RPR003: set iteration feeding accumulation.
+    for weight in {0.25, 0.5, 0.125}:
+        total += weight
+
+    # RPR000: suppression without a justification is itself a finding.
+    # repro: allow[RPR003]
+    stamp = time.monotonic()
+
+    result = (knob + latency + window + jitter + total
+              + rng.random() + stamp - started)
+    # RPR004: unlocked module-level mutation on the worker path.
+    CACHE[spec] = result
+    return result

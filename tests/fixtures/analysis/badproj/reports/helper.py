@@ -1,0 +1,11 @@
+"""Excluded subtree that monkey-patches engine state (RPR002)."""
+
+import badproj.engine as engine
+
+
+def pretty(value):
+    return f"{value:.3f}"
+
+
+def boost():
+    engine.TUNING = 2.0  # excluded code mutating fingerprinted state

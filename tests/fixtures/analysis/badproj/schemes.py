@@ -1,0 +1,26 @@
+"""Config dataclasses whose fields outnumber the key material."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    name: str
+    btb_entries: int
+    new_knob: int = 0  # read by engine.py but never keyed -> RPR001
+
+
+@dataclass(frozen=True)
+class MicroarchParams:
+    ftq_size: int
+    llc_latency: int = 40  # read by engine.py but never keyed -> RPR001
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    workload: str
+    scheme: str
+    config: SchemeConfig
+    params: MicroarchParams
+    n_blocks: int
+    seed: int  # read by engine.py; spec_key omits it -> RPR001

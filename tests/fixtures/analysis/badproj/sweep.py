@@ -1,0 +1,9 @@
+"""Scheduler that defines run_spec (the engine-scope seed) and leaks
+an import from the excluded subtree into fingerprinted code (RPR002)."""
+
+from badproj.engine import simulate
+from badproj.reports.helper import pretty  # noqa: F401  -> RPR002
+
+
+def run_spec(spec):
+    return simulate(spec, spec.config, spec.params)

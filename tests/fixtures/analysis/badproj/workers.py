@@ -1,0 +1,13 @@
+"""Fan-out helper that hands a lambda to a process pool (RPR004)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from badproj.sweep import run_spec
+
+
+def fan_out(specs):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        for spec in specs:
+            results.append(pool.submit(lambda: run_spec(spec)))
+    return [future.result() for future in results]

@@ -1,0 +1,1 @@
+"""Clean fixture tree: the analyzer must exit 0 on it."""

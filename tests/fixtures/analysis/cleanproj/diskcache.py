@@ -1,0 +1,25 @@
+"""Keying module that keys whole dataclasses (the safe pattern)."""
+
+import hashlib
+import json
+from dataclasses import asdict
+
+_FINGERPRINT_EXCLUDE = ("reports",)
+
+
+def result_key(workload, scheme_name, n_blocks, seed, config, params):
+    material = {
+        "workload": workload,
+        "scheme": scheme_name,
+        "n_blocks": n_blocks,
+        "seed": seed,
+        "config": asdict(config),
+        "params": asdict(params),
+    }
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()).hexdigest()
+
+
+def spec_key(spec):
+    return result_key(spec.workload, spec.scheme, spec.n_blocks,
+                      spec.seed, spec.config, spec.params)

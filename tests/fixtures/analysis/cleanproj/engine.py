@@ -1,0 +1,25 @@
+"""Deterministic, lock-disciplined engine with one justified waiver."""
+
+import random
+import threading
+
+CACHE = {}
+_CACHE_LOCK = threading.Lock()
+
+# The one deliberate exception, properly justified: exercised by the
+# suppression round-trip tests.
+# repro: allow[RPR003] -- documentation example; value is never used
+_EXAMPLE = random.Random()
+
+
+def simulate(spec, config, params):
+    rng = random.Random(spec.seed)
+    weights = sorted([0.25, 0.5, 0.125])
+    total = 0.0
+    for weight in weights:
+        total += weight
+    result = (config.new_knob + params.llc_latency + spec.seed
+              + rng.random() + total)
+    with _CACHE_LOCK:
+        CACHE[spec] = result
+    return result

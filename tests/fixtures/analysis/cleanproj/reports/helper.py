@@ -1,0 +1,5 @@
+"""Excluded subtree that only formats results (no engine mutation)."""
+
+
+def pretty(value):
+    return f"{value:.3f}"

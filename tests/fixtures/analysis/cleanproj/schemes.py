@@ -1,0 +1,26 @@
+"""Config dataclasses fully covered by asdict() keying."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    name: str
+    btb_entries: int
+    new_knob: int = 0
+
+
+@dataclass(frozen=True)
+class MicroarchParams:
+    ftq_size: int
+    llc_latency: int = 40
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    workload: str
+    scheme: str
+    config: SchemeConfig
+    params: MicroarchParams
+    n_blocks: int
+    seed: int

@@ -1,0 +1,7 @@
+"""Scheduler without layering leaks; defines the engine-scope seed."""
+
+from cleanproj.engine import simulate
+
+
+def run_spec(spec):
+    return simulate(spec, spec.config, spec.params)

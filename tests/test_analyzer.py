@@ -1,0 +1,389 @@
+"""Tests for repro.analysis — the invariant linter (DESIGN.md Section 12).
+
+Covers: the real tree running clean, the bad/clean fixture corpus, the
+RPR001 unkeyed-field regression, suppression round-trips, the rule
+registry, and the CLI's exit codes and output formats.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.analysis import (
+    Rule,
+    analyze,
+    get_rule,
+    register_rule,
+    registered_rules,
+    select_rules,
+    unregister_rule,
+)
+from repro.analysis.walker import load_project
+from repro.errors import AnalysisError
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+BADPROJ = os.path.join(FIXTURES, "badproj")
+CLEANPROJ = os.path.join(FIXTURES, "cleanproj")
+PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.dirname(PACKAGE_ROOT)]
+        + env.get("PYTHONPATH", "").split(os.pathsep))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", *argv],
+        capture_output=True, text=True, env=env)
+
+
+def _write_tree(root, files):
+    for relpath, source in files.items():
+        path = os.path.join(root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(textwrap.dedent(source))
+    return str(root)
+
+
+class TestRealTree:
+    def test_package_is_clean(self):
+        report = analyze()
+        assert report.findings == [], report.render_text()
+
+    def test_suppressions_carry_justifications(self):
+        report = analyze()
+        assert report.suppressed, "expected documented waivers in the tree"
+        for finding, suppression in report.suppressed:
+            assert suppression.justification.strip()
+            assert finding.rule_id.upper() in suppression.rule_ids
+
+    def test_schemeconfig_fields_fully_keyed(self):
+        # asdict() keying must cover every declared SchemeConfig field;
+        # if this breaks, RPR001's whole-class coverage has regressed.
+        from repro.analysis.rules import _keyed_fields
+        from repro.analysis.walker import class_fields
+        project = load_project()
+        module, classdef = project.find_class("SchemeConfig")
+        declared = {"SchemeConfig": class_fields(classdef)}
+        keyed, key_modules = _keyed_fields(project, declared)
+        assert key_modules
+        assert keyed == {("SchemeConfig", name)
+                         for name in declared["SchemeConfig"]}
+
+
+class TestFixtureCorpus:
+    @pytest.fixture(scope="class")
+    def bad_report(self):
+        return analyze(root=BADPROJ)
+
+    def test_every_rule_fires(self, bad_report):
+        fired = {finding.rule_id for finding in bad_report.findings}
+        assert fired >= {"RPR000", "RPR001", "RPR002", "RPR003", "RPR004"}
+
+    def test_rpr001_names_the_unkeyed_fields(self, bad_report):
+        messages = [f.message for f in bad_report.findings
+                    if f.rule_id == "RPR001"]
+        assert any("SchemeConfig.new_knob" in m for m in messages)
+        assert any("MicroarchParams.llc_latency" in m for m in messages)
+        assert any("RunSpec.seed" in m for m in messages)
+
+    def test_rpr002_catches_both_directions(self, bad_report):
+        paths = [f.path for f in bad_report.findings
+                 if f.rule_id == "RPR002"]
+        assert "sweep.py" in paths            # fingerprinted -> excluded
+        assert "reports/helper.py" in paths   # excluded patches engine
+
+    def test_rpr003_catches_each_nondeterminism_kind(self, bad_report):
+        messages = " ".join(f.message for f in bad_report.findings
+                            if f.rule_id == "RPR003")
+        assert "time.time" in messages
+        assert "random.random" in messages
+        assert "default_rng" in messages
+        assert "set" in messages
+
+    def test_rpr004_catches_mutation_and_lambda(self, bad_report):
+        messages = " ".join(f.message for f in bad_report.findings
+                            if f.rule_id == "RPR004")
+        assert "CACHE" in messages
+        assert "lambda" in messages
+
+    def test_clean_tree_has_no_findings(self):
+        report = analyze(root=CLEANPROJ)
+        assert report.findings == [], report.render_text()
+        assert len(report.suppressed) == 1
+        _, suppression = report.suppressed[0]
+        assert suppression.justification
+
+    def test_missing_tree_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            analyze(root=str(tmp_path / "nonexistent"))
+
+    def test_unparseable_source_raises(self, tmp_path):
+        _write_tree(tmp_path, {"broken.py": "def oops(:\n"})
+        with pytest.raises(AnalysisError):
+            analyze(root=str(tmp_path))
+
+
+class TestRPR001Regression:
+    """A new SchemeConfig field read by the engine without entering
+    spec_key material must trip RPR001 — and the asdict() pattern, which
+    keys new fields automatically, must stay clean."""
+
+    def _mutated_tree(self, tmp_path, break_keying):
+        from repro.analysis.walker import class_fields
+        root = str(tmp_path / "repro")
+        shutil.copytree(PACKAGE_ROOT, root,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        # Record the original field list BEFORE adding the new knob.
+        project = load_project(root)
+        _, classdef = project.find_class("SchemeConfig")
+        original_fields = class_fields(classdef)
+        schemes = os.path.join(root, "config", "schemes.py")
+        with open(schemes, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        source = source.replace(
+            "class SchemeConfig:",
+            "class SchemeConfig:\n    phantom_knob: int = 0", 1)
+        with open(schemes, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        frontend = os.path.join(root, "core", "frontend.py")
+        with open(frontend, "a", encoding="utf-8") as handle:
+            handle.write(
+                "\n\ndef _phantom_read(config):\n"
+                "    return config.phantom_knob\n")
+        if break_keying:
+            # Replace asdict() whole-class keying with an explicit field
+            # list frozen at the OLD schema — the classic way an added
+            # field silently misses the key material.
+            explicit = "{" + ", ".join(
+                f'"{name}": config.{name}' for name in original_fields
+            ) + "}"
+            diskcache_path = os.path.join(root, "core", "diskcache.py")
+            with open(diskcache_path, "r", encoding="utf-8") as handle:
+                cache_source = handle.read()
+            assert '"config": asdict(config),' in cache_source
+            cache_source = cache_source.replace(
+                '"config": asdict(config),', f'"config": {explicit},', 1)
+            with open(diskcache_path, "w", encoding="utf-8") as handle:
+                handle.write(cache_source)
+        return root
+
+    def test_unkeyed_field_read_trips_rpr001(self, tmp_path):
+        root = self._mutated_tree(tmp_path, break_keying=True)
+        report = analyze(root=root, rule_ids=["RPR001"])
+        hits = [f for f in report.findings if f.rule_id == "RPR001"]
+        assert any("phantom_knob" in f.message
+                   and f.path == "core/frontend.py" for f in hits), \
+            report.render_text()
+        # Fields that DID enter the explicit key material stay clean.
+        assert not any("btb_entries" in f.message for f in hits)
+
+    def test_asdict_keying_covers_new_fields(self, tmp_path):
+        root = self._mutated_tree(tmp_path, break_keying=False)
+        report = analyze(root=root, rule_ids=["RPR001"])
+        assert not any("phantom_knob" in f.message
+                       for f in report.findings), report.render_text()
+
+
+class TestSuppressions:
+    def _tree(self, tmp_path, engine_body):
+        return _write_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/engine.py": engine_body,
+        })
+
+    def test_line_suppression_silences_only_its_rule(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            import time
+
+            # repro: allow[RPR003] -- test waiver
+            def now():
+                return time.time()
+
+            def later():
+                return time.time()
+            """)
+        report = analyze(root=root)
+        # The suppression covers the def line, not the call line inside.
+        lines = [f.line for f in report.findings if f.rule_id == "RPR003"]
+        assert lines  # the uncovered call still fires
+        assert all(f.rule_id == "RPR003" for f in report.findings)
+
+    def test_trailing_suppression_covers_its_own_line(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            import time
+
+            def now():
+                return time.time()  # repro: allow[RPR003] -- wall display
+            """)
+        report = analyze(root=root)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        finding, suppression = report.suppressed[0]
+        assert finding.rule_id == "RPR003"
+        assert suppression.justification == "wall display"
+        assert suppression.scope == "line"
+
+    def test_standalone_suppression_covers_next_statement(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            import time
+
+            def now():
+                # repro: allow[RPR003] -- wall display
+                return time.time()
+            """)
+        report = analyze(root=root)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_missing_justification_is_a_finding(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            import time
+
+            def now():
+                return time.time()  # repro: allow[RPR003]
+            """)
+        report = analyze(root=root)
+        rules = {f.rule_id for f in report.findings}
+        # The waiver is invalid, so BOTH the hygiene finding and the
+        # original RPR003 finding surface.
+        assert rules == {"RPR000", "RPR003"}
+
+    def test_unknown_rule_id_is_a_finding(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            x = 1  # repro: allow[RPR999] -- no such rule
+            """)
+        report = analyze(root=root)
+        assert [f.rule_id for f in report.findings] == ["RPR000"]
+        assert "RPR999" in report.findings[0].message
+
+    def test_rpr000_cannot_be_suppressed(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            x = 1  # repro: allow[RPR000] -- waiving the waiver checker
+            """)
+        report = analyze(root=root)
+        assert [f.rule_id for f in report.findings] == ["RPR000"]
+
+    def test_file_level_suppression_covers_everything(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            # repro: allow-file[RPR003] -- timing harness, not engine code
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.monotonic()
+            """)
+        report = analyze(root=root)
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+        assert all(s.scope == "file" for _, s in report.suppressed)
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        root = self._tree(tmp_path, """\
+            import time
+
+            def now():
+                return time.time()  # repro: allow[RPR004] -- wrong rule
+            """)
+        report = analyze(root=root)
+        assert any(f.rule_id == "RPR003" for f in report.findings)
+
+
+class TestRegistry:
+    def test_duplicate_registration_raises(self):
+        rule = Rule(rule_id="RPRTEST", name="t", description="d")
+        register_rule(rule)
+        try:
+            with pytest.raises(AnalysisError, match="already registered"):
+                register_rule(rule)
+            register_rule(Rule(rule_id="RPRTEST", name="t2",
+                               description="d2"), replace=True)
+            assert get_rule("rprtest").name == "t2"
+        finally:
+            unregister_rule("RPRTEST")
+
+    def test_unknown_rule_lists_choices(self):
+        with pytest.raises(AnalysisError, match="RPR001"):
+            get_rule("NOPE")
+
+    def test_builtins_registered(self):
+        ids = [rule.rule_id for rule in registered_rules()]
+        assert ids == sorted(ids)
+        for expected in ("RPR000", "RPR001", "RPR002", "RPR003", "RPR004"):
+            assert expected in ids
+
+    def test_select_rules_filters(self):
+        selected = select_rules(["RPR003"])
+        assert [rule.rule_id for rule in selected] == ["RPR003"]
+        # Default selection: every rule with a check (RPR000 has none).
+        default = select_rules(None)
+        assert all(rule.check is not None for rule in default)
+
+    def test_invalid_rule_id_rejected(self):
+        with pytest.raises(AnalysisError, match="alphanumeric"):
+            Rule(rule_id="RPR 1", name="x", description="y")
+
+
+class TestCLI:
+    def test_strict_fails_on_badproj(self):
+        proc = _cli("--strict", "--root", BADPROJ)
+        assert proc.returncode == 1
+        assert "RPR001" in proc.stdout
+        assert "finding(s)" in proc.stderr
+
+    def test_strict_passes_on_cleanproj(self):
+        proc = _cli("--strict", "--root", CLEANPROJ)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_non_strict_always_exits_zero(self):
+        proc = _cli("--root", BADPROJ)
+        assert proc.returncode == 0
+
+    def test_rule_filter(self):
+        proc = _cli("--root", BADPROJ, "--rule", "RPR002")
+        assert "RPR002" in proc.stdout
+        assert "RPR004" not in proc.stdout
+
+    def test_json_output_parses(self):
+        proc = _cli("--root", BADPROJ, "--json")
+        payload = json.loads(proc.stdout)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "RPR001" in rules
+        assert payload["modules"] == 8
+
+    def test_sarif_output_structure(self, tmp_path):
+        out = str(tmp_path / "analysis.sarif")
+        proc = _cli("--root", BADPROJ, "--sarif", "--out", out)
+        assert proc.returncode == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            log = json.loads(handle.read())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "RPR001" in rule_ids
+        result = run["results"][0]
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(".py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_module_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.dirname(PACKAGE_ROOT)]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis",
+             "--strict", "--root", CLEANPROJ],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
