@@ -41,6 +41,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 from dataclasses import asdict, fields
 from typing import Optional
 
@@ -58,6 +59,7 @@ ENGINE_VERSION = 2
 _FINGERPRINT_EXCLUDE = ("experiments", "explore", os.path.join("core", "exec"))
 
 _fingerprint_cache: Optional[str] = None
+_FINGERPRINT_LOCK = threading.Lock()
 
 
 def engine_fingerprint() -> str:
@@ -69,33 +71,34 @@ def engine_fingerprint() -> str:
     manual version bump needed during development.
     """
     global _fingerprint_cache
-    if _fingerprint_cache is not None:
+    with _FINGERPRINT_LOCK:
+        if _fingerprint_cache is not None:
+            return _fingerprint_cache
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        try:
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__"
+                    and os.path.relpath(os.path.join(dirpath, d), root)
+                    not in _FINGERPRINT_EXCLUDE
+                )
+                for name in sorted(filenames):
+                    if not name.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    digest.update(os.path.relpath(path, root).encode())
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+        except OSError:
+            # Unreadable sources (zipapp, odd installs): fall back to a
+            # constant so the manual ENGINE_VERSION is the only stamp.
+            _fingerprint_cache = "unreadable"
+            return _fingerprint_cache
+        _fingerprint_cache = digest.hexdigest()
         return _fingerprint_cache
-    import repro
-    root = os.path.dirname(os.path.abspath(repro.__file__))
-    digest = hashlib.sha256()
-    try:
-        for dirpath, dirnames, filenames in os.walk(root):
-            dirnames[:] = sorted(
-                d for d in dirnames
-                if d != "__pycache__"
-                and os.path.relpath(os.path.join(dirpath, d), root)
-                not in _FINGERPRINT_EXCLUDE
-            )
-            for name in sorted(filenames):
-                if not name.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, name)
-                digest.update(os.path.relpath(path, root).encode())
-                with open(path, "rb") as handle:
-                    digest.update(handle.read())
-    except OSError:
-        # Unreadable sources (zipapp, odd installs): fall back to a
-        # constant so the manual ENGINE_VERSION is the only stamp.
-        _fingerprint_cache = "unreadable"
-        return _fingerprint_cache
-    _fingerprint_cache = digest.hexdigest()
-    return _fingerprint_cache
 
 _ENV_DISABLE = "REPRO_DISK_CACHE"
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -107,6 +110,10 @@ hits = 0
 misses = 0
 stores = 0
 corrupt = 0
+
+#: Guards the counters above: cache lookups run concurrently on the
+#: thread backend, and ``n += 1`` is a read-modify-write.
+_COUNTER_LOCK = threading.Lock()
 
 
 def enabled() -> bool:
@@ -212,7 +219,8 @@ def _payload_checksum(payload: dict) -> str:
 
 def _evict_corrupt(path: str) -> None:
     global corrupt
-    corrupt += 1
+    with _COUNTER_LOCK:
+        corrupt += 1
     try:
         os.unlink(path)
     except OSError:
@@ -237,11 +245,13 @@ def load(key: str) -> Optional[SimulationResult]:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except FileNotFoundError:
-        misses += 1
+        with _COUNTER_LOCK:
+            misses += 1
         return None
     except (OSError, ValueError):
         _evict_corrupt(path)
-        misses += 1
+        with _COUNTER_LOCK:
+            misses += 1
         return None
     try:
         if not isinstance(payload, dict):
@@ -249,22 +259,26 @@ def load(key: str) -> Optional[SimulationResult]:
         if "checksum" in payload \
                 and payload["checksum"] != _payload_checksum(payload):
             _evict_corrupt(path)
-            misses += 1
+            with _COUNTER_LOCK:
+                misses += 1
             return None
         stat_fields = {f.name for f in fields(EngineStats)}
         raw = payload["stats"]
         if set(raw) != stat_fields:
             # Written by a build with a different stats layout but the
             # same engine version — treat as a miss rather than erroring.
-            misses += 1
+            with _COUNTER_LOCK:
+                misses += 1
             return None
         result = SimulationResult(scheme=payload["scheme"],
                                   stats=EngineStats(**raw))
     except (ValueError, KeyError, TypeError):
         _evict_corrupt(path)
-        misses += 1
+        with _COUNTER_LOCK:
+            misses += 1
         return None
-    hits += 1
+    with _COUNTER_LOCK:
+        hits += 1
     return result
 
 
@@ -297,7 +311,8 @@ def store(key: str, result: SimulationResult) -> None:
     except OSError:
         # A read-only or full cache directory must never fail a run.
         return
-    stores += 1
+    with _COUNTER_LOCK:
+        stores += 1
 
 
 def _verify_payload(payload) -> str:
@@ -540,4 +555,5 @@ def clear() -> int:
 def reset_counters() -> None:
     """Zero the process-local hit/miss/store/corrupt counters (tests)."""
     global hits, misses, stores, corrupt
-    hits = misses = stores = corrupt = 0
+    with _COUNTER_LOCK:
+        hits = misses = stores = corrupt = 0
