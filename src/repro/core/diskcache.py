@@ -54,9 +54,11 @@ ENGINE_VERSION = 2
 
 #: Package subtrees whose source does not affect simulation output and
 #: is therefore excluded from the fingerprint (reporting/plotting,
-#: search orchestration and the execution-backend scheduler, whose
-#: backends are bit-identical by construction).
-_FINGERPRINT_EXCLUDE = ("experiments", "explore", os.path.join("core", "exec"))
+#: search orchestration, the execution-backend scheduler — whose
+#: backends are bit-identical by construction — and the static
+#: analyzer, which only reads source).
+_FINGERPRINT_EXCLUDE = ("experiments", "explore", os.path.join("core", "exec"),
+                        "analysis")
 
 _fingerprint_cache: Optional[str] = None
 _FINGERPRINT_LOCK = threading.Lock()
@@ -77,6 +79,12 @@ def engine_fingerprint() -> str:
         import repro
         root = os.path.dirname(os.path.abspath(repro.__file__))
         digest = hashlib.sha256()
+        # The exclusion list is itself key material: moving a subtree
+        # into or out of the fingerprint changes which sources can alter
+        # engine output, so it must invalidate existing cache entries.
+        digest.update(("exclude:" + ",".join(
+            sorted(entry.replace(os.sep, "/")
+                   for entry in _FINGERPRINT_EXCLUDE))).encode())
         try:
             for dirpath, dirnames, filenames in os.walk(root):
                 dirnames[:] = sorted(

@@ -123,6 +123,25 @@ class TestKeySensitivity:
             == diskcache.engine_fingerprint()
         assert diskcache.engine_fingerprint() != "unreadable"
 
+    def test_exclusion_list_is_fingerprint_material(self, monkeypatch):
+        # Moving a subtree into or out of _FINGERPRINT_EXCLUDE must
+        # change the fingerprint (and thus invalidate cache entries),
+        # even when the set of hashed files happens to stay identical.
+        baseline = diskcache.engine_fingerprint()
+        monkeypatch.setattr(diskcache, "_fingerprint_cache", None)
+        monkeypatch.setattr(
+            diskcache, "_FINGERPRINT_EXCLUDE",
+            diskcache._FINGERPRINT_EXCLUDE + ("no_such_subtree",))
+        altered = diskcache.engine_fingerprint()
+        assert altered != baseline
+        # Recompute under the original tuple: bit-stable again.
+        monkeypatch.setattr(diskcache, "_fingerprint_cache", None)
+        monkeypatch.setattr(
+            diskcache, "_FINGERPRINT_EXCLUDE",
+            tuple(e for e in diskcache._FINGERPRINT_EXCLUDE
+                  if e != "no_such_subtree"))
+        assert diskcache.engine_fingerprint() == baseline
+
 
 class TestOptOut:
     def test_disable_env(self, fresh_cache, monkeypatch):
