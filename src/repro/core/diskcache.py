@@ -490,6 +490,7 @@ def prune(days: Optional[float] = None) -> dict:
     one damaged file must not abort the whole prune.
     """
     import time
+    # repro: allow[RPR003] -- file-age cutoff only; no result or key material
     cutoff = time.time() - days * 86400.0 if days is not None else None
     removed = 0
     freed = 0

@@ -53,7 +53,7 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.errors import ReproError
@@ -90,6 +90,7 @@ _hang_lock = threading.Lock()
 def mark_worker() -> None:
     """Declare this process a pool worker (crash faults become real)."""
     global _IS_WORKER
+    # repro: allow[RPR004] -- set once by the pool initializer before any task
     _IS_WORKER = True
 
 
@@ -363,6 +364,7 @@ def active_plan() -> Optional[FaultPlan]:
     if not value:
         return None
     if value not in _env_cache:
+        # repro: allow[RPR004] -- idempotent memo keyed by the env string
         _env_cache[value] = _load_env_plan(value)
     return _env_cache[value]
 
@@ -379,6 +381,7 @@ class _Activation:
         global _active_override
         self._saved_override = _active_override
         self._saved_env = os.environ.get(_ENV_PLAN)
+        # repro: allow[RPR004] -- chaos-test scoping, entered before any sweep
         _active_override = self._plan
         # Pool workers inherit the environment, not module globals.
         os.environ[_ENV_PLAN] = self._plan.to_json()
@@ -386,6 +389,7 @@ class _Activation:
 
     def __exit__(self, *exc_info) -> None:
         global _active_override
+        # repro: allow[RPR004] -- chaos-test scoping, exited after the sweep
         _active_override = self._saved_override
         if self._saved_env is None:
             os.environ.pop(_ENV_PLAN, None)

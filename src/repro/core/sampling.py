@@ -121,6 +121,7 @@ def sampled_comparison(
         raise SimulationError("need at least one sample window")
     from repro.core.metrics import frontend_stall_coverage, speedup
     from repro.core.sweep import run_specs
+    # repro: allow[RPR002] -- frozen spec value types; keys live in diskcache
     from repro.experiments.spec import RunSpec, SampleSpec
 
     sample = SampleSpec(n_windows=n_windows, window_blocks=window_blocks)

@@ -45,15 +45,20 @@ from typing import Callable, Dict, Hashable, Iterable, Iterator, List, \
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.core import diskcache
+# repro: allow[RPR002] -- scheduler boundary; backends bit-identical (DESIGN 10)
 from repro.core.exec import Backend, ProgressTracker, RunJournal, \
     chunk_specs, get_backend, spec_cost, stderr_progress
+# repro: allow[RPR002] -- fault hooks are no-ops unless a plan is injected
 from repro.core.exec import faults as faultlib
+# repro: allow[RPR002] -- event vocabulary only; carries no engine state
 from repro.core.exec import progress as progress_events
+# repro: allow[RPR002] -- supervision retries bit-identical cells (DESIGN 11)
 from repro.core.exec.supervisor import CellFailure, FailureReport, \
     SupervisedBackend, SupervisorEvent
 from repro.core.frontend import simulate
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
+# repro: allow[RPR002] -- RunSpec is a frozen value type; keys live in diskcache
 from repro.experiments.spec import DEFAULT_TRACE_BLOCKS, RunSpec
 from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
 from repro.workloads.profiles import build_program, build_trace, \
@@ -135,6 +140,7 @@ def note_remote_result(spec: RunSpec, result: SimulationResult,
     """
     _count_simulation()
     if use_cache:
+        # repro: allow[RPR004] -- GIL-atomic write of an idempotent memo value
         _RESULT_CACHE[spec] = result
 
 
@@ -191,6 +197,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         disk_key = diskcache.spec_key(spec)
         cached = diskcache.load(disk_key)
         if cached is not None:
+            # repro: allow[RPR004] -- GIL-atomic write of an idempotent memo
             _RESULT_CACHE[spec] = cached
             return cached
 
@@ -412,6 +419,7 @@ def run_specs(specs: Iterable[RunSpec],
     (under ``skip``/``degrade``) instead of retrying them.
     """
     global last_failures
+    # repro: allow[RPR002] -- scheduler boundary; policy constants only
     from repro.core.exec.supervisor import DEFAULT_BACKOFF_BASE, \
         ON_ERROR_POLICIES
 
@@ -453,6 +461,7 @@ def run_specs(specs: Iterable[RunSpec],
             disk_keys[spec] = diskcache.spec_key(spec)
             hit = diskcache.load(disk_keys[spec])
             if hit is not None:
+                # repro: allow[RPR004] -- parent-only probe loop, pre-fan-out
                 _RESULT_CACHE[spec] = hit
         if hit is not None:
             results[spec] = hit
@@ -519,6 +528,7 @@ def run_specs(specs: Iterable[RunSpec],
             retries_done = report.retries
             degraded = list(report.degraded)
         if cells or retries_done or degraded:
+            # repro: allow[RPR004] -- parent-only, after all workers drained
             last_failures = FailureReport(cells=cells,
                                           retries=retries_done,
                                           degraded=degraded)
@@ -699,4 +709,5 @@ def run_schemes(workload: str, scheme_names: Iterable[str],
 
 def clear_result_cache() -> None:
     """Drop memoised simulation results (used by tests)."""
+    # repro: allow[RPR004] -- test helper; callers quiesce workers first
     _RESULT_CACHE.clear()

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+# repro: allow[RPR002] -- table rendering for a listing CLI; display only
 from repro.experiments.reporting import format_table
 from repro.workloads.analysis import (
     branch_coverage_curve,

@@ -38,6 +38,10 @@ behaves exactly like a built-in one.
 
 from __future__ import annotations
 
+# repro: allow-file[RPR004] -- registry + memo caches: registration happens at
+# import time or in single-threaded test setup, and the build_* check-then-set
+# races at worst recompute the same pure artefact before an identical write.
+
 import sys
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, Tuple
