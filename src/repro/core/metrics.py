@@ -13,7 +13,6 @@ branch-prediction cost that no front-end *prefetcher* can remove.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional
 
 from repro.errors import SimulationError
 

@@ -22,7 +22,7 @@ reproducible and testable without the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.config.schemes import conventional_btb_bits, \

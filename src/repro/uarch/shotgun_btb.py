@@ -17,7 +17,7 @@ Three structures share the conventional BTB's storage budget:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config.schemes import (
