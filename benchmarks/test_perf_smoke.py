@@ -197,6 +197,62 @@ def test_grid_parallel_bit_identical_and_timed(isolated_disk_cache,
     })
 
 
+def test_telemetry_overhead_is_bounded(isolated_disk_cache, monkeypatch):
+    """The observability layer must be free when off and cheap when on.
+
+    Telemetry-off runs pay one env probe per ``span()`` call site —
+    within measurement noise of a build without the hooks.  Telemetry-on
+    runs additionally allocate span records and observe histograms;
+    the guard allows < 5% over the off timing (min-of-3 each way, same
+    warmed trace, uncached simulations).
+    """
+    from repro.core.sweep import run_specs
+    from repro.experiments.spec import RunSpec
+    from repro.obs import tracing
+
+    workload, blocks = "nutch", GRID_BLOCKS
+    trace = build_trace(workload, blocks)
+    _ = trace.hot
+    _trace_predictor(trace)
+    specs = [RunSpec(workload=workload, scheme=scheme, n_blocks=blocks)
+             for scheme in ("baseline", "shotgun")]
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    run_specs(specs, backend="serial", use_cache=False)  # warm-up pass
+
+    def measure(enabled: bool) -> float:
+        best = float("inf")
+        for _attempt in range(3):
+            tracing.reset()
+            if enabled:
+                with tracing.enable():
+                    start = time.perf_counter()
+                    run_specs(specs, backend="serial", use_cache=False)
+                    best = min(best, time.perf_counter() - start)
+                tracing.reset()
+            else:
+                start = time.perf_counter()
+                run_specs(specs, backend="serial", use_cache=False)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    off_seconds = measure(enabled=False)
+    on_seconds = measure(enabled=True)
+    overhead = on_seconds / off_seconds - 1.0
+
+    _record("telemetry", {
+        "workload": workload,
+        "schemes": ["baseline", "shotgun"],
+        "n_blocks": blocks,
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+    })
+    assert on_seconds < off_seconds * 1.05, (
+        f"telemetry-on overhead {overhead:.1%} exceeds the 5% budget "
+        f"(on {on_seconds:.3f}s vs off {off_seconds:.3f}s)"
+    )
+
+
 def test_disk_cache_skips_simulation(isolated_disk_cache):
     """A warm persistent cache turns a simulation into a JSON read."""
     start = time.perf_counter()

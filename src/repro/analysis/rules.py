@@ -273,8 +273,9 @@ def check_fingerprint_layering(project: Project) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 #: Subtrees where nondeterminism is the point (timeout/backoff clocks in
-#: the execution layer; the analyzer itself never runs in a simulation).
-_RPR003_EXEMPT_SUBTREES = ("core/exec", "analysis")
+#: the execution layer; the analyzer itself never runs in a simulation;
+#: the observability layer timestamps spans and manifests).
+_RPR003_EXEMPT_SUBTREES = ("core/exec", "analysis", "obs")
 
 _WALLCLOCK_CALLS = {
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",

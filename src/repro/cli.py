@@ -41,6 +41,17 @@ Subcommands:
     nonzero on findings (the CI gate), ``--json``/``--sarif`` switch
     the report format, ``--rule ID`` filters rules, ``--root PATH``
     points at another tree (used by the fixture tests).
+``stats``
+    Render the run manifest (:mod:`repro.obs.export`) of the most
+    recent — or a named — journaled invocation: cell accounting,
+    cache hit ratio, wall-clock phase breakdown, failures.  ``--json``
+    emits the raw manifest, ``--prometheus`` the metric delta in text
+    exposition format.
+``trace``
+    Render a run's span tree (scheduling → execute → per-cell
+    simulate, including process-worker spans) with self/total wall
+    times.  Spans are only captured under ``--telemetry`` /
+    ``REPRO_TELEMETRY``.
 
 Shared flags: ``--blocks`` (trace length; in sampled mode, the per-cell
 budget split across windows), ``--backend {serial,thread,process}`` /
@@ -54,7 +65,9 @@ completed cells are never re-simulated), and the fault-tolerance trio
 ``--retries N`` / ``--unit-timeout S`` / ``--on-error
 {fail,skip,degrade}`` (DESIGN.md Section 11: retry failing work units
 with seeded backoff, time out hung ones, and either quarantine poison
-cells or degrade the backend instead of dying).
+cells or degrade the backend instead of dying), and ``--telemetry
+PATH`` (stream structured JSONL telemetry — progress events, the run
+manifest, span records — to a file; DESIGN.md Section 13).
 
 Every ``run``/``sweep``/``report``/``explore`` invocation writes a run
 journal keyed by its *work set* (command, experiments, blocks, seeds —
@@ -83,7 +96,8 @@ from repro.errors import ReproError
 
 _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
                   "REPRO_MAX_WORKERS", "REPRO_PROGRESS", "REPRO_JOURNAL",
-                  "REPRO_RETRIES", "REPRO_UNIT_TIMEOUT", "REPRO_ON_ERROR")
+                  "REPRO_RETRIES", "REPRO_UNIT_TIMEOUT", "REPRO_ON_ERROR",
+                  "REPRO_TELEMETRY")
 
 #: Args that never change *which cells* an invocation runs — excluded
 #: from the journal identity, so an interrupted process-backend run can
@@ -92,7 +106,7 @@ _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
 _JOURNAL_IRRELEVANT = frozenset((
     "func", "command", "backend", "max_workers", "parallel", "no_cache",
     "progress", "resume", "out", "json", "chart",
-    "retries", "unit_timeout", "on_error",
+    "retries", "unit_timeout", "on_error", "telemetry",
 ))
 
 #: Default window count for ``--sampled`` without an explicit ``--windows``.
@@ -194,6 +208,8 @@ def _execution_env(args):
             os.environ["REPRO_UNIT_TIMEOUT"] = str(args.unit_timeout)
         if getattr(args, "on_error", None):
             os.environ["REPRO_ON_ERROR"] = args.on_error
+        if getattr(args, "telemetry", None):
+            os.environ["REPRO_TELEMETRY"] = args.telemetry
         if hasattr(args, "resume"):
             os.environ.pop("REPRO_JOURNAL", None)
             _setup_journal(args)
@@ -289,29 +305,68 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
              "degrade, which also falls back process -> thread -> "
              "serial when the pool itself is unrecoverable",
     )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream telemetry (progress events, span traces, the run "
+             "manifest) as JSONL to PATH and enable span collection "
+             "(DESIGN.md Section 13); inspect with 'stats' and 'trace'",
+    )
 
 
 @contextlib.contextmanager
-def _cell_accounting(label: str):
+def _cell_accounting(label: str, command: Optional[str] = None,
+                     emit_line: bool = True):
     """Report the command's simulated/cached cell split on stderr.
 
     The split depends on cache state, so it goes to stderr — stdout
     stays bit-reproducible — and it is what makes the resume guarantee
     checkable: a fully-resumed (or repeated) invocation reports
     ``0 simulated``, which the CI kill-and-resume step asserts.
+
+    The line is rendered from the same metrics-snapshot delta that
+    becomes the invocation's run manifest (DESIGN.md Section 13), so
+    the two can never disagree.  When the invocation is journaled the
+    manifest is written next to the journal (``repro stats`` reads
+    it); with ``--telemetry`` it is also appended to the JSONL stream.
     """
-    from repro.core import diskcache
     from repro.core import sweep
-    from repro.core.sweep import simulation_meter
-    hits_before = diskcache.hits
-    quarantined_before = sweep.quarantines
-    with simulation_meter() as meter:
+    from repro.obs import export, metrics, profile, tracing
+    tracing.drain()  # drop spans left over from earlier in-process work
+    before = metrics.snapshot()
+    # repro: allow[RPR003] -- observability timing on stderr/manifest only
+    started = time.perf_counter()
+    interval = profile.profiler_interval(os.environ.get(profile.PROFILE_ENV))
+    sampler = profile.sampling_profiler(interval) if interval \
+        else contextlib.nullcontext()
+    with sampler:
         yield
-    quarantined = sweep.quarantines - quarantined_before
-    suffix = f", {quarantined} quarantined" if quarantined else ""
-    print(f"[{label}: {meter.count} simulated, "
-          f"{diskcache.hits - hits_before} cached{suffix}]",
-          file=sys.stderr)
+    # repro: allow[RPR003] -- observability timing on stderr/manifest only
+    elapsed = time.perf_counter() - started
+    delta = metrics.delta(before, metrics.snapshot())
+    if emit_line:
+        print(export.render_accounting(label, delta), file=sys.stderr)
+
+    journal_path = os.environ.get("REPRO_JOURNAL")
+    telemetry_path = os.environ.get(tracing.TELEMETRY_ENV)
+    if not journal_path and not telemetry_path:
+        return
+    if journal_path:
+        run_id = os.path.basename(journal_path)
+        if run_id.endswith(".jsonl"):
+            run_id = run_id[:-len(".jsonl")]
+    else:
+        run_id = "unjournaled"
+    report = export.build_report(
+        run_id=run_id, label=label, command=command or label,
+        delta=delta, spans=tracing.drain(), elapsed=elapsed,
+        failures=sweep.last_failures, journal=journal_path)
+    if journal_path:
+        export.write_manifest(report, export.manifest_path(journal_path))
+    if telemetry_path:
+        export.TelemetryWriter(telemetry_path).emit(
+            "manifest", **{key: value
+                           for key, value in report.to_json().items()
+                           if key != "kind"})
 
 
 def _resolve_ids(requested: List[str]) -> List[str]:
@@ -383,7 +438,7 @@ def _cmd_run(args) -> int:
     ids = _resolve_ids(args.experiments)
     n_windows = _sample_windows(args)
     results = []
-    with _cell_accounting("run " + " ".join(ids)):
+    with _cell_accounting("run " + " ".join(ids), command="run"):
         for experiment_id in ids:
             runner = get_experiment(experiment_id)
             # repro: allow[RPR003] -- elapsed-time display on stderr only
@@ -491,11 +546,11 @@ def _cmd_sweep(args) -> int:
                 "--seed selects a single reference trace; sampled mode "
                 "seeds its own independent windows — drop one of the two"
             )
-        with _cell_accounting("sweep"):
+        with _cell_accounting("sweep", command="sweep"):
             lines = _sampled_sweep_lines(workloads, schemes, args,
                                          n_windows)
     else:
-        with _cell_accounting("sweep"):
+        with _cell_accounting("sweep", command="sweep"):
             grid = run_grid(workloads, schemes, n_blocks=args.blocks,
                             seed=args.seed, parallel=args.parallel)
         lines = []
@@ -563,17 +618,20 @@ def _cmd_explore(args) -> int:
             raise ReproError("--workloads needs at least one workload")
         space = replace(space, workloads=workloads)
     objectives = [o for o in args.objectives.split(",") if o.strip()]
-    result = explore(
-        space,
-        strategy=args.strategy,
-        objectives=objectives,
-        budget=args.budget,
-        n_blocks=args.blocks,
-        seed=args.seed,
-        parallel=args.parallel,
-        max_workers=args.max_workers,
-        backend=args.backend,
-    )
+    # The explore report renders its own accounting line below;
+    # _cell_accounting still runs to produce the run manifest.
+    with _cell_accounting("explore", command="explore", emit_line=False):
+        result = explore(
+            space,
+            strategy=args.strategy,
+            objectives=objectives,
+            budget=args.budget,
+            n_blocks=args.blocks,
+            seed=args.seed,
+            parallel=args.parallel,
+            max_workers=args.max_workers,
+            backend=args.backend,
+        )
     payload = result.to_jsonl() if args.json else result.render()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -613,6 +671,12 @@ def _cmd_cache(args) -> int:
         print(f"engine version: {stats['engine_version']} (current)")
         print(f"entries:        {stats['entries']} "
               f"({_format_bytes(stats['bytes'])})")
+        ratio = stats["hit_ratio"]
+        ratio_text = f"{ratio:.1%}" if ratio is not None else "n/a"
+        print(f"hits/misses:    {stats['hits']}/{stats['misses']} "
+              f"(ratio {ratio_text}, this process)")
+        print(f"stores:         {stats['stores']} "
+              f"({stats['corrupt']} corrupt evicted)")
         for version in sorted(stats["by_version"],
                               key=lambda v: (v is None, v)):
             bucket = stats["by_version"][version]
@@ -653,7 +717,7 @@ def _cmd_report(args) -> int:
     from repro.experiments.registry import get_experiment
     ids = _resolve_ids(args.experiments or ["all"])
     os.makedirs(args.out, exist_ok=True)
-    with _cell_accounting("report"):
+    with _cell_accounting("report", command="report"):
         for experiment_id in ids:
             # repro: allow[RPR003] -- elapsed-time display on stdout only
             started = time.time()
@@ -687,6 +751,36 @@ def _cmd_analyze(args) -> int:
     # output stays clean while humans and CI logs still see the verdict.
     print(report.summary(), file=sys.stderr)
     return 1 if (args.strict and not report.ok) else 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import export
+    try:
+        manifest = export.resolve_manifest(args.run)
+    except (OSError, ValueError) as error:
+        raise ReproError(str(error))
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    elif args.prometheus:
+        metrics = manifest.get("metrics") or {}
+        print(export.render_prometheus({
+            "counters": metrics.get("counters", {}),
+            "gauges": metrics.get("gauges", {}),
+            "histograms": metrics.get("histograms", {}),
+        }))
+    else:
+        print(export.render_manifest(manifest))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import export
+    try:
+        manifest = export.resolve_manifest(args.run)
+    except (OSError, ValueError) as error:
+        raise ReproError(str(error))
+    print(export.render_trace(manifest))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -869,6 +963,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to a file instead of stdout",
     )
     analyze_parser.set_defaults(func=_cmd_analyze)
+
+    stats_parser = commands.add_parser(
+        "stats",
+        help="render the run manifest of the last (or named) journaled "
+             "invocation")
+    stats_parser.add_argument(
+        "run", nargs="?", default=None,
+        help="run-id prefix, journal/manifest/telemetry path "
+             "(default: the most recent manifest)",
+    )
+    stats_format = stats_parser.add_mutually_exclusive_group()
+    stats_format.add_argument(
+        "--json", action="store_true",
+        help="emit the raw manifest JSON",
+    )
+    stats_format.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the run's metric delta in Prometheus text exposition",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="render a run's span tree with self/total wall times")
+    trace_parser.add_argument(
+        "run", nargs="?", default=None,
+        help="run-id prefix, journal/manifest/telemetry path "
+             "(default: the most recent manifest)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -47,6 +47,8 @@ from typing import Optional
 
 from repro.config import MicroarchParams, SchemeConfig
 from repro.core.metrics import EngineStats, SimulationResult
+# repro: allow[RPR002] -- observability registry; reads engine events only
+from repro.obs.metrics import counter as _obs_counter
 
 #: Timing-model revision stamp.  Part of every cache key alongside the
 #: automatic source fingerprint; bump on intentional output changes.
@@ -56,9 +58,10 @@ ENGINE_VERSION = 2
 #: is therefore excluded from the fingerprint (reporting/plotting,
 #: search orchestration, the execution-backend scheduler — whose
 #: backends are bit-identical by construction — and the static
-#: analyzer, which only reads source).
+#: analyzer, which only reads source) — plus the observability layer,
+#: which may never change engine output by construction.
 _FINGERPRINT_EXCLUDE = ("experiments", "explore", os.path.join("core", "exec"),
-                        "analysis")
+                        "analysis", "obs")
 
 _fingerprint_cache: Optional[str] = None
 _FINGERPRINT_LOCK = threading.Lock()
@@ -111,17 +114,36 @@ def engine_fingerprint() -> str:
 _ENV_DISABLE = "REPRO_DISK_CACHE"
 _ENV_DIR = "REPRO_CACHE_DIR"
 
-#: Process-local counters (observability, used by tests and benchmarks).
-#: ``corrupt`` counts entries evicted because their bytes failed the
-#: checksum (or could not be parsed at all) — every one is also a miss.
-hits = 0
-misses = 0
-stores = 0
-corrupt = 0
+#: Process-local counters (observability, used by tests and benchmarks),
+#: now instruments in the :mod:`repro.obs.metrics` registry (``cache.*``).
+#: ``cache.corrupt`` counts entries evicted because their bytes failed
+#: the checksum (or could not be parsed at all) — every one is also a
+#: miss.  The historical module globals ``hits``/``misses``/``stores``/
+#: ``corrupt`` remain readable through the module ``__getattr__`` shim.
+_HITS = _obs_counter("cache.hits")
+_MISSES = _obs_counter("cache.misses")
+_STORES = _obs_counter("cache.stores")
+_CORRUPT = _obs_counter("cache.corrupt")
 
-#: Guards the counters above: cache lookups run concurrently on the
-#: thread backend, and ``n += 1`` is a read-modify-write.
-_COUNTER_LOCK = threading.Lock()
+_COUNTER_SHIMS = {
+    "hits": _HITS,
+    "misses": _MISSES,
+    "stores": _STORES,
+    "corrupt": _CORRUPT,
+}
+
+
+def __getattr__(name: str):
+    """Compatibility shim: the pre-obs counter globals, read-only.
+
+    ``diskcache.hits`` and friends are read all over the tests, the
+    benchmarks and the explore budget report; they now resolve to the
+    registry counters' live values.
+    """
+    instrument = _COUNTER_SHIMS.get(name)
+    if instrument is not None:
+        return instrument.value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def enabled() -> bool:
@@ -226,9 +248,7 @@ def _payload_checksum(payload: dict) -> str:
 
 
 def _evict_corrupt(path: str) -> None:
-    global corrupt
-    with _COUNTER_LOCK:
-        corrupt += 1
+    _CORRUPT.inc()
     try:
         os.unlink(path)
     except OSError:
@@ -245,7 +265,6 @@ def load(key: str) -> Optional[SimulationResult]:
     stamp existed are unreachable from this build anyway (the source
     fingerprint in their keys differs) and are accepted if ever seen.
     """
-    global hits, misses
     if not enabled():
         return None
     path = entry_path(key)
@@ -253,13 +272,11 @@ def load(key: str) -> Optional[SimulationResult]:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except FileNotFoundError:
-        with _COUNTER_LOCK:
-            misses += 1
+        _MISSES.inc()
         return None
     except (OSError, ValueError):
         _evict_corrupt(path)
-        with _COUNTER_LOCK:
-            misses += 1
+        _MISSES.inc()
         return None
     try:
         if not isinstance(payload, dict):
@@ -267,32 +284,27 @@ def load(key: str) -> Optional[SimulationResult]:
         if "checksum" in payload \
                 and payload["checksum"] != _payload_checksum(payload):
             _evict_corrupt(path)
-            with _COUNTER_LOCK:
-                misses += 1
+            _MISSES.inc()
             return None
         stat_fields = {f.name for f in fields(EngineStats)}
         raw = payload["stats"]
         if set(raw) != stat_fields:
             # Written by a build with a different stats layout but the
             # same engine version — treat as a miss rather than erroring.
-            with _COUNTER_LOCK:
-                misses += 1
+            _MISSES.inc()
             return None
         result = SimulationResult(scheme=payload["scheme"],
                                   stats=EngineStats(**raw))
     except (ValueError, KeyError, TypeError):
         _evict_corrupt(path)
-        with _COUNTER_LOCK:
-            misses += 1
+        _MISSES.inc()
         return None
-    with _COUNTER_LOCK:
-        hits += 1
+    _HITS.inc()
     return result
 
 
 def store(key: str, result: SimulationResult) -> None:
     """Persist *result* under *key* (atomic; no-op when disabled)."""
-    global stores
     if not enabled():
         return
     path = entry_path(key)
@@ -319,8 +331,7 @@ def store(key: str, result: SimulationResult) -> None:
     except OSError:
         # A read-only or full cache directory must never fail a run.
         return
-    with _COUNTER_LOCK:
-        stores += 1
+    _STORES.inc()
 
 
 def _verify_payload(payload) -> str:
@@ -462,6 +473,9 @@ def stats() -> dict:
         bucket["bytes"] += size
         entries += 1
         total_bytes += size
+    probe_hits = _HITS.value
+    probe_misses = _MISSES.value
+    probes = probe_hits + probe_misses
     return {
         "cache_dir": cache_dir(),
         "enabled": enabled(),
@@ -469,6 +483,11 @@ def stats() -> dict:
         "entries": entries,
         "bytes": total_bytes,
         "by_version": by_version,
+        "hits": probe_hits,
+        "misses": probe_misses,
+        "stores": _STORES.value,
+        "corrupt": _CORRUPT.value,
+        "hit_ratio": (probe_hits / probes) if probes else None,
     }
 
 
@@ -563,6 +582,5 @@ def clear() -> int:
 
 def reset_counters() -> None:
     """Zero the process-local hit/miss/store/corrupt counters (tests)."""
-    global hits, misses, stores, corrupt
-    with _COUNTER_LOCK:
-        hits = misses = stores = corrupt = 0
+    for instrument in _COUNTER_SHIMS.values():
+        instrument.reset()

@@ -34,12 +34,30 @@ from typing import Any, Dict, Iterator, List, Sequence, Tuple, Type
 
 from repro.core.exec.chunking import WorkUnit
 from repro.errors import ReproError
+from repro.obs import metrics, tracing
 
 #: Result pairs a backend yields: (canonical spec, simulation result).
 CellResult = Tuple[Any, Any]
 
+#: What a worker ships back per unit: the result pairs, the span
+#: records its process buffered while executing them, and its metric
+#: delta for the unit (both empty in thread pools and inline
+#: execution, where spans and metrics land in the shared parent
+#: registry directly).
+UnitResult = Tuple[List[CellResult], List[dict], Dict[str, dict]]
 
-def _run_unit(specs: Sequence[Any], use_cache: bool) -> List[CellResult]:
+#: Worker-side counters the parent already accounts for itself and must
+#: therefore NOT absorb from shipped deltas: the parent probed the disk
+#: cache before dispatch (misses) and mirrors each remote simulation via
+#: :func:`repro.core.sweep.note_remote_result` (simulations).  Stores,
+#: corrupt evictions and the engine-phase histograms only happen worker
+#: side, so those do travel.
+_PARENT_ACCOUNTED = ("cache.hits", "cache.misses", "sweep.simulations",
+                     "sweep.quarantines", "sweep.cells",
+                     "sweep.cached_cells")
+
+
+def _run_unit(specs: Sequence[Any], use_cache: bool) -> UnitResult:
     """Execute one unit's cells in the current process/thread.
 
     Worker entry point for every backend: :func:`repro.core.sweep.
@@ -47,9 +65,29 @@ def _run_unit(specs: Sequence[Any], use_cache: bool) -> List[CellResult]:
     across the unit's cells and persists each simulated result to the
     shared disk cache immediately — a unit interrupted halfway loses
     only the cell in flight.
+
+    In a process-pool worker the unit's span records are drained and
+    shipped home with the results (the parent adopts them under its
+    ``execute`` span) together with the worker's metric delta for the
+    unit; elsewhere the records are already in the parent's tracer and
+    the shipped payloads are empty.
     """
     from repro.core.sweep import run_spec
-    return [(spec, run_spec(spec, use_cache=use_cache)) for spec in specs]
+    in_worker = tracing.in_worker()
+    before = metrics.snapshot() if in_worker else None
+    with tracing.span("unit", cells=len(specs)):
+        pairs = [(spec, run_spec(spec, use_cache=use_cache))
+                 for spec in specs]
+    if not in_worker:
+        return pairs, [], {}
+    shipped = metrics.delta(before, metrics.snapshot())
+    counters = {name: value
+                for name, value in shipped.get("counters", {}).items()
+                if value and name not in _PARENT_ACCOUNTED}
+    return pairs, tracing.drain(), {
+        "counters": counters,
+        "histograms": shipped.get("histograms", {}),
+    }
 
 
 def _process_worker_init(profiles) -> None:
@@ -66,6 +104,11 @@ def _process_worker_init(profiles) -> None:
     from repro.core.exec import faults
     from repro.workloads.profiles import register_profile
     faults.mark_worker()
+    tracing.mark_worker()
+    # A fork-started worker inherits the parent's span buffer; drop it
+    # so the first unit does not ship the parent's own spans back as
+    # duplicates.  (Spawn-started workers start empty anyway.)
+    tracing.reset()
     for profile in profiles:
         register_profile(profile, replace=True)
 
@@ -133,8 +176,9 @@ class SerialBackend(Backend):
                 use_cache: bool = True) -> Iterator[CellResult]:
         from repro.core.sweep import run_spec
         for unit in units:
-            for spec in unit.specs:
-                yield spec, run_spec(spec, use_cache=use_cache)
+            with tracing.span("unit", cells=len(unit.specs)):
+                for spec in unit.specs:
+                    yield spec, run_spec(spec, use_cache=use_cache)
 
 
 class _PoolBackend(Backend):
@@ -157,7 +201,10 @@ class _PoolBackend(Backend):
                 finished, futures = wait(futures,
                                          return_when=FIRST_COMPLETED)
                 for future in finished:
-                    for pair in future.result():
+                    pairs, spans, shipped = future.result()
+                    tracing.adopt(spans)
+                    metrics.absorb(shipped)
+                    for pair in pairs:
                         yield pair
         finally:
             # Reached on exhaustion, on a worker error, and when the

@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Sequence, Tuple
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _obs_tracing
+
 #: How many units the policy aims to create per worker.  Higher means
 #: finer rebalancing but more per-task overhead; 4 keeps the straggler
 #: tail under a quarter of a worker's share.
@@ -67,25 +70,32 @@ def chunk_specs(specs: Sequence[Any], max_workers: int,
     specs = list(specs)
     if not specs:
         return []
-    costs = [spec_cost(spec) for spec in specs]
-    total = sum(costs)
-    slots = max(1, max_workers) * max(1, units_per_worker)
-    target = max(min(costs), total // slots)
+    with _obs_tracing.span("schedule", cells=len(specs),
+                           workers=max_workers):
+        costs = [spec_cost(spec) for spec in specs]
+        total = sum(costs)
+        slots = max(1, max_workers) * max(1, units_per_worker)
+        target = max(min(costs), total // slots)
 
-    order = sorted(range(len(specs)), key=lambda i: (-costs[i], i))
-    units: List[WorkUnit] = []
-    batch: List[Any] = []
-    batch_cost = 0
-    for i in order:
-        if batch and batch_cost + costs[i] > target:
+        order = sorted(range(len(specs)), key=lambda i: (-costs[i], i))
+        units: List[WorkUnit] = []
+        batch: List[Any] = []
+        batch_cost = 0
+        for i in order:
+            if batch and batch_cost + costs[i] > target:
+                units.append(WorkUnit(index=len(units), specs=tuple(batch),
+                                      cost=batch_cost))
+                batch, batch_cost = [], 0
+            batch.append(specs[i])
+            batch_cost += costs[i]
+        if batch:
             units.append(WorkUnit(index=len(units), specs=tuple(batch),
                                   cost=batch_cost))
-            batch, batch_cost = [], 0
-        batch.append(specs[i])
-        batch_cost += costs[i]
-    if batch:
-        units.append(WorkUnit(index=len(units), specs=tuple(batch),
-                              cost=batch_cost))
+    _obs_metrics.counter("chunking.calls").inc()
+    _obs_metrics.counter("chunking.units").inc(len(units))
+    _obs_metrics.counter("chunking.cells").inc(len(specs))
+    _obs_metrics.gauge("chunking.last_target_cost").set(target)
+    _obs_metrics.gauge("chunking.last_units").set(len(units))
     return units
 
 

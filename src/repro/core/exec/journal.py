@@ -53,6 +53,8 @@ import os
 import zlib
 from typing import Any, Dict, List, Optional, Set
 
+from repro.obs.metrics import counter as _obs_counter
+
 BEGIN = "begin"
 CELL = "cell"
 CELL_FAILED = "cell_failed"
@@ -151,6 +153,8 @@ class RunJournal:
                 finished = False
             elif kind == END:
                 finished = True
+        if self._corrupt:
+            _obs_counter("journal.crc_dropped").inc(self._corrupt)
         self._completed = completed
         self._failed = failed
         self._finished = finished
@@ -248,6 +252,7 @@ class RunJournal:
         except OSError:
             # Journalling must never fail a run (read-only cache dir).
             return
+        _obs_counter("journal.writes").inc()
 
     def begin(self, total: int) -> None:
         from repro.core.diskcache import ENGINE_VERSION

@@ -59,6 +59,9 @@ from repro.core.exec import faults
 from repro.core.exec.backends import Backend, CellResult, _run_unit
 from repro.core.exec.chunking import WorkUnit
 from repro.errors import ReproError
+from repro.obs import metrics as obsmetrics
+from repro.obs import tracing as obstracing
+from repro.obs.metrics import counter as _obs_counter
 
 #: ``on_error`` policies, in increasing tolerance.
 ON_ERROR_POLICIES = ("fail", "skip", "degrade")
@@ -473,7 +476,9 @@ class SupervisedBackend(Backend):
                         # Everything is backing off: sleep to the next
                         # eligible attempt.
                         wake = min(att.not_before for att in queue)
-                        time.sleep(max(0.0, wake - time.monotonic()))
+                        pause = max(0.0, wake - time.monotonic())
+                        _obs_counter("supervisor.backoff_seconds").inc(pause)
+                        time.sleep(pause)
                     continue
 
                 deadlines = [dl for _, dl in inflight.values()
@@ -487,7 +492,7 @@ class SupervisedBackend(Backend):
                 for future in done:
                     att, _deadline = inflight.pop(future)
                     try:
-                        pairs = future.result()
+                        pairs, spans, shipped = future.result()
                     except BrokenProcessPool as error:
                         broken = True
                         self._fail_attempt(
@@ -508,6 +513,8 @@ class SupervisedBackend(Backend):
                             now, rng)
                     else:
                         pool_failures = 0
+                        obstracing.adopt(spans)
+                        obsmetrics.absorb(shipped)
                         if self.mode == "process":
                             # Mirror worker-simulated results into the
                             # parent's counters and memo (the plain

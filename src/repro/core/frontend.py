@@ -362,11 +362,19 @@ class FrontEnd:
             raise SimulationError("engine instances are single-use")
         self._ran = True
         if self.scheme.ideal:
-            self._run_ideal()
+            mode, runner = "ideal", self._run_ideal
         elif self.scheme.runahead:
-            self._run_runahead()
+            mode, runner = "runahead", self._run_runahead
         else:
-            self._run_demand()
+            mode, runner = "demand", self._run_demand
+        # The one sanctioned observability hook in the engine hot path
+        # (DESIGN.md Section 13): a no-op context unless telemetry is
+        # enabled, and never anything that can change engine output.
+        # repro: allow[RPR002] -- read-only phase timing; off by default
+        from repro.obs.profile import engine_phase
+        with engine_phase(mode, scheme=self.scheme.name,
+                          blocks=len(self.trace)):
+            runner()
         return SimulationResult(scheme=self.scheme.name,
                                 stats=self._measured)
 

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import contextlib
 import os
-import threading
 from typing import Callable, Dict, Hashable, Iterable, Iterator, List, \
     Optional, Sequence, Union
 
@@ -60,6 +59,10 @@ from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
 # repro: allow[RPR002] -- RunSpec is a frozen value type; keys live in diskcache
 from repro.experiments.spec import DEFAULT_TRACE_BLOCKS, RunSpec
+# repro: allow[RPR002] -- observability registry; reads engine events only
+from repro.obs.metrics import counter as _obs_counter, gauge as _obs_gauge
+# repro: allow[RPR002] -- span tracing is read-only and off by default
+from repro.obs import tracing as _obs_tracing
 from repro.prefetch.factory import SCHEME_FACTORIES, build_scheme
 from repro.workloads.profiles import build_program, build_trace, \
     get_profile
@@ -89,25 +92,44 @@ _ENV_BACKOFF_BASE = "REPRO_BACKOFF_BASE"
 #: In-process result memo, keyed by canonical :class:`RunSpec`.
 _RESULT_CACHE: Dict[RunSpec, SimulationResult] = {}
 
-#: Process-local count of cells actually simulated (cache misses only).
-#: Sampled-mode tests, explore-budget accounting and the acceptance
-#: check "a repeated run performs zero simulations" observe this.  Cells
-#: dispatched to pool workers count here too: the parent increments once
-#: per dispatched cell, which is exact up to cross-process races (the
-#: parent probes memo and disk cache before dispatching, so a dispatched
-#: cell is simulated unless a concurrent foreign process stored it
-#: first).  A fully-cached run — serial or parallel — adds zero.
-simulations = 0
-
-#: Guards ``simulations``: the thread backend executes :func:`run_spec`
-#: from several threads, and a bare ``+= 1`` can lose increments.
-_SIM_LOCK = threading.Lock()
-
+#: Process-local count of cells actually simulated (cache misses only),
+#: now the ``sweep.simulations`` counter in the :mod:`repro.obs.metrics`
+#: registry (lock-guarded there; the thread backend increments from
+#: several threads).  Sampled-mode tests, explore-budget accounting and
+#: the acceptance check "a repeated run performs zero simulations"
+#: observe this.  Cells dispatched to pool workers count here too: the
+#: parent increments once per dispatched cell, which is exact up to
+#: cross-process races (the parent probes memo and disk cache before
+#: dispatching, so a dispatched cell is simulated unless a concurrent
+#: foreign process stored it first).  A fully-cached run — serial or
+#: parallel — adds zero.  The historical module globals ``simulations``
+#: and ``quarantines`` remain readable via the ``__getattr__`` shim.
+_SIMULATIONS = _obs_counter("sweep.simulations")
 
 #: Process-local count of cells quarantined by supervised execution
 #: (each one completed no simulation and has no result).  The CLI's
 #: accounting line and the explore budget report read deltas of this.
-quarantines = 0
+_QUARANTINES = _obs_counter("sweep.quarantines")
+
+#: Cells entering :func:`run_specs` (after canonical dedup) and cells
+#: it served from the caches — with simulations and quarantines these
+#: reconcile exactly: ``cells == simulated + cached + quarantined``.
+_CELLS = _obs_counter("sweep.cells")
+_CACHED_CELLS = _obs_counter("sweep.cached_cells")
+
+_COUNTER_SHIMS = {
+    "simulations": _SIMULATIONS,
+    "quarantines": _QUARANTINES,
+}
+
+
+def __getattr__(name: str):
+    """Compatibility shim: the pre-obs counter globals, read-only."""
+    instrument = _COUNTER_SHIMS.get(name)
+    if instrument is not None:
+        return instrument.value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 #: Structured report of the most recent supervised :func:`run_specs`
 #: call that quarantined, retried or degraded anything (None when the
@@ -116,15 +138,11 @@ last_failures: Optional[FailureReport] = None
 
 
 def _count_simulation() -> None:
-    global simulations
-    with _SIM_LOCK:
-        simulations += 1
+    _SIMULATIONS.inc()
 
 
 def _count_quarantine() -> None:
-    global quarantines
-    with _SIM_LOCK:
-        quarantines += 1
+    _QUARANTINES.inc()
 
 
 def note_remote_result(spec: RunSpec, result: SimulationResult,
@@ -146,10 +164,8 @@ def note_remote_result(spec: RunSpec, result: SimulationResult,
 
 def reset_simulation_counter() -> None:
     """Zero the process-local simulation/quarantine counters (tests)."""
-    global simulations, quarantines
-    with _SIM_LOCK:
-        simulations = 0
-        quarantines = 0
+    for instrument in (_SIMULATIONS, _QUARANTINES, _CELLS, _CACHED_CELLS):
+        instrument.reset()
 
 
 class SimulationMeter:
@@ -163,11 +179,11 @@ class SimulationMeter:
     """
 
     def __init__(self) -> None:
-        self._start = simulations
+        self._start = _SIMULATIONS.value
 
     @property
     def count(self) -> int:
-        return max(0, simulations - self._start)
+        return max(0, _SIMULATIONS.value - self._start)
 
 
 @contextlib.contextmanager
@@ -208,14 +224,19 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         # only where real failures can happen, during simulation.
         plan.before_cell(spec)
 
-    profile = get_profile(spec.workload)
-    generated = build_program(spec.workload)
-    trace = build_trace(spec.workload, spec.n_blocks, seed=spec.seed)
-    scheme = build_scheme(spec.scheme, spec.params, generated, spec.config)
-    result = simulate(
-        trace, scheme, params=spec.params,
-        l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
-    )
+    with _obs_tracing.span(
+            "simulate", workload=spec.workload, scheme=spec.scheme,
+            n_blocks=spec.n_blocks, seed=spec.seed,
+            spec_key=disk_key):
+        profile = get_profile(spec.workload)
+        generated = build_program(spec.workload)
+        trace = build_trace(spec.workload, spec.n_blocks, seed=spec.seed)
+        scheme = build_scheme(spec.scheme, spec.params, generated,
+                              spec.config)
+        result = simulate(
+            trace, scheme, params=spec.params,
+            l1d_misses_per_kinstr=profile.l1d_misses_per_kinstr,
+        )
     _count_simulation()
     if use_cache:
         _RESULT_CACHE[spec] = result
@@ -430,9 +451,18 @@ def run_specs(specs: Iterable[RunSpec],
         if canonical not in seen:
             seen.add(canonical)
             ordered.append(canonical)
+    _CELLS.inc(len(ordered))
 
     if progress is None and _progress_enabled():
         progress = stderr_progress()
+    telemetry_path = os.environ.get(_obs_tracing.TELEMETRY_ENV)
+    if telemetry_path:
+        # Stream every progress event to the JSONL telemetry sink,
+        # composing with (not replacing) any stderr/caller callback.
+        # repro: allow[RPR002] -- telemetry sink; consumes events only
+        from repro.obs import export as _obs_export
+        writer = _obs_export.TelemetryWriter(telemetry_path)
+        progress = _obs_export.progress_sink(writer, wrapped=progress)
     if journal is None:
         journal_path = os.environ.get(_ENV_JOURNAL)
         if journal_path:
@@ -452,22 +482,25 @@ def run_specs(specs: Iterable[RunSpec],
     pending: List[RunSpec] = []
     disk_keys: Dict[RunSpec, str] = {}
     probe_disk = use_cache and diskcache.enabled()
-    for spec in ordered:
-        hit = _RESULT_CACHE.get(spec) if use_cache else None
-        if hit is None and probe_disk:
-            # Probe the disk cache in the parent before deciding to fan
-            # out: a fully-cached collection (e.g. a repeated sampled
-            # run) then costs a few file reads instead of a worker pool.
-            disk_keys[spec] = diskcache.spec_key(spec)
-            hit = diskcache.load(disk_keys[spec])
+    with _obs_tracing.span("cache_probe", cells=len(ordered)):
+        for spec in ordered:
+            hit = _RESULT_CACHE.get(spec) if use_cache else None
+            if hit is None and probe_disk:
+                # Probe the disk cache in the parent before deciding to
+                # fan out: a fully-cached collection (e.g. a repeated
+                # sampled run) then costs a few file reads instead of a
+                # worker pool.
+                disk_keys[spec] = diskcache.spec_key(spec)
+                hit = diskcache.load(disk_keys[spec])
+                if hit is not None:
+                    # repro: allow[RPR004] -- parent-only probe loop, pre-fan-out
+                    _RESULT_CACHE[spec] = hit
             if hit is not None:
-                # repro: allow[RPR004] -- parent-only probe loop, pre-fan-out
-                _RESULT_CACHE[spec] = hit
-        if hit is not None:
-            results[spec] = hit
-        else:
-            pending.append(spec)
+                results[spec] = hit
+            else:
+                pending.append(spec)
     n_cached = len(results)
+    _CACHED_CELLS.inc(n_cached)
 
     def cell_key(spec: RunSpec) -> str:
         key = disk_keys.get(spec)
@@ -554,14 +587,19 @@ def run_specs(specs: Iterable[RunSpec],
     if chosen is None:
         chosen = _default_backend(parallel, len(pending), workers)
     engine = get_backend(chosen, max_workers=workers)
+    _obs_gauge("sweep.last_backend").set(
+        getattr(engine, "name", str(chosen)))
+    _obs_gauge("sweep.last_workers").set(engine.max_workers)
 
     def _notify(event: SupervisorEvent) -> None:
         if event.kind == "retry":
+            _obs_counter("supervisor.retries").inc()
             if tracker is not None:
                 tracker.retry(event.spec,
                               f"unit of {event.unit_size}, attempt "
                               f"{event.attempt} ({event.error})")
         elif event.kind == "quarantine":
+            _obs_counter("supervisor.quarantines").inc()
             _count_quarantine()
             if journal is not None:
                 journal.record_failure(cell_key(event.spec), event.error,
@@ -570,6 +608,7 @@ def run_specs(specs: Iterable[RunSpec],
                 tracker.quarantine(event.spec, spec_cost(event.spec),
                                    event.error)
         elif event.kind == "degrade":
+            _obs_counter("supervisor.degrades").inc()
             if tracker is not None:
                 tracker.degrade(f"execution degraded {event.mode} -> "
                                 f"{event.to_mode}: {event.error}")
@@ -591,7 +630,9 @@ def run_specs(specs: Iterable[RunSpec],
         else contextlib.nullcontext()
     simulated = 0
     recovered_cached = 0
-    with plan_scope:
+    with plan_scope, _obs_tracing.span(
+            "execute", anchor=True, backend=engine.name,
+            workers=engine.max_workers, cells=len(pending)):
         for spec, result in engine.execute(
                 chunk_specs(pending, engine.max_workers),
                 use_cache=use_cache):
@@ -602,6 +643,7 @@ def run_specs(specs: Iterable[RunSpec],
                 # (its first attempt persisted it before the unit
                 # failed) — a cache hit, not a simulation.
                 recovered_cached += 1
+                _CACHED_CELLS.inc()
                 if use_cache:
                     _RESULT_CACHE[spec] = result
                 source = progress_events.CACHED

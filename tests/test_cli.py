@@ -289,8 +289,11 @@ class TestResume:
         assert main(argv) == 0
         first = capsys.readouterr()
         assert "2 simulated" in first.err
-        # The journal survives the invocation and names its work set.
-        journals = os.listdir(str(tmp_path / "cache" / "journals"))
+        # The journal survives the invocation and names its work set
+        # (a run manifest lands beside it, so count .jsonl files only).
+        journals = [name for name
+                    in os.listdir(str(tmp_path / "cache" / "journals"))
+                    if name.endswith(".jsonl")]
         assert len(journals) == 1
 
         clear_result_cache()  # simulate a fresh process

@@ -1,0 +1,205 @@
+"""Tests for the telemetry CLI surface: --telemetry, stats, trace."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.core.sweep import clear_result_cache
+
+
+def _fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_result_cache()
+
+
+def _sweep_args(extra=()):
+    return ["sweep", "--workloads", "nutch", "--schemes",
+            "baseline,ideal", "--blocks", "2000", "--serial",
+            *extra]
+
+
+class TestTelemetryStream:
+    def test_jsonl_is_well_formed_and_carries_a_manifest(
+            self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        stream = tmp_path / "tel.jsonl"
+        assert main(_sweep_args(["--telemetry", str(stream)])) == 0
+        records = [json.loads(line) for line
+                   in stream.read_text().splitlines() if line]
+        assert records, "telemetry stream is empty"
+        kinds = {record["kind"] for record in records}
+        assert "manifest" in kinds
+        assert all("ts" in record for record in records)
+        manifest = [r for r in records if r["kind"] == "manifest"][-1]
+        counts = manifest["counts"]
+        assert counts["cells"] == 2
+        assert counts["simulated"] + counts["cached"] \
+            + counts["quarantined"] == counts["cells"]
+        # Spans were collected because --telemetry enables tracing.
+        assert manifest["spans"]
+
+    def test_accounting_line_format_is_pinned(self, tmp_path,
+                                              monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        err = capsys.readouterr().err
+        assert "[sweep: 2 simulated, 0 cached]" in err
+        clear_result_cache()
+        assert main(_sweep_args()) == 0
+        err = capsys.readouterr().err
+        assert "[sweep: 0 simulated, 2 cached]" in err
+
+    def test_stdout_identical_with_and_without_telemetry(
+            self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        plain = capsys.readouterr().out
+        assert main(_sweep_args(
+            ["--telemetry", str(tmp_path / "t.jsonl")])) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+
+class TestManifestFile:
+    def test_written_next_to_the_journal(self, tmp_path, monkeypatch,
+                                         capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        journals = str(tmp_path / "cache" / "journals")
+        manifests = [name for name in os.listdir(journals)
+                     if name.endswith(".manifest.json")]
+        assert len(manifests) == 1
+        payload = json.loads(
+            open(os.path.join(journals, manifests[0])).read())
+        assert payload["kind"] == "manifest"
+        assert payload["command"] == "sweep"
+        assert payload["counts"]["cells"] == 2
+
+    def test_manifest_reconciles_with_the_journal(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.core.exec.journal import RunJournal
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        journals = str(tmp_path / "cache" / "journals")
+        journal_file = [name for name in os.listdir(journals)
+                        if name.endswith(".jsonl")][0]
+        journal = RunJournal(os.path.join(journals, journal_file))
+        manifest = json.loads(open(os.path.join(
+            journals, journal_file[:-len(".jsonl")]
+            + ".manifest.json")).read())
+        counts = manifest["counts"]
+        assert len(journal.completed) \
+            == counts["simulated"] + counts["cached"]
+        assert len(journal.quarantined) == counts["quarantined"]
+
+
+class TestStatsCommand:
+    def test_renders_latest_manifest(self, tmp_path, monkeypatch,
+                                     capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "2 total = 2 simulated + 0 cached + 0 quarantined" in out
+
+    def test_json_round_trips(self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "manifest"
+        assert payload["counts"]["cells"] == 2
+
+    def test_prometheus_exposition(self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["stats", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sweep_simulations counter" in out
+        assert "repro_sweep_simulations 2" in out
+
+    def test_resolves_a_run_id_prefix(self, tmp_path, monkeypatch,
+                                      capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        journals = str(tmp_path / "cache" / "journals")
+        run_id = [name for name in os.listdir(journals)
+                  if name.endswith(".jsonl")][0][:-len(".jsonl")]
+        assert main(["stats", run_id[:6]]) == 0
+        assert run_id in capsys.readouterr().out
+
+    def test_no_manifest_fails_cleanly(self, tmp_path, monkeypatch,
+                                       capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(["stats"]) == 2
+        assert "no run manifest" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_renders_span_tree_from_telemetry_run(self, tmp_path,
+                                                  monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args(
+            ["--telemetry", str(tmp_path / "t.jsonl")])) == 0
+        capsys.readouterr()
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "execute" in out
+        assert "simulate" in out
+        assert "total=" in out and "self=" in out
+
+    def test_explains_a_telemetry_less_run(self, tmp_path, monkeypatch,
+                                           capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["trace"]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_text_output_reports_ratios(self, tmp_path, monkeypatch,
+                                        capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hits/misses:" in out
+        assert "stores:" in out
+
+    def test_json_shape_matches_the_manifest_cache_section(
+            self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(_sweep_args()) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        cache_stats = json.loads(capsys.readouterr().out)
+        assert main(["stats", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        # Every key of the manifest's cache section is present (same
+        # shape; cache stats carries extra on-disk detail).
+        assert set(manifest["cache"]) <= set(cache_stats)
+
+
+class TestExploreManifest:
+    def test_explore_writes_a_manifest_and_keeps_its_line(
+            self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        assert main(["explore", "--strategy", "random", "--budget", "3",
+                     "--blocks", "1500", "--seed", "1", "--serial",
+                     "--workloads", "nutch"]) == 0
+        err = capsys.readouterr().err
+        # The explore report's own accounting line survives...
+        assert "cells:" in err and "simulated," in err
+        # ...and no generic "[explore: ...]" line is added beside it.
+        assert "[explore:" not in err
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "(explore)" in out
