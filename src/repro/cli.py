@@ -97,7 +97,7 @@ from repro.errors import ReproError
 _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
                   "REPRO_MAX_WORKERS", "REPRO_PROGRESS", "REPRO_JOURNAL",
                   "REPRO_RETRIES", "REPRO_UNIT_TIMEOUT", "REPRO_ON_ERROR",
-                  "REPRO_TELEMETRY")
+                  "REPRO_TELEMETRY", "REPRO_ENGINE")
 
 #: Args that never change *which cells* an invocation runs — excluded
 #: from the journal identity, so an interrupted process-backend run can
@@ -106,7 +106,7 @@ _EXECUTION_ENV = ("REPRO_DISK_CACHE", "REPRO_PARALLEL", "REPRO_BACKEND",
 _JOURNAL_IRRELEVANT = frozenset((
     "func", "command", "backend", "max_workers", "parallel", "no_cache",
     "progress", "resume", "out", "json", "chart",
-    "retries", "unit_timeout", "on_error", "telemetry",
+    "retries", "unit_timeout", "on_error", "telemetry", "engine",
 ))
 
 #: Default window count for ``--sampled`` without an explicit ``--windows``.
@@ -210,6 +210,8 @@ def _execution_env(args):
             os.environ["REPRO_ON_ERROR"] = args.on_error
         if getattr(args, "telemetry", None):
             os.environ["REPRO_TELEMETRY"] = args.telemetry
+        if getattr(args, "engine", None):
+            os.environ["REPRO_ENGINE"] = args.engine
         if hasattr(args, "resume"):
             os.environ.pop("REPRO_JOURNAL", None)
             _setup_journal(args)
@@ -271,6 +273,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     mode.add_argument(
         "--serial", dest="parallel", action="store_false",
         help="force serial grid execution (same as --backend serial)",
+    )
+    parser.add_argument(
+        "--engine", choices=("interpreter", "columnar"), default=None,
+        help="simulation engine core (default: interpreter; columnar "
+             "batches eligible cells into vectorised passes with "
+             "bit-identical results — ineligible schemes fall back "
+             "per cell, so the flag never changes any output)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

@@ -258,16 +258,27 @@ def get_backend(backend, max_workers: int = 1) -> Backend:
     Instances pass through untouched — callers with a configured
     backend keep their worker count; names construct a fresh backend
     with *max_workers*.
+
+    A pool backend with a single worker is collapsed to
+    :class:`SerialBackend`: one thread or one child process executes
+    the same units in the same order through the same per-unit code
+    path (journal writes, progress events and counter accounting are
+    backend-independent), but pays pool construction, pickling and IPC
+    for nothing — on a 1-core machine the "parallel" path used to run
+    ~15% *slower* than serial.
     """
     if isinstance(backend, Backend):
         return backend
     try:
-        factory = BACKENDS[str(backend).lower()]
+        name = str(backend).lower()
+        factory = BACKENDS[name]
     except KeyError:
         raise ReproError(
             f"unknown execution backend {backend!r}; choose from "
             f"{sorted(BACKENDS)}"
         ) from None
+    if max_workers <= 1 and name in ("thread", "process"):
+        return SerialBackend(max_workers=1)
     return factory(max_workers=max_workers)
 
 

@@ -59,13 +59,19 @@ def chunk_specs(specs: Sequence[Any], max_workers: int,
                 units_per_worker: int = UNITS_PER_WORKER) -> List[WorkUnit]:
     """Group *specs* into cost-balanced work units, longest-first.
 
-    The target unit cost is ``total / (workers * units_per_worker)``
-    (never below the cheapest cell, so tiny sweeps still form units).
-    Cells are laid out in descending cost order — classic longest
-    processing time dispatch, which keeps the end-of-sweep straggler
-    small — and greedily packed until a unit reaches the target.  Cells
-    costlier than the target get singleton units.  Deterministic: equal
-    inputs produce equal units.
+    The target unit cost is ``total / (workers * units_per_worker)``,
+    floored at the *median* cell cost so tiny sweeps still form units.
+    (The floor used to be the **cheapest** cell, which shattered
+    heterogeneous sweeps: one short-trace cell dragged the target down
+    to its own cost and every long-trace cell became a singleton unit —
+    far more units than slots, all per-task overhead.)  Cells are laid
+    out in descending cost order — classic longest processing time
+    dispatch, which keeps the end-of-sweep straggler small — and
+    greedily packed until a unit reaches the target.  Cells costlier
+    than the target get singleton units.  Deterministic: equal inputs
+    produce equal units, and the unit count is bounded by
+    ``min(len(specs), 4 * workers * units_per_worker + 2)`` (every
+    closed unit exceeds half the target).
     """
     specs = list(specs)
     if not specs:
@@ -75,7 +81,8 @@ def chunk_specs(specs: Sequence[Any], max_workers: int,
         costs = [spec_cost(spec) for spec in specs]
         total = sum(costs)
         slots = max(1, max_workers) * max(1, units_per_worker)
-        target = max(min(costs), total // slots)
+        floor = sorted(costs)[len(costs) // 2]
+        target = max(floor, total // slots)
 
         order = sorted(range(len(specs)), key=lambda i: (-costs[i], i))
         units: List[WorkUnit] = []

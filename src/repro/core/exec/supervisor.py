@@ -320,6 +320,16 @@ class SupervisedBackend(Backend):
                             "kind": kind, "error": error[:500]})
         specs = att.unit.specs
         next_attempt = att.attempt + 1
+        if kind == "reset":
+            # A reset punishes the *neighbour* of a hung or dead unit —
+            # the pool had to die, but this unit did nothing wrong, so
+            # the collateral restart does not consume its retry budget
+            # (a cell repeatedly co-scheduled with a poison cell used to
+            # burn all its attempts on resets and get quarantined
+            # without ever failing).  Resets cannot recur unboundedly:
+            # each one is caused by a timeout or crash that *is* charged
+            # to the culprit's budget.
+            next_attempt = att.attempt
         if len(specs) > 1:
             # Split: isolate the culprit by re-running per cell.  The
             # split itself is the retry (attempt advances), and each
@@ -378,7 +388,11 @@ class SupervisedBackend(Backend):
         re-probing in the parent before resubmission means a retry only
         re-simulates what was actually lost.
         """
-        if att.attempt == 1 or not use_cache:
+        if not att.history or not use_cache:
+            # No failed execution behind this attempt, nothing to
+            # recover.  (Checked via the history, not the attempt
+            # number: a budget-free reset requeues at the same attempt
+            # but may still have completed cells worth probing.)
             return [], att.unit.specs
         from repro.core import diskcache
         if not diskcache.enabled():
@@ -420,9 +434,20 @@ class SupervisedBackend(Backend):
         try:
             while queue or inflight:
                 now = time.monotonic()
-                # Submit every attempt whose backoff has elapsed.
+                # Submit every attempt whose backoff has elapsed — but
+                # never more than the pool has workers.  The unit
+                # deadline is stamped at submit time, so an attempt
+                # queued inside the executor behind busy workers would
+                # burn its timeout budget *waiting*: with a hung worker
+                # clogging the pool, innocent units used to expire on
+                # queue wait alone, eat their whole retry budget and get
+                # quarantined without ever running.  Holding them in our
+                # own queue keeps their clocks stopped until a worker is
+                # actually free.
                 ready = [att for att in queue if att.not_before <= now]
                 for att in ready:
+                    if len(inflight) >= self.max_workers:
+                        break
                     queue.remove(att)
                     served, remaining = self._probe_retry_cache(
                         att, use_cache)

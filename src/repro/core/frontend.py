@@ -94,6 +94,25 @@ def _trace_predictor(trace: Trace) -> TagePredictor:
     return PrecomputedHistoryTage(seqs)
 
 
+def _static_target_map(trace: Trace) -> Dict[int, int]:
+    """Static taken-targets from the binary image, cached on the trace.
+
+    A decoder genuinely knows a direct branch's target even when it is
+    not taken, so BTB fills for not-taken conditionals use the real
+    target rather than the trace's fall-through address.  Pure function
+    of the trace, shared by both engines via ``trace.derived``.
+    """
+    cached = trace.derived.get("static_targets")
+    if cached is None:
+        cached = {}
+        if trace.generated is not None:
+            for branches in trace.generated.program.image.values():
+                for branch in branches:
+                    cached[branch.block_pc] = branch.target
+        trace.derived["static_targets"] = cached
+    return cached
+
+
 class FrontEnd:
     """Trace-driven front-end simulation of one scheme.
 
@@ -165,15 +184,7 @@ class FrontEnd:
             if type(scheme).on_fetch_line is not Scheme.on_fetch_line \
             else None
 
-        # Static taken-targets from the binary image: a decoder genuinely
-        # knows a direct branch's target even when it is not taken, so
-        # BTB fills for not-taken conditionals use the real target rather
-        # than the trace's fall-through address.
-        self._static_targets: Dict[int, int] = {}
-        if trace.generated is not None:
-            for branches in trace.generated.program.image.values():
-                for branch in branches:
-                    self._static_targets[branch.block_pc] = branch.target
+        self._static_targets: Dict[int, int] = _static_target_map(trace)
         if warm_llc and trace.generated is not None:
             for line in trace.generated.program.image:
                 self.llc.insert(line)

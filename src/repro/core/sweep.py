@@ -54,7 +54,7 @@ from repro.core.exec import progress as progress_events
 # repro: allow[RPR002] -- supervision retries bit-identical cells (DESIGN 11)
 from repro.core.exec.supervisor import CellFailure, FailureReport, \
     SupervisedBackend, SupervisorEvent
-from repro.core.frontend import simulate
+from repro.core.engine_select import selected_engine, simulate
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
 # repro: allow[RPR002] -- RunSpec is a frozen value type; keys live in diskcache
@@ -568,6 +568,13 @@ def run_specs(specs: Iterable[RunSpec],
         else:
             last_failures = None
         return len(cells)
+
+    # Gauge set parent-side (gauges do not travel back from process
+    # workers); per-cell engine counters ship with the worker deltas.
+    # Set before the fully-cached early return so the manifest records
+    # the requested engine even when no cell simulates (and an invalid
+    # REPRO_ENGINE fails loudly regardless of cache state).
+    _obs_gauge("engine.requested").set(selected_engine())
 
     if not pending:
         # Fully cached (or fully carried): the scheduler never

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.obs import metrics, tracing
 
 
@@ -238,6 +239,10 @@ class RunReport:
     metrics: Dict[str, Dict]
     spans: List[Dict[str, Any]] = field(default_factory=list)
     journal: Optional[str] = None
+    #: Engine-core selection accounting (``--engine``): requested core,
+    #: columnar vs fallback cell counts.  None for interpreter-only runs
+    #: (and for manifests written before the field existed).
+    engine: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -259,6 +264,7 @@ class RunReport:
             "metrics": self.metrics,
             "spans": self.spans,
             "journal": self.journal,
+            "engine": self.engine,
         }
 
     def render(self) -> str:
@@ -277,6 +283,13 @@ class RunReport:
             f"{counts.get('cached', 0)} cached + "
             f"{counts.get('quarantined', 0)} quarantined",
         ]
+        if self.engine:
+            fallbacks = self.engine.get("fallback_cells", 0)
+            suffix = f", {fallbacks} fallback" if fallbacks else ""
+            lines.append(
+                f"  core:     {self.engine.get('requested', '?')} "
+                f"({self.engine.get('columnar_cells', 0)} columnar cells"
+                f"{suffix})")
         ratio = self.cache.get("hit_ratio")
         ratio_text = f"{ratio:.1%}" if ratio is not None else "n/a"
         lines.append(
@@ -339,6 +352,23 @@ def build_report(run_id: str, label: str, command: str,
             counters.get("supervisor.backoff_seconds", 0.0)),
     }
     workers = gauges.get("sweep.last_workers")
+    requested = gauges.get("engine.requested")
+    columnar_cells = counters.get("engine.columnar_cells", 0)
+    fallback_cells = counters.get("engine.fallback_cells", 0)
+    engine_section: Optional[Dict[str, Any]] = None
+    if requested not in (None, "interpreter") \
+            or columnar_cells or fallback_cells:
+        prefix = "engine.fallback."
+        engine_section = {
+            "requested": requested or "interpreter",
+            "columnar_cells": columnar_cells,
+            "fallback_cells": fallback_cells,
+            "fallbacks_by_scheme": {
+                name[len(prefix):]: value
+                for name, value in sorted(counters.items())
+                if name.startswith(prefix) and value
+            },
+        }
     return RunReport(
         run_id=run_id,
         label=label,
@@ -357,6 +387,7 @@ def build_report(run_id: str, label: str, command: str,
         metrics=delta,
         spans=spans,
         journal=journal,
+        engine=engine_section,
     )
 
 
@@ -457,7 +488,10 @@ def resolve_manifest(token: Optional[str] = None,
 
     *token* may be: None (the most recent manifest in the journals
     directory), a path to a manifest / telemetry JSONL / run-journal
-    file, or a run-id prefix matched against journaled manifests.
+    file, or a run-id prefix matched against journaled manifests.  An
+    exact run-id (or manifest-stem) match always wins; a prefix that
+    matches *several* runs raises :class:`ReproError` listing the
+    candidates instead of silently picking the newest.
     """
     if token:
         if os.path.exists(token):
@@ -471,20 +505,33 @@ def resolve_manifest(token: Optional[str] = None,
                 return load_manifest(sibling)
             return load_manifest(token)
         matches = []
+        match_ids = []
         for path in list_manifests(directory):
-            name = os.path.basename(path)
-            if name.startswith(token):
+            stem = os.path.basename(path)[:-len(".manifest.json")]
+            if stem == token:
+                return load_manifest(path)
+            if stem.startswith(token):
                 matches.append(path)
+                match_ids.append(stem)
                 continue
             try:
-                if load_manifest(path).get("run_id", "").startswith(token):
-                    matches.append(path)
+                run_id = load_manifest(path).get("run_id", "")
             except (OSError, ValueError):
                 continue
+            if run_id == token:
+                return load_manifest(path)
+            if run_id.startswith(token):
+                matches.append(path)
+                match_ids.append(run_id)
         if not matches:
             raise FileNotFoundError(
                 f"no run manifest matches {token!r} in "
                 f"{directory or journals_dir()}")
+        if len(matches) > 1:
+            listing = ", ".join(sorted(match_ids))
+            raise ReproError(
+                f"run-id prefix {token!r} is ambiguous — "
+                f"{len(matches)} manifests match: {listing}")
         return load_manifest(matches[0])
     manifests = list_manifests(directory)
     if not manifests:
@@ -511,6 +558,7 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         "engine_version": 0, "engine_fingerprint": "?",
         "counts": {}, "cache": {}, "phases": {}, "cells": {},
         "failures": None, "metrics": {}, "spans": [], "journal": None,
+        "engine": None,
     }
     for name in fields_wanted:
         if payload.get(name) is None:

@@ -52,6 +52,13 @@ def engine_phase(mode: str, **attrs) -> Iterator[None]:
     everything else observes from the scheduler layer.  No-op unless
     tracing/telemetry is enabled, so the disabled cost is a single
     :func:`repro.obs.tracing.enabled` probe.
+
+    *mode* is the interpreter's run mode (``ideal`` / ``demand`` /
+    ``runahead``) or the columnar core's ``columnar.ideal`` /
+    ``columnar.demand``, so ``repro trace`` attributes wall-clock to
+    the engine that actually executed each cell — under ``--engine
+    columnar`` a mixed sweep shows both ``engine.columnar.*`` spans
+    and plain ``engine.runahead`` spans for the fallback cells.
     """
     if not tracing.enabled():
         yield

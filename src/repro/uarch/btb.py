@@ -75,6 +75,13 @@ class SetAssocTable(Generic[E]):
         return sum(len(s) for s in self._sets)
 
     @property
+    def geometry(self) -> tuple:
+        """``(entries, assoc)`` — enough to build an identical empty
+        table (the columnar engine's clock-free replay does exactly
+        that)."""
+        return (self.entries, self.assoc)
+
+    @property
     def hit_rate(self) -> float:
         return self.hit_count / self.lookups if self.lookups else 0.0
 

@@ -77,6 +77,25 @@ class SetAssocCache:
         cache_set[line] = None
         return victim
 
+    def probe_insert(self, line: int) -> bool:
+        """Fused lookup-then-insert without hit/miss counter updates.
+
+        Exactly the state transition of ``lookup(line)`` followed (on a
+        miss) by ``insert(line)``: a hit refreshes LRU, a miss evicts
+        the LRU way and installs the line.  Used by the columnar
+        engine's clock-free replay passes, where the hit/miss *sequence*
+        is the output and the counters are reconstructed from it.
+        """
+        cache_set = self._sets[line & self._set_mask]
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = None
+            return True
+        if len(cache_set) >= self.assoc:
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
+        return False
+
     def invalidate(self, line: int) -> bool:
         """Remove *line* if present; returns whether it was present."""
         cache_set = self._sets[line & self._set_mask]

@@ -634,6 +634,28 @@ class PrecomputedHistoryTage(TagePredictor):
         return provider_pred
 
 
+def replay_cond_mispredicts(fold_sequences: FoldSequences,
+                            pcs, kinds, takens,
+                            cond_kind: int) -> List[bool]:
+    """Per-block mispredict flags from a full-trace TAGE replay.
+
+    Drives a fresh :class:`PrecomputedHistoryTage` over the trace's
+    conditional blocks in retire order — exactly the calls the
+    interpreter engine makes — and records where the prediction
+    disagreed with the outcome.  The predictor is clock-free, so the
+    flags are a pure function of the trace: the columnar engine computes
+    them once per (trace, predictor-geometry) and reuses them across
+    every microarchitectural parameter point.
+    """
+    predictor = PrecomputedHistoryTage(fold_sequences)
+    predict_update = predictor.predict_update
+    flags = [False] * len(pcs)
+    for i, kind in enumerate(kinds):
+        if kind == cond_kind:
+            flags[i] = predict_update(pcs[i], takens[i]) != takens[i]
+    return flags
+
+
 class BimodalPredictor:
     """Plain 2-bit bimodal predictor (test baseline and ablations)."""
 

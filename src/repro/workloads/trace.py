@@ -47,6 +47,34 @@ class TraceHotColumns(NamedTuple):
     fallthrough: List[int]
 
 
+class TraceColumnArrays(NamedTuple):
+    """Per-block columns kept as numpy arrays for the columnar engine.
+
+    The columnar engine (:mod:`repro.core.engine_columnar`) consumes
+    whole-trace array passes instead of per-block scalar reads, so it
+    wants the same derived geometry as :class:`TraceHotColumns` but as
+    contiguous arrays — plus an instruction-count prefix sum so any
+    block range's instruction total is two loads and a subtract.
+    Computed lazily and cached on the :class:`Trace`.
+    """
+
+    pc: np.ndarray
+    #: Instruction counts widened to int64 (the stored column is int16).
+    ninstr: np.ndarray
+    #: The same counts as float64 — the timing pass divides by
+    #: ``issue_width`` in float space, exactly like the interpreter.
+    ninstr_f64: np.ndarray
+    kind: np.ndarray
+    taken: np.ndarray
+    target: np.ndarray
+    first_line: np.ndarray
+    last_line: np.ndarray
+    fallthrough: np.ndarray
+    #: ``instr_prefix[i]`` = instructions retired by blocks ``[0, i)``;
+    #: length ``n + 1``.
+    instr_prefix: np.ndarray
+
+
 class Trace:
     """A retire-order trace of dynamic basic blocks.
 
@@ -98,6 +126,31 @@ class Trace:
             first_line=(pc >> BLOCK_SHIFT).tolist(),
             last_line=(branch_pc >> BLOCK_SHIFT).tolist(),
             fallthrough=(pc + ninstr_wide * INSTR_BYTES).tolist(),
+        )
+
+    @cached_property
+    def cols(self) -> TraceColumnArrays:
+        """Numpy-array columns plus derived geometry and prefix sums.
+
+        The columnar engine's input: one vectorised pass on first
+        access, shared by every scheme and parameter point simulated on
+        this trace (mirrors :attr:`hot` for the interpreter engine).
+        """
+        ninstr_wide = self.ninstr.astype(np.int64)
+        branch_pc = self.pc + (ninstr_wide - 1) * INSTR_BYTES
+        instr_prefix = np.zeros(len(self.pc) + 1, dtype=np.int64)
+        np.cumsum(ninstr_wide, out=instr_prefix[1:])
+        return TraceColumnArrays(
+            pc=self.pc,
+            ninstr=ninstr_wide,
+            ninstr_f64=ninstr_wide.astype(np.float64),
+            kind=self.kind,
+            taken=self.taken,
+            target=self.target,
+            first_line=self.pc >> BLOCK_SHIFT,
+            last_line=branch_pc >> BLOCK_SHIFT,
+            fallthrough=self.pc + ninstr_wide * INSTR_BYTES,
+            instr_prefix=instr_prefix,
         )
 
     @cached_property

@@ -8,6 +8,7 @@ import os
 from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import diskcache
 from repro.core.exec import (
@@ -76,6 +77,38 @@ class TestChunking:
                                  n_blocks=1234)) == 1234
         assert spec_cost(RunSpec(workload="nutch", scheme="baseline")) == 1
 
+    def test_heterogeneous_costs_do_not_shatter(self):
+        """Regression: the unit-cost floor is the median cell, not the
+        cheapest.  With a min-cost floor, two 100k-block cells next to
+        two 7-block cells made the target 7 and every cell a singleton
+        (4 units); the median floor packs the cheap tail together."""
+        specs = self.specs([100_000, 100_000, 7, 7])
+        units = chunk_specs(specs, max_workers=8)
+        assert len(units) == 3
+        assert sorted(len(unit.specs) for unit in units) == [1, 1, 2]
+
+    @given(blocks=st.lists(st.integers(min_value=1, max_value=200_000),
+                           min_size=1, max_size=60),
+           max_workers=st.integers(min_value=1, max_value=16),
+           units_per_worker=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_count_bounded_and_exact(self, blocks, max_workers,
+                                          units_per_worker):
+        """Every spec lands in exactly one unit, deterministically, and
+        the unit count never exceeds ``min(n, 4 * slots + 2)`` — every
+        unit the greedy pass closes costs more than half the target, so
+        heterogeneity cannot shatter the sweep into per-cell tasks."""
+        specs = self.specs(blocks)
+        units = chunk_specs(specs, max_workers,
+                            units_per_worker=units_per_worker)
+        chunked = [spec for unit in units for spec in unit.specs]
+        assert sorted(chunked, key=lambda s: s.seed) \
+            == sorted(specs, key=lambda s: s.seed)
+        assert units == chunk_specs(specs, max_workers,
+                                    units_per_worker=units_per_worker)
+        slots = max_workers * units_per_worker
+        assert len(units) <= min(len(specs), 4 * slots + 2)
+
 
 # ---------------------------------------------------------------------------
 # Backend registry
@@ -103,11 +136,51 @@ class TestBackendRegistry:
         assert not ThreadBackend.remote
 
 
+class TestSingleWorkerCollapse:
+    """A one-worker pool backend is pure overhead: the same units run
+    in the same order through the same per-unit path, but with pool
+    construction, pickling and IPC on top (measured ~15% slower than
+    serial on a 1-core machine).  ``get_backend`` collapses it."""
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_one_worker_pool_collapses_to_serial(self, name):
+        backend = get_backend(name, max_workers=1)
+        assert isinstance(backend, SerialBackend)
+        assert backend.max_workers == 1
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_multi_worker_pool_not_collapsed(self, name):
+        backend = get_backend(name, max_workers=2)
+        assert type(backend) is BACKENDS[name]
+
+    def test_explicit_instances_still_pass_through(self):
+        backend = ThreadBackend(max_workers=1)
+        assert get_backend(backend) is backend
+
+    def test_single_worker_run_builds_no_pool(self, tmp_path,
+                                              monkeypatch):
+        """End to end: a 1-worker 'parallel' sweep must never touch
+        concurrent.futures, and still simulates every cell."""
+        _fresh(tmp_path, monkeypatch)
+        for attr in ("ProcessPoolExecutor", "ThreadPoolExecutor"):
+            monkeypatch.setattr(
+                f"repro.core.exec.backends.{attr}",
+                lambda *a, **k: (_ for _ in ()).throw(
+                    AssertionError("no pool may be built for 1 worker")))
+        specs = [RunSpec(workload="nutch", scheme="baseline",
+                         n_blocks=400, seed=i) for i in range(3)]
+        for backend in ("thread", "process"):
+            clear_result_cache()
+            results = run_specs(specs, backend=backend, max_workers=1)
+            assert len(results) == 3
+        clear_result_cache()
+
+
 class TestPicklabilityGuard:
     """Un-picklable work must fail fast with a clear error naming the
     cell, not a raw PicklingError from inside concurrent.futures."""
 
-    def _unpicklable_spec(self):
+    def _unpicklable_specs(self):
         from dataclasses import dataclass
 
         from repro.config import SchemeConfig
@@ -116,31 +189,36 @@ class TestPicklabilityGuard:
         class LocalConfig(SchemeConfig):  # class defined in a function:
             pass                          # pickle cannot look it up
 
-        return RunSpec(workload="nutch", scheme="shotgun", n_blocks=400,
-                       config=LocalConfig())
+        # Two specs so a two-worker process backend is actually chosen
+        # (a single-worker "pool" collapses to the serial backend,
+        # which needs no pickling).
+        return [RunSpec(workload="nutch", scheme="shotgun", n_blocks=400,
+                        config=LocalConfig()),
+                RunSpec(workload="nutch", scheme="shotgun", n_blocks=500,
+                        config=LocalConfig())]
 
     def test_process_backend_fails_fast_before_spawning(self, tmp_path,
                                                         monkeypatch):
         _fresh(tmp_path, monkeypatch)
-        spec = self._unpicklable_spec()
+        specs = self._unpicklable_specs()
         monkeypatch.setattr(
             "repro.core.exec.backends.ProcessPoolExecutor",
             lambda *a, **k: (_ for _ in ()).throw(
                 AssertionError("pool must not be built for bad work")))
         with pytest.raises(ReproError, match="nutch/shotgun"):
-            run_specs([spec], backend="process")
+            run_specs(specs, backend="process", max_workers=2)
         clear_result_cache()
 
     def test_error_suggests_thread_or_serial(self, tmp_path,
                                              monkeypatch):
         _fresh(tmp_path, monkeypatch)
-        spec = self._unpicklable_spec()
+        specs = self._unpicklable_specs()
         with pytest.raises(ReproError,
                            match="--backend thread/serial"):
-            run_specs([spec], backend="process")
+            run_specs(specs, backend="process", max_workers=2)
         # The same work runs fine where no pipe is involved.
-        results = run_specs([spec], backend="serial")
-        assert len(results) == 1
+        results = run_specs(specs, backend="serial")
+        assert len(results) == 2
         clear_result_cache()
 
 

@@ -185,6 +185,65 @@ class TestQuarantine:
         clear_result_cache()
 
 
+class TestCollateralDamage:
+    """Innocent units sharing a pool with a poison cell must not pay
+    for it: a pool reset does not consume their retry budget, and the
+    unit-timeout clock does not run while a unit waits for a worker."""
+
+    def test_reset_does_not_consume_the_retry_budget(self):
+        import random
+        from collections import deque
+        from repro.core.exec.backends import SerialBackend
+        from repro.core.exec.chunking import WorkUnit
+        from repro.core.exec.supervisor import _Attempt
+        backend = SupervisedBackend(SerialBackend(), retries=1,
+                                    on_error="skip")
+        unit = WorkUnit(index=0, specs=(CELLS[0],), cost=400)
+        queue = deque()
+        rng = random.Random(0)
+        att = _Attempt(unit=unit)
+        # Arbitrarily many resets never advance the attempt counter...
+        for _ in range(5):
+            backend._fail_attempt(att, "reset", "pool reset", queue,
+                                  0.0, rng)
+            att = queue.pop()
+            assert att.attempt == 1
+        # ...while a real failure still burns budget and quarantines
+        # once the retries are exhausted.
+        backend._fail_attempt(att, "timeout", "hung", queue, 0.0, rng)
+        att = queue.pop()
+        assert att.attempt == 2
+        backend._fail_attempt(att, "timeout", "hung", queue, 0.0, rng)
+        assert not queue
+        assert [f.spec for f in backend.report.cells] == [CELLS[0]]
+        # The quarantine history still shows the collateral resets.
+        kinds = [h["kind"] for h in backend.report.cells[0].attempts]
+        assert kinds == ["reset"] * 5 + ["timeout", "timeout"]
+
+    def test_hang_neighbours_survive_with_zero_retries(self, tmp_path,
+                                                       monkeypatch):
+        """Regression for two quarantine-by-association bugs: the unit
+        deadline used to start at submit (queue wait behind a clogged
+        pool expired innocents that never ran), and each pool reset
+        charged bystanders an attempt.  With retries=0 — no budget to
+        absorb either — every cell except the hang itself must still
+        complete."""
+        _fresh(tmp_path, monkeypatch)
+        hung = CELLS[0]
+        plan = FaultPlan(
+            rules=(_rule("hang", hung, times=None, seconds=30.0),),
+            state_dir=str(tmp_path / "faults"))
+        results = run_specs(CELLS, backend="thread", max_workers=2,
+                            faults=plan, retries=0, unit_timeout=1.0,
+                            on_error="skip")
+        assert set(results) \
+            == {spec.canonical() for spec in CELLS} - {hung.canonical()}
+        report = sweep.last_failures
+        assert report.quarantined == 1
+        assert report.cells[0].attempts[-1]["kind"] == "timeout"
+        clear_result_cache()
+
+
 class TestDegradation:
     def test_unbuildable_pools_degrade_to_serial_and_complete(
             self, tmp_path, monkeypatch):

@@ -141,6 +141,60 @@ class TestStatsCommand:
         assert "no run manifest" in capsys.readouterr().err
 
 
+def _plant_manifest(journals, run_id):
+    os.makedirs(journals, exist_ok=True)
+    path = os.path.join(journals, run_id + ".manifest.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"kind": "manifest", "run_id": run_id,
+                   "command": "sweep"}, handle)
+
+
+class TestRunIdResolution:
+    """Regression: an ambiguous run-id prefix used to resolve silently
+    to the newest match — ``stats deadbeef`` could render a different
+    run than the one the user meant.  Now the exact id always wins and
+    a genuinely ambiguous prefix fails listing every candidate."""
+
+    def test_ambiguous_prefix_lists_candidates(self, tmp_path,
+                                               monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        journals = str(tmp_path / "cache" / "journals")
+        _plant_manifest(journals, "run-aa11")
+        _plant_manifest(journals, "run-aa22")
+        assert main(["stats", "run-aa"]) == 2
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "run-aa11" in err and "run-aa22" in err
+
+    def test_exact_id_wins_over_longer_siblings(self, tmp_path,
+                                                monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        journals = str(tmp_path / "cache" / "journals")
+        _plant_manifest(journals, "run-aa")
+        _plant_manifest(journals, "run-aabb")
+        assert main(["stats", "run-aa"]) == 0
+        out = capsys.readouterr().out
+        assert "run run-aa (" in out
+
+    def test_unambiguous_prefix_still_resolves(self, tmp_path,
+                                               monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        journals = str(tmp_path / "cache" / "journals")
+        _plant_manifest(journals, "run-aa11")
+        _plant_manifest(journals, "run-bb22")
+        assert main(["stats", "run-aa"]) == 0
+        assert "run-aa11" in capsys.readouterr().out
+
+    def test_trace_rejects_ambiguous_prefix_too(self, tmp_path,
+                                                monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch)
+        journals = str(tmp_path / "cache" / "journals")
+        _plant_manifest(journals, "run-cc11")
+        _plant_manifest(journals, "run-cc22")
+        assert main(["trace", "run-cc"]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+
 class TestTraceCommand:
     def test_renders_span_tree_from_telemetry_run(self, tmp_path,
                                                   monkeypatch, capsys):

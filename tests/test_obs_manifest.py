@@ -88,6 +88,45 @@ class TestReconciliation:
         assert counters.get("cache.misses", 0) == len(CELLS)
 
 
+class TestEngineAccounting:
+    """Per-cell engine selection counters reach the manifest — columnar
+    cells and per-scheme fallbacks — even from process workers."""
+
+    MIXED = CELLS + (RunSpec(workload="nutch", scheme="fdip",
+                             n_blocks=400),)
+
+    @pytest.mark.parametrize("backend,workers",
+                             [("serial", 1), ("process", 2)])
+    def test_columnar_cells_and_fallbacks_counted(
+            self, backend, workers, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_ENGINE", "columnar")
+        before = metrics.snapshot()
+        results = run_specs(self.MIXED, backend=backend,
+                            max_workers=workers)
+        delta = metrics.delta(before, metrics.snapshot())
+        assert len(results) == len(self.MIXED)
+        report = export.build_report("rid", "label", "sweep", delta,
+                                     spans=[], elapsed=0.0)
+        assert report.engine is not None
+        assert report.engine["requested"] == "columnar"
+        assert report.engine["columnar_cells"] == len(CELLS)
+        assert report.engine["fallback_cells"] == 1
+        assert report.engine["fallbacks_by_scheme"] == {"fdip": 1}
+        assert "core:" in report.render()
+        assert report.to_json()["engine"] == report.engine
+
+    def test_interpreter_runs_have_no_engine_section(self, tmp_path,
+                                                     monkeypatch):
+        _fresh(tmp_path, monkeypatch)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        _, delta = _run_with_delta(backend="serial")
+        report = export.build_report("rid", "label", "sweep", delta,
+                                     spans=[], elapsed=0.0)
+        assert report.engine is None
+        assert report.to_json()["engine"] is None
+
+
 class TestSpanShipping:
     def test_process_worker_spans_nest_under_execute(self, tmp_path,
                                                      monkeypatch):
